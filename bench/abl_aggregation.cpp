@@ -1,0 +1,54 @@
+// Design-choice ablation (DESIGN.md §2, choice 1): FedPKD's variance-weighted
+// logit aggregation (Eq. 6-7) against the plain-mean rule, plus the literal
+// Eq. (8) prototype scaling against the corrected weighted mean. Run under a
+// hard class split, where the aggregation rule matters most.
+
+#include "common.hpp"
+
+int main() {
+  using namespace fedpkd;
+  const bench::Scale scale = bench::current_scale();
+  bench::print_banner("Ablation — aggregation rules", scale);
+
+  const auto bundle = bench::make_bundle("synth10", scale);
+
+  // Variance-weighted vs mean logit aggregation inside the full algorithm.
+  {
+    bench::Table table({"logit aggregation", "S_acc", "C_acc"});
+    for (const auto& [name, display] :
+         std::vector<std::pair<std::string, std::string>>{
+             {"FedPKD", "variance-weighted (Eq.6-7)"},
+             {"FedPKD-meanagg", "mean (Eq.3)"}}) {
+      const auto history = bench::run(name, bundle,
+                                      fl::PartitionSpec::class_split(), scale);
+      table.add_row({display, bench::pct(history.best_server_accuracy()),
+                     bench::pct(history.best_client_accuracy())});
+    }
+    std::cout << "synth10 / class-split:\n";
+    table.print();
+    std::cout << "\n";
+  }
+
+  // Corrected vs literal Eq. (8) prototype scaling.
+  {
+    bench::Table table({"prototype scaling", "S_acc", "C_acc"});
+    for (const bool literal : {false, true}) {
+      auto fed = bench::make_federation(bundle,
+                                        fl::PartitionSpec::dirichlet(0.1),
+                                        scale);
+      auto options = bench::fedpkd_options(scale, "resmlp56");
+      options.paper_literal_prototype_scaling = literal;
+      core::FedPkd algo(*fed, options);
+      fl::RunOptions opts;
+      opts.rounds = scale.rounds;
+      const auto history = fl::run_federation(algo, *fed, opts);
+      table.add_row({literal ? "literal Eq.(8) (extra 1/|C_j|)"
+                             : "weighted mean (corrected)",
+                     bench::pct(history.best_server_accuracy()),
+                     bench::pct(history.best_client_accuracy())});
+    }
+    std::cout << "synth10 / dir(0.1):\n";
+    table.print();
+  }
+  return 0;
+}

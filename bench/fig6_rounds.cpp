@@ -1,0 +1,46 @@
+// Reproduces Fig. 6: accuracy as a function of the communication round under
+// a highly non-IID split (shards k=3 / dir(0.1)) with homogeneous models.
+// Prints one series per algorithm (server accuracy where a server model
+// exists, mean client accuracy otherwise). Expected shape: FedPKD's curve
+// dominates the baselines and converges in fewer rounds.
+
+#include "common.hpp"
+
+int main() {
+  using namespace fedpkd;
+  bench::Scale scale = bench::current_scale();
+  // Round curves need a few more points than the default run length.
+  scale.rounds = std::max<std::size_t>(scale.rounds, 8);
+  bench::print_banner("Fig. 6 — accuracy vs communication round (high skew)",
+                      scale);
+
+  const std::vector<std::string> algorithms = {
+      "FedAvg", "FedProx", "FedDF", "FedMD", "DS-FL", "FedET", "FedPKD"};
+
+  const auto bundle = bench::make_bundle("synth10", scale);
+  const auto spec = fl::PartitionSpec::dirichlet(0.1);
+
+  std::vector<fl::RunHistory> histories;
+  for (const std::string& algorithm : algorithms) {
+    histories.push_back(bench::run(algorithm, bundle, spec, scale));
+  }
+
+  std::vector<std::string> header{"round"};
+  for (const auto& h : histories) header.push_back(h.algorithm);
+  bench::Table table(header);
+  for (std::size_t t = 0; t < scale.rounds; ++t) {
+    std::vector<std::string> row{std::to_string(t)};
+    for (const auto& h : histories) {
+      const auto& m = h.rounds.at(t);
+      row.push_back(m.server_accuracy ? bench::pct(*m.server_accuracy)
+                                      : bench::pct(m.mean_client_accuracy) +
+                                            " (C)");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::cout << "\n(C) marks client accuracy for server-less algorithms.\n"
+            << "Paper expectation (measured deltas in EXPERIMENTS.md): FedPKD's series dominates and flattens "
+               "earliest.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Fig. 8: ablation of FedPKD's two prototype mechanisms under
+// highly non-IID splits (shards k=3/k=30 and dir(0.1)) on both datasets:
+//   w/o Pro  — prototype losses removed from server and client objectives;
+//   w/o D.F. — the prototype-based data filter disabled (full public set).
+// Expected shape: full FedPKD > both ablations on server accuracy, with
+// drops of a few points each (paper: ~7%/5% on CIFAR-10, ~2.5%/3.5% on
+// CIFAR-100).
+
+#include "common.hpp"
+
+int main() {
+  using namespace fedpkd;
+  const bench::Scale scale = bench::current_scale();
+  bench::print_banner("Fig. 8 — FedPKD component ablation (high skew)", scale);
+
+  const std::vector<std::pair<std::string, std::string>> variants = {
+      {"FedPKD", "full"},
+      {"FedPKD-noproto", "w/o Pro"},
+      {"FedPKD-nofilter", "w/o D.F."},
+  };
+
+  for (const std::string dataset : {"synth10", "synth100"}) {
+    const bool is100 = dataset == "synth100";
+    const std::size_t pool = is100 ? scale.train100 : scale.train10;
+    const std::size_t shard_size = is100 ? 10 : 20;
+    const std::size_t shards_per_client =
+        std::max<std::size_t>(1, pool / (scale.clients * shard_size));
+    const std::size_t k_high = is100 ? 30 : 3;
+    const std::vector<std::pair<std::string, fl::PartitionSpec>> settings = {
+        {"shards k=" + std::to_string(k_high),
+         fl::PartitionSpec::shards(k_high, shards_per_client, shard_size)},
+        {"dir(0.1)", fl::PartitionSpec::dirichlet(0.1)},
+    };
+    const auto bundle = bench::make_bundle(dataset, scale);
+    for (const auto& [label, spec] : settings) {
+      bench::Table table({"variant", "S_acc", "C_acc"});
+      for (const auto& [algo_name, display] : variants) {
+        const auto history = bench::run(algo_name, bundle, spec, scale);
+        table.add_row({display, bench::pct(history.best_server_accuracy()),
+                       bench::pct(history.best_client_accuracy())});
+      }
+      std::cout << dataset << " / " << label << ":\n";
+      table.print();
+      std::cout << "\n";
+    }
+  }
+  std::cout << "Paper expectation (measured deltas in EXPERIMENTS.md): the full variant leads S_acc in each "
+               "block; both ablations cost accuracy.\n";
+  return 0;
+}

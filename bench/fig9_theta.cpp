@@ -1,0 +1,39 @@
+// Reproduces Fig. 9: FedPKD server accuracy as a function of the data-filter
+// select ratio theta under highly non-IID splits. Expected shape: accuracy
+// declines as theta drops from 70% to 30% (too much filtering starves the
+// server of training data), i.e. theta=70% is the sweet spot the paper uses.
+
+#include "common.hpp"
+
+int main() {
+  using namespace fedpkd;
+  const bench::Scale scale = bench::current_scale();
+  bench::print_banner("Fig. 9 — sensitivity to filter ratio theta", scale);
+
+  const std::vector<float> thetas = {0.3f, 0.5f, 0.7f, 1.0f};
+
+  for (const std::string dataset : {"synth10", "synth100"}) {
+    const auto bundle = bench::make_bundle(dataset, scale);
+    const auto spec = fl::PartitionSpec::dirichlet(0.1);
+    bench::Table table({"theta", "S_acc", "C_acc", "total comm"});
+    for (float theta : thetas) {
+      auto fed = bench::make_federation(bundle, spec, scale);
+      auto options = bench::fedpkd_options(scale, "resmlp56");
+      options.select_ratio = theta;
+      core::FedPkd algo(*fed, options);
+      fl::RunOptions opts;
+      opts.rounds = scale.rounds;
+      const auto history = fl::run_federation(algo, *fed, opts);
+      table.add_row({bench::pct(theta),
+                     bench::pct(history.best_server_accuracy()),
+                     bench::pct(history.best_client_accuracy()),
+                     bench::mb(history.final_round().cumulative_bytes)});
+    }
+    std::cout << dataset << " / dir(0.1):\n";
+    table.print();
+    std::cout << "\n";
+  }
+  std::cout << "Paper expectation (measured deltas in EXPERIMENTS.md): S_acc declines from theta=70% down to "
+               "30%; traffic declines monotonically with theta.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Microbenchmarks for payload serialization — the per-round overhead every
+// federated algorithm pays on the simulated wire.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "fedpkd/comm/payload.hpp"
+#include "fedpkd/tensor/rng.hpp"
+
+namespace {
+
+using namespace fedpkd;
+using tensor::Rng;
+using tensor::Tensor;
+
+void BM_EncodeLogits(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  comm::LogitsPayload payload;
+  payload.sample_ids.resize(n);
+  std::iota(payload.sample_ids.begin(), payload.sample_ids.end(), 0u);
+  payload.logits = Tensor::randn({n, 10}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm::encode(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(4 * n * 10));
+}
+BENCHMARK(BM_EncodeLogits)->Arg(1000)->Arg(5000);
+
+void BM_DecodeLogits(benchmark::State& state) {
+  Rng rng(2);
+  comm::LogitsPayload payload;
+  payload.sample_ids.resize(5000);
+  std::iota(payload.sample_ids.begin(), payload.sample_ids.end(), 0u);
+  payload.logits = Tensor::randn({5000, 10}, rng);
+  const auto bytes = comm::encode(payload);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm::decode_logits(bytes));
+  }
+}
+BENCHMARK(BM_DecodeLogits);
+
+void BM_EncodeWeights(benchmark::State& state) {
+  Rng rng(3);
+  const comm::WeightsPayload payload{Tensor::randn({200000}, rng)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm::encode(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          800000);
+}
+BENCHMARK(BM_EncodeWeights);
+
+void BM_EncodePrototypes(benchmark::State& state) {
+  Rng rng(4);
+  comm::PrototypesPayload payload;
+  for (int j = 0; j < 100; ++j) {
+    payload.entries.push_back(
+        {j, 50, Tensor::randn({64}, rng)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm::encode(payload));
+  }
+}
+BENCHMARK(BM_EncodePrototypes);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Microbenchmarks for model forward/backward and training steps.
+
+#include <benchmark/benchmark.h>
+
+#include "fedpkd/fl/trainer.hpp"
+#include "fedpkd/nn/loss.hpp"
+#include "fedpkd/nn/model_zoo.hpp"
+#include "fedpkd/nn/optimizer.hpp"
+
+namespace {
+
+using namespace fedpkd;
+using tensor::Rng;
+using tensor::Tensor;
+
+void BM_ForwardBatch32(benchmark::State& state) {
+  Rng rng(1);
+  const std::string arch = nn::known_archs().at(
+      static_cast<std::size_t>(state.range(0)));
+  nn::Classifier model = nn::make_classifier(arch, 32, 10, rng);
+  const Tensor x = Tensor::randn({32, 32}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(x, /*train=*/false));
+  }
+  state.SetLabel(arch);
+}
+BENCHMARK(BM_ForwardBatch32)->DenseRange(0, 3);
+
+void BM_TrainStepBatch32(benchmark::State& state) {
+  Rng rng(2);
+  nn::Classifier model = nn::make_classifier("resmlp20", 32, 10, rng);
+  nn::Adam adam(model.parameters());
+  const Tensor x = Tensor::randn({32, 32}, rng);
+  std::vector<int> y(32);
+  for (std::size_t i = 0; i < 32; ++i) y[i] = static_cast<int>(i % 10);
+  for (auto _ : state) {
+    adam.zero_grad();
+    Tensor logits = model.forward(x, /*train=*/true);
+    auto [loss, grad] = nn::softmax_cross_entropy(logits, y);
+    model.backward(grad);
+    adam.step();
+    benchmark::DoNotOptimize(loss);
+  }
+}
+BENCHMARK(BM_TrainStepBatch32);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  Rng rng(3);
+  nn::Classifier model = nn::make_classifier("resmlp56", 32, 10, rng);
+  const Tensor x = Tensor::randn({256, 32}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fl::compute_features(model, x));
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_AdamStep(benchmark::State& state) {
+  Rng rng(4);
+  nn::Classifier model = nn::make_classifier("resmlp56", 32, 100, rng);
+  nn::Adam adam(model.parameters());
+  for (nn::Parameter* p : model.parameters()) p->grad.fill(0.01f);
+  for (auto _ : state) {
+    adam.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(model.parameter_count()));
+}
+BENCHMARK(BM_AdamStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Microbenchmarks for the tensor substrate hot loops (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "fedpkd/tensor/ops.hpp"
+#include "fedpkd/tensor/rng.hpp"
+
+namespace {
+
+using fedpkd::tensor::Rng;
+using fedpkd::tensor::Tensor;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fedpkd::tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatmulTransposeA(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fedpkd::tensor::matmul_transpose_a(a, b));
+  }
+}
+BENCHMARK(BM_MatmulTransposeA)->Arg(64);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Rng rng(3);
+  const Tensor logits = Tensor::randn({512, 100}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fedpkd::tensor::softmax_rows(logits));
+  }
+}
+BENCHMARK(BM_SoftmaxRows);
+
+void BM_VariancePerRow(benchmark::State& state) {
+  Rng rng(4);
+  const Tensor logits = Tensor::randn({1024, 100}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fedpkd::tensor::variance_per_row(logits));
+  }
+}
+BENCHMARK(BM_VariancePerRow);
+
+void BM_Axpy(benchmark::State& state) {
+  Rng rng(5);
+  Tensor a = Tensor::randn({100000}, rng);
+  const Tensor b = Tensor::randn({100000}, rng);
+  for (auto _ : state) {
+    fedpkd::tensor::axpy_inplace(a, 0.001f, b);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_Axpy);
+
+void BM_RngNormal(benchmark::State& state) {
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.normal());
+  }
+}
+BENCHMARK(BM_RngNormal);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+/// Scenario: plugging a user-supplied dataset into the library. The FL stack
+/// only requires a data::Dataset (a [n, d] float feature matrix + integer
+/// labels), so any tabular/embedded data source works. Here we hand-build a
+/// small two-moons-style binary task, run FedPKD on it, and poke at the
+/// prototype geometry the algorithm learned.
+///
+/// Build & run:  ./build/examples/custom_dataset
+
+#include <cmath>
+#include <iostream>
+
+#include "fedpkd/core/fedpkd.hpp"
+#include "fedpkd/fl/federation.hpp"
+#include "fedpkd/tensor/ops.hpp"
+
+namespace {
+
+using namespace fedpkd;
+
+/// Classic two-moons in 2-D, lifted to 8-D with a fixed random linear map so
+/// the MLPs have something to work with. The same `lift` must be used for
+/// every split or train and test would live in different feature spaces.
+data::Dataset two_moons(std::size_t n, const tensor::Tensor& lift,
+                        tensor::Rng& rng) {
+  tensor::Tensor x2({n, 2});
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(i % 2);
+    labels[i] = cls;
+    const double t = rng.uniform(0.0, M_PI);
+    const double noise_x = rng.normal(0.0, 0.12);
+    const double noise_y = rng.normal(0.0, 0.12);
+    if (cls == 0) {
+      x2[i * 2 + 0] = static_cast<float>(std::cos(t) + noise_x);
+      x2[i * 2 + 1] = static_cast<float>(std::sin(t) + noise_y);
+    } else {
+      x2[i * 2 + 0] = static_cast<float>(1.0 - std::cos(t) + noise_x);
+      x2[i * 2 + 1] = static_cast<float>(0.5 - std::sin(t) + noise_y);
+    }
+  }
+  return data::Dataset(tensor::matmul(x2, lift), std::move(labels), 2);
+}
+
+}  // namespace
+
+int main() {
+  using namespace fedpkd;
+  tensor::Rng rng(77);
+
+  // Build the three splits yourself — the bundle is just three Datasets.
+  data::FederatedDataBundle bundle;
+  const tensor::Tensor lift = tensor::Tensor::randn({2, 8}, rng, 0.0f, 1.0f);
+  bundle.train_pool = two_moons(1200, lift, rng);
+  bundle.test_global = two_moons(600, lift, rng);
+  bundle.public_data = two_moons(400, lift, rng);
+
+  fl::FederationConfig config;
+  config.num_clients = 4;
+  config.client_archs = {"resmlp11"};
+  config.seed = 9;
+  auto fed = fl::build_federation(bundle, fl::PartitionSpec::dirichlet(0.4),
+                                  config);
+
+  core::FedPkd::Options options;
+  options.local_epochs = 3;
+  options.public_epochs = 2;
+  options.server_epochs = 6;
+  options.server_arch = "resmlp20";
+  core::FedPkd algo(*fed, options);
+
+  fl::RunOptions run;
+  run.rounds = 4;
+  run.log = &std::cout;
+  const fl::RunHistory history = fl::run_federation(algo, *fed, run);
+  std::cout << "\nfinal S_acc=" << *history.final_round().server_accuracy
+            << "\n";
+
+  // Inspect the learned global prototypes: for a well-trained model the two
+  // class prototypes should be far apart relative to feature noise.
+  if (algo.global_prototypes()) {
+    const core::PrototypeSet& protos = *algo.global_prototypes();
+    if (protos.present[0] && protos.present[1]) {
+      const float gap = tensor::l2_distance(protos.matrix.row_copy(0),
+                                            protos.matrix.row_copy(1));
+      std::cout << "prototype separation between the two moons: " << gap
+                << " (support " << protos.support[0] << " / "
+                << protos.support[1] << " samples)\n";
+    }
+  }
+  return 0;
+}

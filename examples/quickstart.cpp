@@ -1,0 +1,58 @@
+/// Quickstart: run FedPKD on a small non-IID federation of Synth-10 clients.
+///
+/// Demonstrates the minimal public-API path:
+///   dataset bundle -> partition spec -> federation -> FedPkd -> run.
+///
+/// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "fedpkd/core/fedpkd.hpp"
+#include "fedpkd/data/stats.hpp"
+#include "fedpkd/data/synthetic_vision.hpp"
+#include "fedpkd/fl/federation.hpp"
+
+int main() {
+  using namespace fedpkd;
+
+  // 1. A CIFAR-10-like synthetic task: 4000 train / 1500 test / 800 public.
+  const data::SyntheticVision task(data::SyntheticVisionConfig::synth10());
+  const data::FederatedDataBundle bundle = task.make_bundle(4000, 1500, 800);
+
+  // 2. Six clients with a Dirichlet(0.3) label-skew split.
+  fl::FederationConfig config;
+  config.num_clients = 6;
+  config.client_archs = {"resmlp20"};
+  config.seed = 7;
+  auto fed = fl::build_federation(bundle,
+                                  fl::PartitionSpec::dirichlet(0.3), config);
+
+  std::cout << "Federation: " << fed->num_clients() << " clients, "
+            << fed->num_classes << " classes\n";
+  std::cout << "Client 0 local data: " << fed->clients[0].train_data.size()
+            << " samples across "
+            << fed->clients[0].train_data.present_classes().size()
+            << " classes\n\n";
+
+  // 3. FedPKD with a larger server model and all mechanisms on.
+  core::FedPkd::Options options;
+  options.local_epochs = 3;
+  options.public_epochs = 2;
+  options.server_epochs = 6;
+  options.server_arch = "resmlp56";
+  core::FedPkd algorithm(*fed, options);
+
+  // 4. Run five communication rounds with per-round logging.
+  fl::RunOptions run;
+  run.rounds = 5;
+  run.log = &std::cout;
+  const fl::RunHistory history = fl::run_federation(algorithm, *fed, run);
+
+  const auto& last = history.final_round();
+  std::cout << "\nFinal: S_acc=" << *last.server_accuracy
+            << " C_acc=" << last.mean_client_accuracy << " total traffic="
+            << comm::Meter::to_mb(last.cumulative_bytes) << " MB\n";
+  std::cout << "Filter kept " << algorithm.last_filter_keep_fraction() * 100
+            << "% of the public set in the last round\n";
+  return 0;
+}

@@ -1,0 +1,20 @@
+#include "fedpkd/comm/channel.hpp"
+
+#include <stdexcept>
+
+namespace fedpkd::comm {
+
+void Channel::set_drop_probability(double p, tensor::Rng rng) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("Channel: drop probability must be in [0,1]");
+  }
+  drop_probability_ = p;
+  drop_rng_ = rng;
+}
+
+bool Channel::should_drop() {
+  if (drop_probability_ <= 0.0) return false;
+  return drop_rng_.uniform() < drop_probability_;
+}
+
+}  // namespace fedpkd::comm

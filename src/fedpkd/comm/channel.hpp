@@ -1,0 +1,46 @@
+#pragma once
+
+#include <optional>
+
+#include "fedpkd/comm/meter.hpp"
+#include "fedpkd/tensor/rng.hpp"
+
+namespace fedpkd::comm {
+
+/// In-process star-topology network between the server and its clients.
+///
+/// send() serializes the payload (for real — the receiving side decodes the
+/// bytes, so any algorithm that "cheats" by sharing pointers fails its
+/// round-trip), charges the Meter, and returns the wire bytes for the
+/// receiver to decode. An optional per-message drop probability supports
+/// failure-injection tests; a dropped message is *not* charged, matching a
+/// sender that detects a dead link before transmitting.
+class Channel {
+ public:
+  explicit Channel(Meter& meter) : meter_(&meter) {}
+
+  /// Simulate an unreliable link. p in [0, 1]; default 0 (reliable).
+  void set_drop_probability(double p, tensor::Rng rng);
+
+  /// Transmits encoded bytes; returns nullopt if the message was dropped.
+  template <typename Payload>
+  std::optional<std::vector<std::byte>> send(NodeId from, NodeId to,
+                                             const Payload& payload) {
+    std::vector<std::byte> bytes = encode(payload);
+    if (should_drop()) return std::nullopt;
+    meter_->record({meter_->current_round(), from, to, peek_kind(bytes),
+                    bytes.size()});
+    return bytes;
+  }
+
+  Meter& meter() { return *meter_; }
+
+ private:
+  bool should_drop();
+
+  Meter* meter_;
+  double drop_probability_ = 0.0;
+  tensor::Rng drop_rng_{0};
+};
+
+}  // namespace fedpkd::comm

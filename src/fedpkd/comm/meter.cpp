@@ -1,0 +1,77 @@
+#include "fedpkd/comm/meter.hpp"
+
+#include <cstdio>
+
+namespace fedpkd::comm {
+
+void Meter::record(const TrafficRecord& record) {
+  records_.push_back(record);
+}
+
+std::size_t Meter::total() const {
+  std::size_t n = 0;
+  for (const auto& r : records_) n += r.bytes;
+  return n;
+}
+
+std::size_t Meter::total_uplink() const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.to == kServerId) n += r.bytes;
+  }
+  return n;
+}
+
+std::size_t Meter::total_downlink() const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.from == kServerId) n += r.bytes;
+  }
+  return n;
+}
+
+std::size_t Meter::total_for_kind(PayloadKind kind) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.kind == kind) n += r.bytes;
+  }
+  return n;
+}
+
+std::size_t Meter::total_for_client(NodeId client) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.from == client || r.to == client) n += r.bytes;
+  }
+  return n;
+}
+
+std::size_t Meter::total_for_round(std::size_t round) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.round == round) n += r.bytes;
+  }
+  return n;
+}
+
+double Meter::mean_per_client(std::size_t num_clients) const {
+  if (num_clients == 0) return 0.0;
+  return static_cast<double>(total()) / static_cast<double>(num_clients);
+}
+
+void Meter::clear() {
+  records_.clear();
+  current_round_ = 0;
+}
+
+double Meter::bytes_to_mb(std::size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+std::string Meter::to_mb(std::size_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", bytes_to_mb(bytes));
+  return buf;
+}
+
+}  // namespace fedpkd::comm

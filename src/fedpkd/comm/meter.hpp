@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fedpkd/comm/payload.hpp"
+
+namespace fedpkd::comm {
+
+/// Logical node ids on the simulated network: the server is kServerId and
+/// clients are 0..C-1.
+using NodeId = std::int32_t;
+inline constexpr NodeId kServerId = -1;
+
+/// One transmission record.
+struct TrafficRecord {
+  std::size_t round = 0;
+  NodeId from = kServerId;
+  NodeId to = kServerId;
+  PayloadKind kind = PayloadKind::kWeights;
+  std::size_t bytes = 0;
+};
+
+/// Byte-exact traffic accounting for a federated run.
+///
+/// Every Channel::send charges the serialized payload size here. Experiments
+/// read totals per client / per round / per kind, which is exactly the
+/// quantity the paper's Fig. 3 and Table I report ("communication overhead
+/// consumed to reach the target model accuracy").
+class Meter {
+ public:
+  void record(const TrafficRecord& record);
+
+  /// Advances the round counter used to stamp subsequent records.
+  void begin_round(std::size_t round) { current_round_ = round; }
+  std::size_t current_round() const { return current_round_; }
+
+  /// -- Aggregations (bytes) -------------------------------------------------
+
+  std::size_t total() const;
+  std::size_t total_uplink() const;    // client -> server
+  std::size_t total_downlink() const;  // server -> client
+  std::size_t total_for_kind(PayloadKind kind) const;
+  std::size_t total_for_client(NodeId client) const;  // both directions
+  std::size_t total_for_round(std::size_t round) const;
+  /// Mean over clients of per-client traffic ("overhead per client").
+  double mean_per_client(std::size_t num_clients) const;
+
+  const std::vector<TrafficRecord>& records() const { return records_; }
+  void clear();
+
+  /// Formats bytes as mebibytes with two decimals, e.g. "12.34".
+  static std::string to_mb(std::size_t bytes);
+  static double bytes_to_mb(std::size_t bytes);
+
+ private:
+  std::vector<TrafficRecord> records_;
+  std::size_t current_round_ = 0;
+};
+
+}  // namespace fedpkd::comm

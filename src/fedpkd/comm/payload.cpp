@@ -1,0 +1,143 @@
+#include "fedpkd/comm/payload.hpp"
+
+#include <stdexcept>
+
+namespace fedpkd::comm {
+
+using tensor::decode_tensor;
+using tensor::encode_tensor;
+using tensor::get_u32;
+using tensor::put_u32;
+
+namespace {
+
+void put_kind(PayloadKind kind, std::vector<std::byte>& out) {
+  out.push_back(static_cast<std::byte>(kind));
+}
+
+PayloadKind take_kind(std::span<const std::byte> bytes, std::size_t& offset,
+                      PayloadKind expected) {
+  if (offset >= bytes.size()) {
+    throw std::runtime_error("payload: empty buffer");
+  }
+  const auto kind = static_cast<PayloadKind>(bytes[offset++]);
+  if (kind != expected) {
+    throw std::runtime_error(std::string("payload: expected kind ") +
+                             to_string(expected) + ", got " + to_string(kind));
+  }
+  return kind;
+}
+
+void finish(std::span<const std::byte> bytes, std::size_t offset) {
+  if (offset != bytes.size()) {
+    throw std::runtime_error("payload: trailing bytes");
+  }
+}
+
+}  // namespace
+
+const char* to_string(PayloadKind kind) {
+  switch (kind) {
+    case PayloadKind::kWeights:
+      return "weights";
+    case PayloadKind::kLogits:
+      return "logits";
+    case PayloadKind::kPrototypes:
+      return "prototypes";
+  }
+  return "unknown";
+}
+
+std::vector<std::byte> encode(const WeightsPayload& payload) {
+  std::vector<std::byte> out;
+  out.reserve(1 + tensor::encoded_size(payload.flat.shape()));
+  put_kind(PayloadKind::kWeights, out);
+  encode_tensor(payload.flat, out);
+  return out;
+}
+
+std::vector<std::byte> encode(const LogitsPayload& payload) {
+  if (payload.logits.rank() != 2 ||
+      payload.logits.rows() != payload.sample_ids.size()) {
+    throw std::invalid_argument(
+        "encode(LogitsPayload): sample_ids/logits mismatch");
+  }
+  std::vector<std::byte> out;
+  put_kind(PayloadKind::kLogits, out);
+  put_u32(static_cast<std::uint32_t>(payload.sample_ids.size()), out);
+  for (std::uint32_t id : payload.sample_ids) put_u32(id, out);
+  encode_tensor(payload.logits, out);
+  return out;
+}
+
+std::vector<std::byte> encode(const PrototypesPayload& payload) {
+  std::vector<std::byte> out;
+  put_kind(PayloadKind::kPrototypes, out);
+  put_u32(static_cast<std::uint32_t>(payload.entries.size()), out);
+  for (const PrototypeEntry& e : payload.entries) {
+    if (e.centroid.rank() != 1) {
+      throw std::invalid_argument(
+          "encode(PrototypesPayload): centroid must be rank-1");
+    }
+    put_u32(static_cast<std::uint32_t>(e.class_id), out);
+    put_u32(e.support, out);
+    encode_tensor(e.centroid, out);
+  }
+  return out;
+}
+
+WeightsPayload decode_weights(std::span<const std::byte> bytes) {
+  std::size_t offset = 0;
+  take_kind(bytes, offset, PayloadKind::kWeights);
+  WeightsPayload payload{decode_tensor(bytes, offset)};
+  finish(bytes, offset);
+  return payload;
+}
+
+LogitsPayload decode_logits(std::span<const std::byte> bytes) {
+  std::size_t offset = 0;
+  take_kind(bytes, offset, PayloadKind::kLogits);
+  const std::uint32_t n = get_u32(bytes, offset);
+  LogitsPayload payload;
+  payload.sample_ids.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    payload.sample_ids.push_back(get_u32(bytes, offset));
+  }
+  payload.logits = decode_tensor(bytes, offset);
+  finish(bytes, offset);
+  if (payload.logits.rank() != 2 || payload.logits.rows() != n) {
+    throw std::runtime_error("decode_logits: row count mismatch");
+  }
+  return payload;
+}
+
+PrototypesPayload decode_prototypes(std::span<const std::byte> bytes) {
+  std::size_t offset = 0;
+  take_kind(bytes, offset, PayloadKind::kPrototypes);
+  const std::uint32_t n = get_u32(bytes, offset);
+  PrototypesPayload payload;
+  payload.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PrototypeEntry e;
+    e.class_id = static_cast<std::int32_t>(get_u32(bytes, offset));
+    e.support = get_u32(bytes, offset);
+    e.centroid = decode_tensor(bytes, offset);
+    payload.entries.push_back(std::move(e));
+  }
+  finish(bytes, offset);
+  return payload;
+}
+
+PayloadKind peek_kind(std::span<const std::byte> bytes) {
+  if (bytes.empty()) throw std::runtime_error("peek_kind: empty buffer");
+  const auto kind = static_cast<PayloadKind>(bytes[0]);
+  switch (kind) {
+    case PayloadKind::kWeights:
+    case PayloadKind::kLogits:
+    case PayloadKind::kPrototypes:
+      return kind;
+  }
+  throw std::runtime_error("peek_kind: unknown kind tag");
+}
+
+}  // namespace fedpkd::comm

@@ -1,0 +1,105 @@
+#include "fedpkd/core/aggregation.hpp"
+
+#include <stdexcept>
+
+#include "fedpkd/tensor/ops.hpp"
+
+namespace fedpkd::core {
+
+namespace {
+
+void check_inputs(std::span<const Tensor> client_logits, const char* what) {
+  if (client_logits.empty()) {
+    throw std::invalid_argument(std::string(what) + ": no client logits");
+  }
+  const Tensor& first = client_logits.front();
+  if (first.rank() != 2) {
+    throw std::invalid_argument(std::string(what) + ": logits must be rank-2");
+  }
+  for (const Tensor& t : client_logits) {
+    if (!t.same_shape(first)) {
+      throw std::invalid_argument(std::string(what) +
+                                  ": client logits shapes differ");
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(LogitAggregation aggregation) {
+  switch (aggregation) {
+    case LogitAggregation::kVarianceWeighted:
+      return "variance-weighted";
+    case LogitAggregation::kMean:
+      return "mean";
+  }
+  return "unknown";
+}
+
+Tensor variance_aggregation_weights(std::span<const Tensor> client_logits) {
+  check_inputs(client_logits, "variance_aggregation_weights");
+  const std::size_t clients = client_logits.size();
+  const std::size_t n = client_logits.front().rows();
+  Tensor weights({clients, n});
+  // Var(M_c(x_i)) per client/sample.
+  for (std::size_t c = 0; c < clients; ++c) {
+    const Tensor var = tensor::variance_per_row(client_logits[c]);
+    weights.set_row(c, var.flat());
+  }
+  // Normalize per sample (column); uniform fallback when the column sum
+  // vanishes (all clients emitted flat logits for that sample).
+  constexpr float kTiny = 1e-12f;
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < clients; ++c) sum += weights[c * n + i];
+    if (sum <= kTiny) {
+      const float uniform = 1.0f / static_cast<float>(clients);
+      for (std::size_t c = 0; c < clients; ++c) weights[c * n + i] = uniform;
+    } else {
+      const float inv = static_cast<float>(1.0 / sum);
+      for (std::size_t c = 0; c < clients; ++c) weights[c * n + i] *= inv;
+    }
+  }
+  return weights;
+}
+
+Tensor aggregate_logits_variance_weighted(
+    std::span<const Tensor> client_logits) {
+  check_inputs(client_logits, "aggregate_logits_variance_weighted");
+  const Tensor weights = variance_aggregation_weights(client_logits);
+  const std::size_t clients = client_logits.size();
+  const std::size_t n = client_logits.front().rows();
+  const std::size_t k = client_logits.front().cols();
+  Tensor out({n, k});
+  for (std::size_t c = 0; c < clients; ++c) {
+    const Tensor& logits = client_logits[c];
+    for (std::size_t i = 0; i < n; ++i) {
+      const float w = weights[c * n + i];
+      for (std::size_t j = 0; j < k; ++j) {
+        out[i * k + j] += w * logits[i * k + j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor aggregate_logits_mean(std::span<const Tensor> client_logits) {
+  check_inputs(client_logits, "aggregate_logits_mean");
+  Tensor out(client_logits.front().shape());
+  for (const Tensor& t : client_logits) tensor::add_inplace(out, t);
+  tensor::scale_inplace(out, 1.0f / static_cast<float>(client_logits.size()));
+  return out;
+}
+
+Tensor aggregate_logits(LogitAggregation aggregation,
+                        std::span<const Tensor> client_logits) {
+  switch (aggregation) {
+    case LogitAggregation::kVarianceWeighted:
+      return aggregate_logits_variance_weighted(client_logits);
+    case LogitAggregation::kMean:
+      return aggregate_logits_mean(client_logits);
+  }
+  throw std::logic_error("aggregate_logits: unknown aggregation");
+}
+
+}  // namespace fedpkd::core

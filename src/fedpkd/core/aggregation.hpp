@@ -1,0 +1,38 @@
+#pragma once
+
+#include <span>
+
+#include "fedpkd/tensor/tensor.hpp"
+
+namespace fedpkd::core {
+
+using tensor::Tensor;
+
+/// How client logits over the public dataset are fused into the global
+/// knowledge S^t (kVarianceWeighted is FedPKD's Eq. 6-7; kMean is the FedMD
+/// baseline rule kept for the aggregation ablation).
+enum class LogitAggregation { kVarianceWeighted, kMean };
+
+const char* to_string(LogitAggregation aggregation);
+
+/// FedPKD Eq. (6)-(7): per-sample fusion where client c's logits for sample i
+/// are weighted by Var(M_c(x_i)) / sum_k Var(M_k(x_i)). A high-variance logit
+/// vector means a peaked, confident prediction, so confident clients dominate
+/// each sample's aggregate. All inputs must be [n, classes] with equal shape.
+/// If every client has (near-)zero variance on a sample, the weights fall
+/// back to uniform for that sample.
+Tensor aggregate_logits_variance_weighted(std::span<const Tensor> client_logits);
+
+/// Plain per-sample mean of client logits (Eq. 3).
+Tensor aggregate_logits_mean(std::span<const Tensor> client_logits);
+
+/// Dispatch on the enum.
+Tensor aggregate_logits(LogitAggregation aggregation,
+                        std::span<const Tensor> client_logits);
+
+/// Per-sample aggregation weights beta_c^t(x_i) of Eq. (7), returned as a
+/// [clients, n] tensor (each column sums to 1). Exposed separately so tests
+/// and the Fig. 2 experiment can inspect the weighting directly.
+Tensor variance_aggregation_weights(std::span<const Tensor> client_logits);
+
+}  // namespace fedpkd::core

@@ -1,0 +1,195 @@
+#include "fedpkd/core/fedpkd.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "fedpkd/nn/model_zoo.hpp"
+#include "fedpkd/tensor/ops.hpp"
+
+namespace fedpkd::core {
+
+namespace {
+
+nn::Classifier make_server_model(const std::string& arch,
+                                 const fl::Federation& fed,
+                                 std::uint64_t salt) {
+  tensor::Rng rng = fed.rng.split(salt);
+  return nn::make_classifier(arch, fed.input_dim, fed.num_classes, rng);
+}
+
+}  // namespace
+
+FedPkd::FedPkd(fl::Federation& fed, Options options)
+    : options_(options),
+      server_(make_server_model(options.server_arch, fed, 0x504b44)),
+      server_rng_(fed.rng.split(0x504b45)) {
+  if (options_.select_ratio <= 0.0f || options_.select_ratio > 1.0f) {
+    throw std::invalid_argument("FedPkd: select_ratio must be in (0, 1]");
+  }
+  if (options_.gamma < 0.0f || options_.gamma > 1.0f ||
+      options_.delta < 0.0f || options_.delta > 1.0f) {
+    throw std::invalid_argument("FedPkd: gamma/delta must be in [0, 1]");
+  }
+  for (const fl::Client& client : fed.clients) {
+    if (client.model.feature_dim() != server_.feature_dim()) {
+      throw std::invalid_argument(
+          "FedPkd: all models must share the prototype feature dimension");
+    }
+  }
+}
+
+std::string FedPkd::name() const {
+  std::string n = "FedPKD";
+  if (!options_.use_prototypes) n += "(w/o Pro)";
+  if (!options_.use_filter) n += "(w/o D.F.)";
+  if (options_.aggregation == LogitAggregation::kMean) n += "(mean-agg)";
+  return n;
+}
+
+void FedPkd::run_round(fl::Federation& fed, std::size_t round) {
+  const std::size_t public_n = fed.public_data.size();
+  std::vector<std::uint32_t> all_ids(public_n);
+  std::iota(all_ids.begin(), all_ids.end(), 0u);
+
+  // ---- 1. ClientPriTrain (Eq. 4 in round 0, Eq. 16 afterwards) ------------
+  const bool have_prototypes =
+      options_.use_prototypes && global_prototypes_.has_value();
+  for (fl::Client& client : fed.active()) {
+    fl::TrainOptions opts;
+    opts.epochs = options_.local_epochs;
+    opts.batch_size = client.config.batch_size;
+    opts.lr = client.config.lr;
+    if (have_prototypes) {
+      opts.prototype_matrix = &global_prototypes_->matrix;
+      opts.prototype_class_present = &global_prototypes_->present;
+      opts.prototype_epsilon = options_.epsilon;
+    }
+    fl::train_supervised(client.model, client.train_data, opts, client.rng);
+  }
+
+  // ---- 2. Dual knowledge transfer: logits + prototypes to the server ------
+  // Clients ship their *softened* outputs (softmax at the configured
+  // temperature). Aggregating in probability space is essential: raw logit
+  // magnitudes let a specialist that is confidently wrong off-distribution
+  // dominate Eq. (6)'s weighting, whereas probability vectors bound every
+  // client's vote and make Var(.) a proper confidence signal (this matches
+  // how FedDF/DS-FL exchange "logits" and is ablated in abl_aggregation).
+  std::vector<tensor::Tensor> client_logits;
+  std::vector<PrototypeSet> client_prototypes;
+  client_logits.reserve(fed.clients.size());
+  client_prototypes.reserve(fed.clients.size());
+  for (fl::Client& client : fed.active()) {
+    tensor::Tensor probs = tensor::softmax_rows(
+        fl::compute_logits(client.model, fed.public_data.features),
+        options_.temperature);
+    auto logits_wire =
+        fed.channel.send(client.id, comm::kServerId,
+                         comm::LogitsPayload{all_ids, std::move(probs)});
+    const PrototypeSet local =
+        compute_local_prototypes(client.model, client.train_data);
+    auto proto_wire =
+        fed.channel.send(client.id, comm::kServerId, to_payload(local));
+    // Dual knowledge is all-or-nothing: a client whose upload partially
+    // failed is skipped this round, exactly like a straggler drop-out.
+    if (!logits_wire || !proto_wire) continue;
+    client_logits.push_back(comm::decode_logits(*logits_wire).logits);
+    client_prototypes.push_back(
+        from_payload(comm::decode_prototypes(*proto_wire), fed.num_classes,
+                     server_.feature_dim()));
+  }
+  if (client_logits.empty()) return;
+
+  // ---- 3a. Aggregate knowledge (Eq. 6-7) and prototypes (Eq. 8) -----------
+  // A convex combination of probability rows is itself a distribution, so
+  // the aggregate S^t doubles as the distillation teacher without another
+  // softmax.
+  const tensor::Tensor aggregated =
+      aggregate_logits(options_.aggregation, client_logits);
+  PrototypeSet global = aggregate_prototypes(
+      client_prototypes, options_.paper_literal_prototype_scaling);
+
+  // ---- 3b. Prototype-based data filtering (Algorithm 1) -------------------
+  FilterResult filter;
+  const bool prototype_free_strategy =
+      options_.filter_strategy == FilterStrategy::kEntropy ||
+      options_.filter_strategy == FilterStrategy::kMargin;
+  if (options_.use_filter &&
+      (options_.use_prototypes || prototype_free_strategy)) {
+    filter = filter_public_data_ext(server_, fed.public_data.features,
+                                    aggregated, global, options_.select_ratio,
+                                    options_.filter_strategy);
+  } else {
+    // Ablation: keep everything, but still pseudo-label via Eq. (9).
+    filter.pseudo_labels = tensor::argmax_rows(aggregated);
+    filter.selected.resize(public_n);
+    std::iota(filter.selected.begin(), filter.selected.end(), 0);
+    filter.distances.assign(public_n, 0.0f);
+  }
+  last_keep_fraction_ = public_n == 0
+                            ? 1.0f
+                            : static_cast<float>(filter.selected.size()) /
+                                  static_cast<float>(public_n);
+
+  // ---- 3c. Prototype-based ensemble distillation (Eq. 11-13) --------------
+  const tensor::Tensor selected_inputs =
+      fed.public_data.features.gather_rows(filter.selected);
+  tensor::Tensor selected_teacher = aggregated.gather_rows(filter.selected);
+  std::vector<int> selected_pseudo;
+  selected_pseudo.reserve(filter.selected.size());
+  for (std::size_t i : filter.selected) {
+    selected_pseudo.push_back(filter.pseudo_labels[i]);
+  }
+  ServerDistillOptions distill_opts;
+  distill_opts.epochs = options_.server_epochs;
+  distill_opts.batch_size = options_.distill_batch;
+  distill_opts.lr = fed.clients.front().config.lr;
+  distill_opts.delta = options_.use_prototypes ? options_.delta : 1.0f;
+  distill_opts.temperature = options_.temperature;
+  distill_opts.use_prototype_loss = options_.use_prototypes;
+  distill_opts.confidence_weighted = options_.confidence_weighted_distill;
+  server_ensemble_distill(server_, selected_inputs, selected_teacher,
+                          selected_pseudo, global, distill_opts, server_rng_);
+
+  // ---- 4. Server knowledge transfer (Eq. 14-15) ---------------------------
+  // Only the filtered subset's logits travel downlink (Section IV-C), which
+  // is where FedPKD's communication savings come from.
+  std::vector<std::uint32_t> selected_ids;
+  selected_ids.reserve(filter.selected.size());
+  for (std::size_t i : filter.selected) {
+    selected_ids.push_back(static_cast<std::uint32_t>(i));
+  }
+  tensor::Tensor server_probs = tensor::softmax_rows(
+      fl::compute_logits(server_, selected_inputs), options_.temperature);
+  const comm::PrototypesPayload proto_payload = to_payload(global);
+
+  for (fl::Client& client : fed.active()) {
+    auto logits_wire =
+        fed.channel.send(comm::kServerId, client.id,
+                         comm::LogitsPayload{selected_ids, server_probs});
+    auto proto_wire =
+        fed.channel.send(comm::kServerId, client.id, proto_payload);
+    if (!logits_wire || !proto_wire) continue;
+    const auto payload = comm::decode_logits(*logits_wire);
+
+    // Eq. (14): pseudo-labels from the *server* logits; Eq. (15): digest.
+    fl::DistillSet set;
+    std::vector<std::size_t> rows(payload.sample_ids.size());
+    for (std::size_t i = 0; i < payload.sample_ids.size(); ++i) {
+      rows[i] = payload.sample_ids[i];
+    }
+    set.inputs = fed.public_data.features.gather_rows(rows);
+    set.teacher_probs = payload.logits;  // already probability rows
+    set.pseudo_labels = tensor::argmax_rows(payload.logits);
+    fl::TrainOptions opts;
+    opts.epochs = options_.public_epochs;
+    opts.batch_size = client.config.batch_size;
+    opts.lr = client.config.lr;
+    fl::train_distill(client.model, set, options_.gamma, opts, client.rng,
+                      options_.temperature);
+  }
+
+  global_prototypes_ = std::move(global);
+  (void)round;
+}
+
+}  // namespace fedpkd::core

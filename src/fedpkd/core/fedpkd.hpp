@@ -1,0 +1,76 @@
+#pragma once
+
+#include <optional>
+
+#include "fedpkd/core/aggregation.hpp"
+#include "fedpkd/core/distill.hpp"
+#include "fedpkd/core/filter_ext.hpp"
+#include "fedpkd/fl/federation.hpp"
+
+namespace fedpkd::core {
+
+/// FedPKD — the paper's prototype-based knowledge distillation framework
+/// (Algorithm 2), with every component switchable for the ablation studies:
+///
+///  round t:
+///   1. ClientPriTrain: supervised local training; from round 1 onward the
+///      prototype regularizer of Eq. (16) pulls client features toward the
+///      global prototypes of the previous round.
+///   2. Dual knowledge transfer: each client uploads its public-set logits
+///      and its local prototypes (Eq. 5).
+///   3. Server aggregates logits (Eq. 6-7) and prototypes (Eq. 8), filters
+///      the public set (Algorithm 1), and trains the server model with
+///      prototype-based ensemble distillation (Eq. 11-13).
+///   4. Server knowledge transfer: server logits for the *filtered* subset
+///      plus the global prototypes go back to every client, which digests
+///      them via Eq. (14)-(15).
+class FedPkd : public fl::Algorithm {
+ public:
+  struct Options {
+    std::size_t local_epochs = 15;   // e_{c,tr}
+    std::size_t public_epochs = 10;  // e_{c,p}
+    std::size_t server_epochs = 40;  // e_s
+    float select_ratio = 0.7f;       // theta
+    float delta = 0.5f;              // server loss balance (Eq. 13)
+    float gamma = 0.5f;              // client public loss balance (Eq. 15)
+    float epsilon = 0.5f;            // client prototype weight (Eq. 16)
+    float temperature = 1.0f;
+    std::string server_arch = "resmlp56";
+    std::size_t distill_batch = 32;
+    LogitAggregation aggregation = LogitAggregation::kVarianceWeighted;
+    /// Ablations (Fig. 8): "w/o Pro" disables both prototype losses;
+    /// "w/o D.F." trains on the unfiltered public set.
+    bool use_prototypes = true;
+    bool use_filter = true;
+    /// Fidelity switch for the literal Eq. (8) scaling (see prototype.hpp).
+    bool paper_literal_prototype_scaling = false;
+    /// Future-work extensions (Section VII): alternative filter scores and
+    /// confidence-weighted ensemble distillation. Defaults reproduce the
+    /// paper exactly; bench/abl_filter_strategies sweeps the alternatives.
+    FilterStrategy filter_strategy = FilterStrategy::kPrototypeDistance;
+    bool confidence_weighted_distill = false;
+  };
+
+  FedPkd(fl::Federation& fed, Options options);
+
+  std::string name() const override;
+  void run_round(fl::Federation& fed, std::size_t round) override;
+  nn::Classifier* server_model() override { return &server_; }
+
+  /// Global prototypes after the most recent round (empty before round 0).
+  const std::optional<PrototypeSet>& global_prototypes() const {
+    return global_prototypes_;
+  }
+  /// Fraction of the public set kept by the filter in the last round.
+  float last_filter_keep_fraction() const { return last_keep_fraction_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  nn::Classifier server_;
+  tensor::Rng server_rng_;
+  std::optional<PrototypeSet> global_prototypes_;
+  float last_keep_fraction_ = 1.0f;
+};
+
+}  // namespace fedpkd::core

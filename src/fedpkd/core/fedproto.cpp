@@ -1,0 +1,45 @@
+#include "fedpkd/core/fedproto.hpp"
+
+namespace fedpkd::core {
+
+void FedProto::run_round(fl::Federation& fed, std::size_t) {
+  const std::size_t feature_dim =
+      fed.clients.front().model.feature_dim();
+
+  // 1. Local training with the prototype regularizer once prototypes exist.
+  for (fl::Client& client : fed.active()) {
+    fl::TrainOptions opts;
+    opts.epochs = options_.local_epochs;
+    opts.batch_size = client.config.batch_size;
+    opts.lr = client.config.lr;
+    if (global_prototypes_) {
+      opts.prototype_matrix = &global_prototypes_->matrix;
+      opts.prototype_class_present = &global_prototypes_->present;
+      opts.prototype_epsilon = options_.prototype_weight;
+    }
+    fl::train_supervised(client.model, client.train_data, opts, client.rng);
+  }
+
+  // 2. Upload prototypes only; 3. aggregate; 4. broadcast.
+  std::vector<PrototypeSet> client_sets;
+  client_sets.reserve(fed.clients.size());
+  for (fl::Client& client : fed.active()) {
+    const PrototypeSet local =
+        compute_local_prototypes(client.model, client.train_data);
+    auto wire = fed.channel.send(client.id, comm::kServerId, to_payload(local));
+    if (!wire) continue;
+    client_sets.push_back(from_payload(comm::decode_prototypes(*wire),
+                                       fed.num_classes, feature_dim));
+  }
+  if (client_sets.empty()) return;
+  PrototypeSet global = aggregate_prototypes(client_sets);
+
+  const comm::PrototypesPayload payload = to_payload(global);
+  for (fl::Client& client : fed.active()) {
+    // The broadcast is charged per client; clients use it next round.
+    fed.channel.send(comm::kServerId, client.id, payload);
+  }
+  global_prototypes_ = std::move(global);
+}
+
+}  // namespace fedpkd::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <optional>
+
+#include "fedpkd/core/prototype.hpp"
+#include "fedpkd/fl/federation.hpp"
+
+namespace fedpkd::core {
+
+/// FedProto (Tan et al. 2021) — the prototype-only baseline from the paper's
+/// related work (Section VI-B).
+///
+/// Clients never exchange weights or logits: each round they train locally
+/// with a prototype regularizer against the previous global prototypes
+/// (exactly FedPKD's Eq. 16) and upload only their per-class prototypes; the
+/// server aggregates them (support-weighted mean, Eq. 8) and broadcasts the
+/// result. There is no server model and no public dataset involved — the
+/// limitation FedPKD's dual knowledge transfer addresses — which also makes
+/// FedProto the lightest-traffic baseline in the suite.
+class FedProto : public fl::Algorithm {
+ public:
+  struct Options {
+    std::size_t local_epochs = 10;
+    float prototype_weight = 0.5f;  // epsilon in Eq. (16)
+  };
+
+  explicit FedProto(Options options) : options_(options) {}
+
+  std::string name() const override { return "FedProto"; }
+  void run_round(fl::Federation& fed, std::size_t round) override;
+
+  const std::optional<PrototypeSet>& global_prototypes() const {
+    return global_prototypes_;
+  }
+
+ private:
+  Options options_;
+  std::optional<PrototypeSet> global_prototypes_;
+};
+
+}  // namespace fedpkd::core

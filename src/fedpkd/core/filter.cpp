@@ -1,0 +1,82 @@
+#include "fedpkd/core/filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fedpkd/tensor/ops.hpp"
+
+namespace fedpkd::core {
+
+FilterResult filter_public_data(Classifier& server_model,
+                                const Tensor& public_inputs,
+                                const Tensor& aggregated_logits,
+                                const PrototypeSet& global_prototypes,
+                                float select_ratio, std::size_t batch_size) {
+  if (select_ratio <= 0.0f || select_ratio > 1.0f) {
+    throw std::invalid_argument(
+        "filter_public_data: select_ratio must be in (0, 1]");
+  }
+  if (public_inputs.rank() != 2 || aggregated_logits.rank() != 2 ||
+      public_inputs.rows() != aggregated_logits.rows()) {
+    throw std::invalid_argument(
+        "filter_public_data: inputs/logits row mismatch");
+  }
+  global_prototypes.validate();
+  const std::size_t n = public_inputs.rows();
+  const std::size_t num_classes = aggregated_logits.cols();
+  if (global_prototypes.num_classes() != num_classes) {
+    throw std::invalid_argument(
+        "filter_public_data: prototype class count mismatch");
+  }
+
+  FilterResult result;
+  result.pseudo_labels = tensor::argmax_rows(aggregated_logits);  // Eq. (9)
+  result.distances.assign(n, 0.0f);
+
+  // Features of every public sample under the current server model (Eq. 10).
+  const Tensor features =
+      fl::compute_features(server_model, public_inputs, batch_size);
+
+  // Bucket samples by pseudo-class and record distances.
+  std::vector<std::vector<std::size_t>> buckets(num_classes);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cls = static_cast<std::size_t>(result.pseudo_labels[i]);
+    buckets[cls].push_back(i);
+    if (global_prototypes.present[cls]) {
+      result.distances[i] = tensor::row_l2_distance(
+          features, i, global_prototypes.matrix.row_copy(cls));
+    }
+  }
+
+  for (std::size_t cls = 0; cls < num_classes; ++cls) {
+    std::vector<std::size_t>& bucket = buckets[cls];
+    if (bucket.empty()) continue;
+    if (!global_prototypes.present[cls]) {
+      // No prototype for this class: the filter has no signal; keep all.
+      result.selected.insert(result.selected.end(), bucket.begin(),
+                             bucket.end());
+      continue;
+    }
+    // Epsilon guards against float->double widening artifacts (0.3f * 10
+    // must keep 3 samples, not 4).
+    const auto keep = static_cast<std::size_t>(std::ceil(
+        static_cast<double>(select_ratio) * static_cast<double>(bucket.size()) -
+        1e-6));
+    std::partial_sort(bucket.begin(),
+                      bucket.begin() + static_cast<std::ptrdiff_t>(keep),
+                      bucket.end(), [&](std::size_t a, std::size_t b) {
+                        // Tie-break on index for determinism.
+                        if (result.distances[a] != result.distances[b]) {
+                          return result.distances[a] < result.distances[b];
+                        }
+                        return a < b;
+                      });
+    result.selected.insert(result.selected.end(), bucket.begin(),
+                           bucket.begin() + static_cast<std::ptrdiff_t>(keep));
+  }
+  std::sort(result.selected.begin(), result.selected.end());
+  return result;
+}
+
+}  // namespace fedpkd::core

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "fedpkd/core/prototype.hpp"
+
+namespace fedpkd::core {
+
+/// Output of the prototype-based data filter (Algorithm 1).
+struct FilterResult {
+  /// Indices into the public dataset that survived filtering, ascending.
+  std::vector<std::size_t> selected;
+  /// Pseudo-label for every public sample (Eq. 9), selected or not.
+  std::vector<int> pseudo_labels;
+  /// d(x_i) of Eq. (10) for every sample; samples whose pseudo-label class
+  /// has no global prototype get distance 0 (they are always kept — the
+  /// filter has no evidence against them).
+  std::vector<float> distances;
+};
+
+/// FedPKD Algorithm 1: prototype-based data filtering.
+///
+/// 1. Pseudo-label every public sample from the aggregated logits (Eq. 9).
+/// 2. Embed the public samples with the *server* model's feature extractor
+///    and measure the L2 distance to the global prototype of the pseudo-label
+///    (Eq. 10).
+/// 3. Per pseudo-class, keep the ceil(select_ratio * count) samples closest
+///    to the prototype.
+///
+/// `select_ratio` is the paper's theta in (0, 1]. Ratio 1 keeps everything.
+FilterResult filter_public_data(Classifier& server_model,
+                                const Tensor& public_inputs,
+                                const Tensor& aggregated_logits,
+                                const PrototypeSet& global_prototypes,
+                                float select_ratio,
+                                std::size_t batch_size = 256);
+
+}  // namespace fedpkd::core

@@ -1,0 +1,162 @@
+#include "fedpkd/core/filter_ext.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fedpkd/tensor/ops.hpp"
+
+namespace fedpkd::core {
+
+const char* to_string(FilterStrategy strategy) {
+  switch (strategy) {
+    case FilterStrategy::kPrototypeDistance:
+      return "prototype-distance";
+    case FilterStrategy::kEntropy:
+      return "entropy";
+    case FilterStrategy::kMargin:
+      return "margin";
+    case FilterStrategy::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Negative top1-top2 margin: smaller = more confident = better.
+std::vector<float> margin_scores(const Tensor& probs) {
+  const std::size_t n = probs.rows(), k = probs.cols();
+  std::vector<float> scores(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* p = probs.data() + i * k;
+    float top1 = -1.0f, top2 = -1.0f;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (p[j] > top1) {
+        top2 = top1;
+        top1 = p[j];
+      } else if (p[j] > top2) {
+        top2 = p[j];
+      }
+    }
+    scores[i] = -(top1 - top2);
+  }
+  return scores;
+}
+
+/// Per-pseudo-class keep of the ceil(theta * |bucket|) lowest-score samples.
+void select_per_class(const std::vector<std::vector<std::size_t>>& buckets,
+                      const std::vector<float>& scores, float select_ratio,
+                      FilterResult& result) {
+  for (const auto& bucket_const : buckets) {
+    if (bucket_const.empty()) continue;
+    std::vector<std::size_t> bucket = bucket_const;
+    // Same epsilon guard as filter.cpp: 0.3f * 10 keeps 3 samples, not 4.
+    const auto keep = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(select_ratio) *
+                      static_cast<double>(bucket.size()) -
+                  1e-6));
+    std::partial_sort(bucket.begin(),
+                      bucket.begin() + static_cast<std::ptrdiff_t>(keep),
+                      bucket.end(), [&](std::size_t a, std::size_t b) {
+                        if (scores[a] != scores[b]) {
+                          return scores[a] < scores[b];
+                        }
+                        return a < b;
+                      });
+    result.selected.insert(result.selected.end(), bucket.begin(),
+                           bucket.begin() + static_cast<std::ptrdiff_t>(keep));
+  }
+  std::sort(result.selected.begin(), result.selected.end());
+}
+
+/// Replaces raw scores with their rank within each bucket, normalized to
+/// [0, 1], so heterogeneous score scales become combinable.
+std::vector<float> bucket_ranks(
+    const std::vector<std::vector<std::size_t>>& buckets,
+    const std::vector<float>& scores, std::size_t n) {
+  std::vector<float> ranks(n, 0.0f);
+  for (const auto& bucket : buckets) {
+    if (bucket.size() <= 1) continue;
+    std::vector<std::size_t> order = bucket;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (scores[a] != scores[b]) return scores[a] < scores[b];
+      return a < b;
+    });
+    for (std::size_t r = 0; r < order.size(); ++r) {
+      ranks[order[r]] =
+          static_cast<float>(r) / static_cast<float>(order.size() - 1);
+    }
+  }
+  return ranks;
+}
+
+}  // namespace
+
+FilterResult filter_public_data_ext(Classifier& server_model,
+                                    const Tensor& public_inputs,
+                                    const Tensor& aggregated_probs,
+                                    const PrototypeSet& global_prototypes,
+                                    float select_ratio,
+                                    FilterStrategy strategy,
+                                    std::size_t batch_size) {
+  if (strategy == FilterStrategy::kPrototypeDistance) {
+    return filter_public_data(server_model, public_inputs, aggregated_probs,
+                              global_prototypes, select_ratio, batch_size);
+  }
+  if (select_ratio <= 0.0f || select_ratio > 1.0f) {
+    throw std::invalid_argument(
+        "filter_public_data_ext: select_ratio must be in (0, 1]");
+  }
+  if (public_inputs.rank() != 2 || aggregated_probs.rank() != 2 ||
+      public_inputs.rows() != aggregated_probs.rows()) {
+    throw std::invalid_argument(
+        "filter_public_data_ext: inputs/probs row mismatch");
+  }
+  const std::size_t n = public_inputs.rows();
+  const std::size_t num_classes = aggregated_probs.cols();
+
+  FilterResult result;
+  result.pseudo_labels = tensor::argmax_rows(aggregated_probs);
+  result.distances.assign(n, 0.0f);
+
+  std::vector<std::vector<std::size_t>> buckets(num_classes);
+  for (std::size_t i = 0; i < n; ++i) {
+    buckets[static_cast<std::size_t>(result.pseudo_labels[i])].push_back(i);
+  }
+
+  std::vector<float> scores;
+  switch (strategy) {
+    case FilterStrategy::kEntropy: {
+      const Tensor h = tensor::entropy_rows(aggregated_probs);
+      scores.assign(h.flat().begin(), h.flat().end());
+      break;
+    }
+    case FilterStrategy::kMargin: {
+      scores = margin_scores(aggregated_probs);
+      break;
+    }
+    case FilterStrategy::kHybrid: {
+      // Rank-combine prototype distance with teacher entropy.
+      const FilterResult proto =
+          filter_public_data(server_model, public_inputs, aggregated_probs,
+                             global_prototypes, 1.0f, batch_size);
+      const Tensor h = tensor::entropy_rows(aggregated_probs);
+      std::vector<float> entropy(h.flat().begin(), h.flat().end());
+      const auto proto_rank = bucket_ranks(buckets, proto.distances, n);
+      const auto entropy_rank = bucket_ranks(buckets, entropy, n);
+      scores.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        scores[i] = 0.5f * (proto_rank[i] + entropy_rank[i]);
+      }
+      break;
+    }
+    case FilterStrategy::kPrototypeDistance:
+      throw std::logic_error("unreachable");
+  }
+  result.distances = scores;
+  select_per_class(buckets, scores, select_ratio, result);
+  return result;
+}
+
+}  // namespace fedpkd::core

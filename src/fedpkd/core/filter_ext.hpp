@@ -1,0 +1,45 @@
+#pragma once
+
+#include "fedpkd/core/filter.hpp"
+
+namespace fedpkd::core {
+
+/// Extended data-filtering strategies (the paper's future-work direction of
+/// "enhancing the data filtering mechanism"). All strategies share the
+/// Algorithm-1 skeleton — pseudo-label, score, keep the best theta fraction
+/// per pseudo-class — and differ only in the quality score:
+///
+///  kPrototypeDistance  Eq. (10): L2 distance of the server features to the
+///                      pseudo-label's global prototype (the paper's rule;
+///                      smaller is better).
+///  kEntropy            Shannon entropy of the aggregated teacher row —
+///                      keeps the samples the ensemble is confident about,
+///                      with no prototype dependence.
+///  kMargin             negative top1-top2 probability margin of the teacher
+///                      row — a sharper confidence proxy than entropy.
+///  kHybrid             mean of the per-class rank under kPrototypeDistance
+///                      and under kEntropy — requires agreement of feature
+///                      geometry and ensemble confidence.
+enum class FilterStrategy {
+  kPrototypeDistance,
+  kEntropy,
+  kMargin,
+  kHybrid,
+};
+
+const char* to_string(FilterStrategy strategy);
+
+/// Algorithm 1 generalized over the scoring strategies above. For
+/// kPrototypeDistance this matches filter_public_data exactly.
+/// `aggregated_probs` rows must be probability vectors (the teacher S^t).
+/// Strategies without a prototype dependence ignore `global_prototypes`
+/// (pass an empty set of the right shape).
+FilterResult filter_public_data_ext(Classifier& server_model,
+                                    const Tensor& public_inputs,
+                                    const Tensor& aggregated_probs,
+                                    const PrototypeSet& global_prototypes,
+                                    float select_ratio,
+                                    FilterStrategy strategy,
+                                    std::size_t batch_size = 256);
+
+}  // namespace fedpkd::core

@@ -1,0 +1,140 @@
+#include "fedpkd/core/prototype.hpp"
+
+#include <stdexcept>
+
+#include "fedpkd/tensor/ops.hpp"
+
+namespace fedpkd::core {
+
+PrototypeSet::PrototypeSet(std::size_t num_classes, std::size_t feature_dim)
+    : matrix({num_classes, feature_dim}),
+      present(num_classes, false),
+      support(num_classes, 0) {}
+
+std::size_t PrototypeSet::present_count() const {
+  std::size_t n = 0;
+  for (bool p : present) {
+    if (p) ++n;
+  }
+  return n;
+}
+
+void PrototypeSet::validate() const {
+  if (matrix.rank() != 2 || matrix.rows() != present.size() ||
+      support.size() != present.size()) {
+    throw std::invalid_argument("PrototypeSet: inconsistent sizes");
+  }
+  for (std::size_t j = 0; j < present.size(); ++j) {
+    if (present[j] && support[j] == 0) {
+      throw std::invalid_argument("PrototypeSet: present class with support 0");
+    }
+    if (!present[j] && support[j] != 0) {
+      throw std::invalid_argument("PrototypeSet: absent class with support");
+    }
+  }
+}
+
+PrototypeSet compute_local_prototypes(Classifier& model,
+                                      const data::Dataset& dataset,
+                                      std::size_t batch_size) {
+  if (dataset.empty()) {
+    throw std::invalid_argument("compute_local_prototypes: empty dataset");
+  }
+  PrototypeSet set(dataset.num_classes, model.feature_dim());
+  const Tensor features =
+      fl::compute_features(model, dataset.features, batch_size);
+  const std::size_t d = model.feature_dim();
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const auto cls = static_cast<std::size_t>(dataset.labels[i]);
+    ++set.support[cls];
+    set.present[cls] = true;
+    for (std::size_t c = 0; c < d; ++c) {
+      set.matrix[cls * d + c] += features[i * d + c];
+    }
+  }
+  for (std::size_t j = 0; j < set.num_classes(); ++j) {
+    if (set.support[j] == 0) continue;
+    const float inv = 1.0f / static_cast<float>(set.support[j]);
+    for (std::size_t c = 0; c < d; ++c) set.matrix[j * d + c] *= inv;
+  }
+  return set;
+}
+
+PrototypeSet aggregate_prototypes(std::span<const PrototypeSet> client_sets,
+                                  bool paper_literal_scaling) {
+  if (client_sets.empty()) {
+    throw std::invalid_argument("aggregate_prototypes: no client sets");
+  }
+  const std::size_t classes = client_sets.front().num_classes();
+  const std::size_t d = client_sets.front().feature_dim();
+  for (const PrototypeSet& set : client_sets) {
+    set.validate();
+    if (set.num_classes() != classes || set.feature_dim() != d) {
+      throw std::invalid_argument("aggregate_prototypes: mismatched sets");
+    }
+  }
+  PrototypeSet global(classes, d);
+  for (std::size_t j = 0; j < classes; ++j) {
+    std::size_t total_support = 0;
+    std::size_t clients_with_class = 0;
+    for (const PrototypeSet& set : client_sets) {
+      if (!set.present[j]) continue;
+      ++clients_with_class;
+      total_support += set.support[j];
+      for (std::size_t c = 0; c < d; ++c) {
+        global.matrix[j * d + c] +=
+            static_cast<float>(set.support[j]) * set.matrix[j * d + c];
+      }
+    }
+    if (clients_with_class == 0) continue;
+    float inv = 1.0f / static_cast<float>(total_support);
+    if (paper_literal_scaling) {
+      inv /= static_cast<float>(clients_with_class);
+    }
+    for (std::size_t c = 0; c < d; ++c) global.matrix[j * d + c] *= inv;
+    global.present[j] = true;
+    global.support[j] = total_support;
+  }
+  return global;
+}
+
+comm::PrototypesPayload to_payload(const PrototypeSet& set) {
+  set.validate();
+  comm::PrototypesPayload payload;
+  for (std::size_t j = 0; j < set.num_classes(); ++j) {
+    if (!set.present[j]) continue;
+    comm::PrototypeEntry entry;
+    entry.class_id = static_cast<std::int32_t>(j);
+    entry.support = static_cast<std::uint32_t>(set.support[j]);
+    entry.centroid = set.matrix.row_copy(j);
+    payload.entries.push_back(std::move(entry));
+  }
+  return payload;
+}
+
+PrototypeSet from_payload(const comm::PrototypesPayload& payload,
+                          std::size_t num_classes, std::size_t feature_dim) {
+  PrototypeSet set(num_classes, feature_dim);
+  for (const comm::PrototypeEntry& entry : payload.entries) {
+    if (entry.class_id < 0 ||
+        static_cast<std::size_t>(entry.class_id) >= num_classes) {
+      throw std::runtime_error("from_payload: class id out of range");
+    }
+    if (entry.centroid.rank() != 1 || entry.centroid.numel() != feature_dim) {
+      throw std::runtime_error("from_payload: centroid dimension mismatch");
+    }
+    if (entry.support == 0) {
+      throw std::runtime_error("from_payload: zero-support prototype");
+    }
+    const auto cls = static_cast<std::size_t>(entry.class_id);
+    if (set.present[cls]) {
+      throw std::runtime_error("from_payload: duplicate class entry");
+    }
+    set.present[cls] = true;
+    set.support[cls] = entry.support;
+    set.matrix.set_row(cls, entry.centroid.flat());
+  }
+  return set;
+}
+
+}  // namespace fedpkd::core

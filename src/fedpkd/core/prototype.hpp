@@ -1,0 +1,64 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fedpkd/comm/payload.hpp"
+#include "fedpkd/data/dataset.hpp"
+#include "fedpkd/fl/trainer.hpp"
+
+namespace fedpkd::core {
+
+using nn::Classifier;
+using tensor::Tensor;
+
+/// A set of per-class prototypes in the shared feature space.
+///
+/// `matrix` row j is the prototype of class j; `present[j]` says whether the
+/// source actually had samples of class j (absent rows are zero and must not
+/// be used); `support[j]` is |D^j|, the number of samples behind the row —
+/// the weight Eq. (8) aggregates by.
+struct PrototypeSet {
+  Tensor matrix;  // [num_classes, feature_dim]
+  std::vector<bool> present;
+  std::vector<std::size_t> support;
+
+  PrototypeSet() = default;
+  PrototypeSet(std::size_t num_classes, std::size_t feature_dim);
+
+  std::size_t num_classes() const { return present.size(); }
+  std::size_t feature_dim() const {
+    return matrix.rank() == 2 ? matrix.cols() : 0;
+  }
+  /// Number of classes with a prototype.
+  std::size_t present_count() const;
+  /// Throws std::invalid_argument on internal inconsistency.
+  void validate() const;
+};
+
+/// Computes a client's local prototypes (Eq. 5): for every class present in
+/// `dataset`, the mean feature vector R_w(x) over that class's samples.
+PrototypeSet compute_local_prototypes(Classifier& model,
+                                      const data::Dataset& dataset,
+                                      std::size_t batch_size = 256);
+
+/// Aggregates client prototype sets into global prototypes (Eq. 8): for each
+/// class, the support-weighted mean over the clients that have the class.
+///
+/// Note on fidelity: Eq. (8) as printed carries an extra 1/|C_j| factor in
+/// front of the weighted mean, which would shrink every prototype toward the
+/// origin as more clients share a class and break the L2 geometry that the
+/// data filter (Eq. 10) and the prototype losses (Eq. 12/16) rely on. We
+/// treat it as a typo and implement the weighted mean (the FedProto rule the
+/// paper cites); set `paper_literal_scaling` to reproduce the literal
+/// formula, e.g. for the ablation bench.
+PrototypeSet aggregate_prototypes(std::span<const PrototypeSet> client_sets,
+                                  bool paper_literal_scaling = false);
+
+/// -- Wire conversion -----------------------------------------------------------
+
+comm::PrototypesPayload to_payload(const PrototypeSet& set);
+PrototypeSet from_payload(const comm::PrototypesPayload& payload,
+                          std::size_t num_classes, std::size_t feature_dim);
+
+}  // namespace fedpkd::core

@@ -1,0 +1,91 @@
+#include "fedpkd/data/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedpkd::data {
+
+Dataset::Dataset(Tensor f, std::vector<int> y, std::size_t classes)
+    : features(std::move(f)), labels(std::move(y)), num_classes(classes) {
+  validate();
+}
+
+void Dataset::validate() const {
+  if (features.rank() != 2) {
+    throw std::invalid_argument("Dataset: features must be rank-2, got " +
+                                features.shape_string());
+  }
+  if (features.rows() != labels.size()) {
+    throw std::invalid_argument("Dataset: " + std::to_string(features.rows()) +
+                                " feature rows vs " +
+                                std::to_string(labels.size()) + " labels");
+  }
+  if (num_classes == 0) {
+    throw std::invalid_argument("Dataset: num_classes must be > 0");
+  }
+  for (int y : labels) {
+    if (y < 0 || static_cast<std::size_t>(y) >= num_classes) {
+      throw std::invalid_argument("Dataset: label " + std::to_string(y) +
+                                  " out of [0, " +
+                                  std::to_string(num_classes) + ")");
+    }
+  }
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.features = features.gather_rows(indices);
+  out.labels.reserve(indices.size());
+  for (std::size_t i : indices) {
+    if (i >= labels.size()) {
+      throw std::out_of_range("Dataset::subset: index out of range");
+    }
+    out.labels.push_back(labels[i]);
+  }
+  out.num_classes = num_classes;
+  return out;
+}
+
+std::vector<std::size_t> Dataset::indices_of_class(int cls) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == cls) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> hist(num_classes, 0);
+  for (int y : labels) ++hist[static_cast<std::size_t>(y)];
+  return hist;
+}
+
+std::vector<int> Dataset::present_classes() const {
+  std::vector<int> out;
+  const auto hist = class_histogram();
+  for (std::size_t j = 0; j < hist.size(); ++j) {
+    if (hist[j] > 0) out.push_back(static_cast<int>(j));
+  }
+  return out;
+}
+
+Dataset concat(const Dataset& a, const Dataset& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  if (a.dim() != b.dim() || a.num_classes != b.num_classes) {
+    throw std::invalid_argument("concat: incompatible datasets");
+  }
+  Dataset out;
+  out.num_classes = a.num_classes;
+  out.features = Tensor({a.size() + b.size(), a.dim()});
+  std::copy(a.features.flat().begin(), a.features.flat().end(),
+            out.features.flat().begin());
+  std::copy(b.features.flat().begin(), b.features.flat().end(),
+            out.features.flat().begin() +
+                static_cast<std::ptrdiff_t>(a.features.numel()));
+  out.labels = a.labels;
+  out.labels.insert(out.labels.end(), b.labels.begin(), b.labels.end());
+  return out;
+}
+
+}  // namespace fedpkd::data

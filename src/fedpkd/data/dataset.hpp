@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fedpkd/tensor/tensor.hpp"
+
+namespace fedpkd::data {
+
+using tensor::Tensor;
+
+/// An in-memory labeled dataset: a [n, d] feature matrix plus n integer
+/// labels in [0, num_classes).
+///
+/// The "unlabeled" public dataset of the paper is represented as a Dataset
+/// whose labels are retained but never read by any algorithm (they exist so
+/// experiments like Fig. 2 can score logit quality against ground truth);
+/// the FL code paths only touch `features` for public data.
+struct Dataset {
+  Tensor features;          // [n, d]
+  std::vector<int> labels;  // size n
+  std::size_t num_classes = 0;
+
+  Dataset() = default;
+  Dataset(Tensor f, std::vector<int> y, std::size_t classes);
+
+  std::size_t size() const { return labels.size(); }
+  std::size_t dim() const { return features.rank() == 2 ? features.cols() : 0; }
+  bool empty() const { return labels.empty(); }
+
+  /// Copy of the samples at `indices` (bounds-checked).
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Indices of all samples with label `cls`.
+  std::vector<std::size_t> indices_of_class(int cls) const;
+
+  /// Per-class sample counts, length num_classes.
+  std::vector<std::size_t> class_histogram() const;
+
+  /// Distinct labels present, ascending.
+  std::vector<int> present_classes() const;
+
+  /// Throws std::invalid_argument if shapes/labels are inconsistent.
+  void validate() const;
+};
+
+/// Concatenates datasets with equal dim/num_classes.
+Dataset concat(const Dataset& a, const Dataset& b);
+
+}  // namespace fedpkd::data

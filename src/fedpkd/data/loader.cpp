@@ -1,0 +1,53 @@
+#include "fedpkd/data/loader.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace fedpkd::data {
+
+DataLoader::DataLoader(const Dataset& dataset, std::size_t batch_size,
+                       tensor::Rng rng, bool shuffle, bool drop_last)
+    : dataset_(&dataset),
+      batch_size_(batch_size),
+      rng_(rng),
+      shuffle_(shuffle),
+      drop_last_(drop_last) {
+  if (batch_size == 0) throw std::invalid_argument("DataLoader: batch_size 0");
+  if (dataset.empty()) throw std::invalid_argument("DataLoader: empty dataset");
+  order_.resize(dataset.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  reset();
+}
+
+void DataLoader::reset() {
+  cursor_ = 0;
+  if (shuffle_) {
+    for (std::size_t i = order_.size(); i > 1; --i) {
+      std::swap(order_[i - 1], order_[rng_.uniform_index(i)]);
+    }
+  }
+}
+
+std::optional<Batch> DataLoader::next() {
+  const std::size_t n = order_.size();
+  if (cursor_ >= n) return std::nullopt;
+  std::size_t take = std::min(batch_size_, n - cursor_);
+  if (take < batch_size_ && drop_last_) return std::nullopt;
+
+  Batch batch;
+  batch.indices.assign(order_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                       order_.begin() +
+                           static_cast<std::ptrdiff_t>(cursor_ + take));
+  batch.x = dataset_->features.gather_rows(batch.indices);
+  batch.y.reserve(take);
+  for (std::size_t i : batch.indices) batch.y.push_back(dataset_->labels[i]);
+  cursor_ += take;
+  return batch;
+}
+
+std::size_t DataLoader::batches_per_epoch() const {
+  const std::size_t n = order_.size();
+  return drop_last_ ? n / batch_size_ : (n + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace fedpkd::data

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fedpkd/data/dataset.hpp"
+#include "fedpkd/tensor/rng.hpp"
+
+namespace fedpkd::data {
+
+/// One mini-batch: a [b, d] feature block, its labels, and the positions of
+/// the rows within the source dataset (needed when batch-level results must
+/// be scattered back, e.g. logits over the public dataset).
+struct Batch {
+  Tensor x;
+  std::vector<int> y;
+  std::vector<std::size_t> indices;
+
+  std::size_t size() const { return y.size(); }
+};
+
+/// Mini-batch iterator over a Dataset (non-owning reference: the dataset must
+/// outlive the loader). Shuffles per epoch with its own Rng stream so client
+/// loaders never perturb each other's randomness.
+class DataLoader {
+ public:
+  DataLoader(const Dataset& dataset, std::size_t batch_size, tensor::Rng rng,
+             bool shuffle = true, bool drop_last = false);
+
+  /// Starts a new epoch (reshuffles if enabled) and rewinds.
+  void reset();
+
+  /// Next batch, or nullopt at epoch end. The final partial batch is returned
+  /// unless drop_last was set.
+  std::optional<Batch> next();
+
+  /// Number of batches per epoch.
+  std::size_t batches_per_epoch() const;
+  std::size_t batch_size() const { return batch_size_; }
+
+ private:
+  const Dataset* dataset_;
+  std::size_t batch_size_;
+  tensor::Rng rng_;
+  bool shuffle_;
+  bool drop_last_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace fedpkd::data

@@ -1,0 +1,195 @@
+#include "fedpkd/data/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace fedpkd::data {
+
+using tensor::Rng;
+
+namespace {
+
+void shuffle_indices(std::vector<std::size_t>& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::swap(v[i - 1], v[rng.uniform_index(i)]);
+  }
+}
+
+/// Rebalance so that no client is empty: repeatedly move one sample from the
+/// largest client to an empty one.
+void fix_empty_clients(Partition& partition) {
+  for (auto& target : partition) {
+    if (!target.empty()) continue;
+    auto largest = std::max_element(
+        partition.begin(), partition.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    if (largest->size() <= 1) {
+      throw std::logic_error("partition: cannot fix empty client");
+    }
+    target.push_back(largest->back());
+    largest->pop_back();
+  }
+}
+
+}  // namespace
+
+Partition iid_partition(std::size_t n, std::size_t clients, Rng& rng) {
+  if (clients == 0) throw std::invalid_argument("iid_partition: 0 clients");
+  if (n < clients) {
+    throw std::invalid_argument("iid_partition: fewer samples than clients");
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  shuffle_indices(order, rng);
+  Partition partition(clients);
+  for (std::size_t i = 0; i < n; ++i) {
+    partition[i % clients].push_back(order[i]);
+  }
+  return partition;
+}
+
+Partition dirichlet_partition(const Dataset& dataset, std::size_t clients,
+                              double alpha, Rng& rng) {
+  if (clients == 0) throw std::invalid_argument("dirichlet_partition: 0 clients");
+  if (alpha <= 0.0) {
+    throw std::invalid_argument("dirichlet_partition: alpha must be > 0");
+  }
+  Partition partition(clients);
+  for (std::size_t j = 0; j < dataset.num_classes; ++j) {
+    std::vector<std::size_t> members =
+        dataset.indices_of_class(static_cast<int>(j));
+    if (members.empty()) continue;
+    shuffle_indices(members, rng);
+    // Draw client shares p ~ Dirichlet(alpha) via normalized gammas.
+    std::vector<double> share(clients);
+    double total = 0.0;
+    for (double& s : share) {
+      s = rng.gamma(alpha);
+      total += s;
+    }
+    if (total <= 0.0) total = 1.0;
+    // Convert shares to cumulative cut points over this class's samples.
+    std::size_t assigned = 0;
+    double cumulative = 0.0;
+    for (std::size_t c = 0; c < clients; ++c) {
+      cumulative += share[c] / total;
+      const std::size_t upto =
+          c + 1 == clients
+              ? members.size()
+              : static_cast<std::size_t>(cumulative *
+                                         static_cast<double>(members.size()));
+      for (; assigned < upto && assigned < members.size(); ++assigned) {
+        partition[c].push_back(members[assigned]);
+      }
+    }
+  }
+  fix_empty_clients(partition);
+  return partition;
+}
+
+Partition shards_partition(const Dataset& dataset, std::size_t clients,
+                           std::size_t classes_per_client,
+                           std::size_t shards_per_client,
+                           std::size_t shard_size, Rng& rng) {
+  if (clients == 0 || classes_per_client == 0 || shards_per_client == 0 ||
+      shard_size == 0) {
+    throw std::invalid_argument("shards_partition: zero-sized argument");
+  }
+  if (classes_per_client > dataset.num_classes) {
+    throw std::invalid_argument(
+        "shards_partition: classes_per_client exceeds num_classes");
+  }
+  // Pool of per-class sample queues.
+  std::vector<std::vector<std::size_t>> pools(dataset.num_classes);
+  for (std::size_t j = 0; j < dataset.num_classes; ++j) {
+    pools[j] = dataset.indices_of_class(static_cast<int>(j));
+    shuffle_indices(pools[j], rng);
+  }
+
+  Partition partition(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    // Pick k distinct classes, preferring those with the most remaining
+    // samples so late clients still find full shards.
+    std::vector<std::size_t> class_order(dataset.num_classes);
+    std::iota(class_order.begin(), class_order.end(), 0);
+    shuffle_indices(class_order, rng);
+    std::stable_sort(class_order.begin(), class_order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return pools[a].size() > pools[b].size();
+                     });
+    std::vector<std::size_t> chosen(
+        class_order.begin(),
+        class_order.begin() +
+            static_cast<std::ptrdiff_t>(classes_per_client));
+
+    // Spread the shard quota over the chosen classes.
+    for (std::size_t s = 0; s < shards_per_client; ++s) {
+      std::size_t cls = chosen[s % chosen.size()];
+      // If that class ran dry, fall back to the fullest chosen class.
+      if (pools[cls].size() < shard_size) {
+        cls = *std::max_element(chosen.begin(), chosen.end(),
+                                [&](std::size_t a, std::size_t b) {
+                                  return pools[a].size() < pools[b].size();
+                                });
+      }
+      const std::size_t take = std::min(shard_size, pools[cls].size());
+      for (std::size_t i = 0; i < take; ++i) {
+        partition[c].push_back(pools[cls].back());
+        pools[cls].pop_back();
+      }
+    }
+  }
+  fix_empty_clients(partition);
+  return partition;
+}
+
+Partition class_split_partition(const Dataset& dataset, std::size_t clients) {
+  if (clients == 0 || clients > dataset.num_classes) {
+    throw std::invalid_argument(
+        "class_split_partition: clients must be in [1, num_classes]");
+  }
+  const std::size_t per_client =
+      (dataset.num_classes + clients - 1) / clients;  // ceil
+  Partition partition(clients);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const auto cls = static_cast<std::size_t>(dataset.labels[i]);
+    const std::size_t c = std::min(cls / per_client, clients - 1);
+    partition[c].push_back(i);
+  }
+  fix_empty_clients(partition);
+  return partition;
+}
+
+std::vector<std::vector<std::size_t>> partition_histogram(
+    const Dataset& dataset, const Partition& partition) {
+  std::vector<std::vector<std::size_t>> hist(
+      partition.size(), std::vector<std::size_t>(dataset.num_classes, 0));
+  for (std::size_t c = 0; c < partition.size(); ++c) {
+    for (std::size_t i : partition[c]) {
+      ++hist[c][static_cast<std::size_t>(dataset.labels.at(i))];
+    }
+  }
+  return hist;
+}
+
+void validate_partition(const Partition& partition, std::size_t dataset_size,
+                        bool allow_empty_clients) {
+  std::unordered_set<std::size_t> seen;
+  for (const auto& client : partition) {
+    if (client.empty() && !allow_empty_clients) {
+      throw std::logic_error("validate_partition: empty client");
+    }
+    for (std::size_t i : client) {
+      if (i >= dataset_size) {
+        throw std::logic_error("validate_partition: index out of range");
+      }
+      if (!seen.insert(i).second) {
+        throw std::logic_error("validate_partition: duplicate index");
+      }
+    }
+  }
+}
+
+}  // namespace fedpkd::data

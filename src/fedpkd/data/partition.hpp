@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fedpkd/data/dataset.hpp"
+#include "fedpkd/tensor/rng.hpp"
+
+namespace fedpkd::data {
+
+/// A partition assigns every retained sample index of a dataset to exactly
+/// one client: partition[c] lists the dataset indices owned by client c.
+/// Partitions never duplicate an index; the shards method may leave a few
+/// samples unassigned (remainders that don't fill a shard), mirroring the
+/// standard implementation of McMahan-style shard splits.
+using Partition = std::vector<std::vector<std::size_t>>;
+
+/// Uniformly random equal-size split (the paper's IID setting).
+Partition iid_partition(std::size_t n, std::size_t clients, tensor::Rng& rng);
+
+/// Label-skew split following Hsu et al.: for each class, the per-client
+/// share vector is drawn from Dirichlet(alpha, ..., alpha). Smaller alpha =
+/// more skew. Guarantees no empty client by moving single samples from the
+/// largest clients if necessary.
+Partition dirichlet_partition(const Dataset& dataset, std::size_t clients,
+                              double alpha, tensor::Rng& rng);
+
+/// Shards split following McMahan/Li: class-sorted data is cut into shards of
+/// `shard_size`; each client receives `shards_per_client` shards drawn from
+/// exactly `classes_per_client` distinct classes (the paper's k).
+Partition shards_partition(const Dataset& dataset, std::size_t clients,
+                           std::size_t classes_per_client,
+                           std::size_t shards_per_client,
+                           std::size_t shard_size, tensor::Rng& rng);
+
+/// Hard class split: client c receives all samples whose label falls in its
+/// contiguous slice of the class range (the 2-client motivation experiment of
+/// Fig. 2 uses this with classes 0-4 vs 5-9).
+Partition class_split_partition(const Dataset& dataset, std::size_t clients);
+
+/// Per-client per-class counts: result[c][j] = #samples of class j at client c.
+std::vector<std::vector<std::size_t>> partition_histogram(
+    const Dataset& dataset, const Partition& partition);
+
+/// Validates invariants (no duplicate indices, all in range, no empty client)
+/// and throws std::logic_error on violation. Used by tests and defensively by
+/// the federation builder.
+void validate_partition(const Partition& partition, std::size_t dataset_size,
+                        bool allow_empty_clients = false);
+
+}  // namespace fedpkd::data

@@ -1,0 +1,85 @@
+#include "fedpkd/data/stats.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedpkd::data {
+
+std::vector<double> label_distribution(const Dataset& dataset,
+                                       std::span<const std::size_t> indices) {
+  std::vector<double> dist(dataset.num_classes, 0.0);
+  if (indices.empty()) return dist;
+  for (std::size_t i : indices) {
+    if (i >= dataset.size()) {
+      throw std::out_of_range("label_distribution: index out of range");
+    }
+    dist[static_cast<std::size_t>(dataset.labels[i])] += 1.0;
+  }
+  for (double& d : dist) d /= static_cast<double>(indices.size());
+  return dist;
+}
+
+double non_iid_degree(const Dataset& dataset, const Partition& partition) {
+  if (partition.empty()) {
+    throw std::invalid_argument("non_iid_degree: empty partition");
+  }
+  // Pooled distribution over all assigned samples.
+  std::vector<double> pooled(dataset.num_classes, 0.0);
+  std::size_t total = 0;
+  for (const auto& client : partition) {
+    for (std::size_t i : client) {
+      pooled[static_cast<std::size_t>(dataset.labels.at(i))] += 1.0;
+      ++total;
+    }
+  }
+  if (total == 0) throw std::invalid_argument("non_iid_degree: no samples");
+  for (double& p : pooled) p /= static_cast<double>(total);
+
+  double acc = 0.0;
+  std::size_t counted = 0;
+  for (const auto& client : partition) {
+    if (client.empty()) continue;
+    const auto dist = label_distribution(dataset, client);
+    double tv = 0.0;
+    for (std::size_t j = 0; j < pooled.size(); ++j) {
+      tv += std::abs(dist[j] - pooled[j]);
+    }
+    acc += 0.5 * tv;
+    ++counted;
+  }
+  return acc / static_cast<double>(counted);
+}
+
+std::vector<std::size_t> classes_per_client(const Dataset& dataset,
+                                            const Partition& partition) {
+  const auto hist = partition_histogram(dataset, partition);
+  std::vector<std::size_t> out(partition.size(), 0);
+  for (std::size_t c = 0; c < partition.size(); ++c) {
+    for (std::size_t count : hist[c]) {
+      if (count > 0) ++out[c];
+    }
+  }
+  return out;
+}
+
+std::string format_partition_table(const Dataset& dataset,
+                                   const Partition& partition) {
+  const auto hist = partition_histogram(dataset, partition);
+  std::ostringstream os;
+  os << "client |";
+  for (std::size_t j = 0; j < dataset.num_classes; ++j) os << " c" << j;
+  os << " | total\n";
+  for (std::size_t c = 0; c < partition.size(); ++c) {
+    os << "  " << c << "    |";
+    std::size_t total = 0;
+    for (std::size_t j = 0; j < dataset.num_classes; ++j) {
+      os << ' ' << hist[c][j];
+      total += hist[c][j];
+    }
+    os << " | " << total << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace fedpkd::data

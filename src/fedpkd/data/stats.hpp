@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fedpkd/data/partition.hpp"
+
+namespace fedpkd::data {
+
+/// Statistical helpers used by experiments and tests to characterize how
+/// non-IID a partition is and to pretty-print per-client class tables.
+
+/// Normalized label distribution of one index set over the dataset's classes.
+std::vector<double> label_distribution(const Dataset& dataset,
+                                       std::span<const std::size_t> indices);
+
+/// Mean over clients of the total-variation distance between the client's
+/// label distribution and the pooled distribution. 0 = perfectly IID,
+/// approaches 1 - 1/num_classes as clients become single-class. This is the
+/// scalar we assert is monotone in Dirichlet alpha / shards k.
+double non_iid_degree(const Dataset& dataset, const Partition& partition);
+
+/// Number of distinct classes present at each client.
+std::vector<std::size_t> classes_per_client(const Dataset& dataset,
+                                            const Partition& partition);
+
+/// Multi-line table "client | per-class counts | total" for logs.
+std::string format_partition_table(const Dataset& dataset,
+                                   const Partition& partition);
+
+}  // namespace fedpkd::data

@@ -1,0 +1,160 @@
+#include "fedpkd/fl/checkpoint.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "fedpkd/nn/model_zoo.hpp"
+#include "fedpkd/tensor/serialize.hpp"
+
+namespace fedpkd::fl {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x464b5043u;  // 'FPKC'
+constexpr std::uint32_t kVersion = 1;
+
+void put_string(const std::string& s, std::vector<std::byte>& out) {
+  tensor::put_u32(static_cast<std::uint32_t>(s.size()), out);
+  for (char c : s) out.push_back(static_cast<std::byte>(c));
+}
+
+std::string get_string(std::span<const std::byte> bytes, std::size_t& offset) {
+  const std::uint32_t n = tensor::get_u32(bytes, offset);
+  if (offset + n > bytes.size()) {
+    throw std::runtime_error("checkpoint: truncated string");
+  }
+  std::string s(n, '\0');
+  for (std::uint32_t i = 0; i < n; ++i) {
+    s[i] = static_cast<char>(bytes[offset + i]);
+  }
+  offset += n;
+  return s;
+}
+
+std::vector<std::byte> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("checkpoint: cannot open " + path.string());
+  }
+  std::vector<char> buffer((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  std::vector<std::byte> bytes(buffer.size());
+  std::transform(buffer.begin(), buffer.end(), bytes.begin(),
+                 [](char c) { return static_cast<std::byte>(c); });
+  return bytes;
+}
+
+void write_file(const std::filesystem::path& path,
+                std::span<const std::byte> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("checkpoint: cannot write " + path.string());
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    throw std::runtime_error("checkpoint: short write to " + path.string());
+  }
+}
+
+}  // namespace
+
+void save_checkpoint(nn::Classifier& model,
+                     const std::filesystem::path& path) {
+  std::vector<std::byte> out;
+  tensor::put_u32(kMagic, out);
+  tensor::put_u32(kVersion, out);
+  put_string(model.arch(), out);
+  tensor::put_u64(model.input_dim(), out);
+  tensor::put_u64(model.num_classes(), out);
+  tensor::encode_tensor(model.flat_weights(), out);
+  write_file(path, out);
+}
+
+nn::Classifier load_checkpoint(const std::filesystem::path& path) {
+  const auto bytes = read_file(path);
+  std::size_t offset = 0;
+  if (tensor::get_u32(bytes, offset) != kMagic) {
+    throw std::runtime_error("checkpoint: bad magic in " + path.string());
+  }
+  if (tensor::get_u32(bytes, offset) != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version in " +
+                             path.string());
+  }
+  const std::string arch = get_string(bytes, offset);
+  const auto input_dim =
+      static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+  const auto num_classes =
+      static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+  const tensor::Tensor weights = tensor::decode_tensor(bytes, offset);
+  if (offset != bytes.size()) {
+    throw std::runtime_error("checkpoint: trailing bytes in " + path.string());
+  }
+  // Seed is irrelevant: every weight is overwritten below.
+  tensor::Rng rng(0);
+  nn::Classifier model =
+      nn::make_classifier(arch, input_dim, num_classes, rng);
+  model.set_flat_weights(weights);
+  return model;
+}
+
+void export_history_csv(const RunHistory& history,
+                        const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("export_history_csv: cannot write " +
+                             path.string());
+  }
+  out << "round,server_accuracy,mean_client_accuracy,cumulative_bytes\n";
+  for (const RoundMetrics& m : history.rounds) {
+    out << m.round << ',';
+    if (m.server_accuracy) out << *m.server_accuracy;
+    out << ',' << m.mean_client_accuracy << ',' << m.cumulative_bytes << '\n';
+  }
+  if (!out) {
+    throw std::runtime_error("export_history_csv: short write");
+  }
+}
+
+RunHistory import_history_csv(const std::filesystem::path& path,
+                              std::string algorithm) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("import_history_csv: cannot open " +
+                             path.string());
+  }
+  RunHistory history;
+  history.algorithm = std::move(algorithm);
+  std::string line;
+  if (!std::getline(in, line) ||
+      line != "round,server_accuracy,mean_client_accuracy,cumulative_bytes") {
+    throw std::runtime_error("import_history_csv: bad header");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string field;
+    RoundMetrics m;
+    if (!std::getline(row, field, ',')) {
+      throw std::runtime_error("import_history_csv: missing round");
+    }
+    m.round = std::stoul(field);
+    if (!std::getline(row, field, ',')) {
+      throw std::runtime_error("import_history_csv: missing server accuracy");
+    }
+    if (!field.empty()) m.server_accuracy = std::stof(field);
+    if (!std::getline(row, field, ',')) {
+      throw std::runtime_error("import_history_csv: missing client accuracy");
+    }
+    m.mean_client_accuracy = std::stof(field);
+    if (!std::getline(row, field, ',')) {
+      throw std::runtime_error("import_history_csv: missing bytes");
+    }
+    m.cumulative_bytes = std::stoul(field);
+    history.rounds.push_back(m);
+  }
+  return history;
+}
+
+}  // namespace fedpkd::fl

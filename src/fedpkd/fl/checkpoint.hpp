@@ -1,0 +1,43 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "fedpkd/fl/metrics.hpp"
+#include "fedpkd/nn/classifier.hpp"
+
+namespace fedpkd::fl {
+
+/// Model and run-history persistence.
+///
+/// Checkpoints let a long federated run resume after interruption and let
+/// downstream users ship trained server models. The format reuses the wire
+/// tensor codec, prefixed with the architecture and dimensions so loading
+/// can rebuild the exact network before restoring weights:
+///
+///   u32 magic 'FPKC' | u32 version | arch string | u64 input_dim |
+///   u64 num_classes | tensor(flat weights)
+///
+/// History export writes the per-round metrics as CSV for plotting.
+
+/// Writes `model` to `path`. Throws std::runtime_error on I/O failure.
+void save_checkpoint(nn::Classifier& model, const std::filesystem::path& path);
+
+/// Rebuilds the model recorded at `path` (architecture looked up in the
+/// model zoo) and restores its weights. Throws std::runtime_error on
+/// malformed files and std::invalid_argument on unknown architectures.
+nn::Classifier load_checkpoint(const std::filesystem::path& path);
+
+/// Writes a RunHistory as CSV with the columns
+/// round,server_accuracy,mean_client_accuracy,cumulative_bytes
+/// (server_accuracy empty for algorithms without a server model).
+void export_history_csv(const RunHistory& history,
+                        const std::filesystem::path& path);
+
+/// Parses a CSV produced by export_history_csv back into a RunHistory
+/// (algorithm name is taken from the `algorithm` argument since CSV does not
+/// carry it). Throws std::runtime_error on malformed input.
+RunHistory import_history_csv(const std::filesystem::path& path,
+                              std::string algorithm);
+
+}  // namespace fedpkd::fl

@@ -1,0 +1,4 @@
+#include "fedpkd/fl/client.hpp"
+
+// Client is a plain aggregate; this TU exists so the target has a stable
+// archive member for the header and to catch ODR issues early.

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+
+#include "fedpkd/comm/meter.hpp"
+#include "fedpkd/data/dataset.hpp"
+#include "fedpkd/nn/classifier.hpp"
+
+namespace fedpkd::fl {
+
+/// Per-client hyperparameters. Defaults follow the paper's Section V-A
+/// (Adam, lr 1e-3, batch 32); epoch counts are set per algorithm by the
+/// experiment drivers.
+struct ClientConfig {
+  std::string arch = "resmlp20";
+  std::size_t local_epochs = 2;   // e_{c,tr}: epochs on private data
+  std::size_t public_epochs = 1;  // e_{c,p}: epochs on public knowledge
+  std::size_t batch_size = 32;
+  float lr = 1e-3f;
+};
+
+/// One federated client: its private train/test split, its (possibly unique)
+/// model, and a private RNG stream for shuffling and initialization.
+///
+/// Clients never see each other's data; every inter-node byte flows through
+/// comm::Channel so the meter stays truthful.
+struct Client {
+  comm::NodeId id = 0;
+  ClientConfig config;
+  nn::Classifier model;
+  data::Dataset train_data;
+  data::Dataset test_data;  // same label distribution as train_data
+  tensor::Rng rng;
+
+  Client(comm::NodeId node_id, ClientConfig cfg, nn::Classifier m,
+         data::Dataset train, data::Dataset test, tensor::Rng r)
+      : id(node_id),
+        config(std::move(cfg)),
+        model(std::move(m)),
+        train_data(std::move(train)),
+        test_data(std::move(test)),
+        rng(r) {}
+};
+
+}  // namespace fedpkd::fl

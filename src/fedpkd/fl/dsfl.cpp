@@ -1,0 +1,90 @@
+#include "fedpkd/fl/dsfl.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "fedpkd/fl/trainer.hpp"
+#include "fedpkd/tensor/ops.hpp"
+
+namespace fedpkd::fl {
+
+DsFl::DsFl(Options options) : options_(options) {
+  if (options_.sharpen_temperature <= 0.0f) {
+    throw std::invalid_argument("DsFl: sharpen_temperature must be > 0");
+  }
+}
+
+namespace {
+
+/// Entropy-reduction aggregation: raise each row to 1/T and renormalize.
+tensor::Tensor sharpen_rows(const tensor::Tensor& probs, float temperature) {
+  tensor::Tensor out(probs.shape());
+  const std::size_t m = probs.rows(), n = probs.cols();
+  const float power = 1.0f / temperature;
+  for (std::size_t r = 0; r < m; ++r) {
+    const float* p = probs.data() + r * n;
+    float* o = out.data() + r * n;
+    double z = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      o[c] = std::pow(std::max(p[c], 1e-12f), power);
+      z += o[c];
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+      o[c] = static_cast<float>(o[c] / z);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void DsFl::run_round(Federation& fed, std::size_t) {
+  const std::size_t public_n = fed.public_data.size();
+  std::vector<std::uint32_t> ids(public_n);
+  std::iota(ids.begin(), ids.end(), 0u);
+
+  // 1. Local supervised training.
+  for (Client& client : fed.active()) {
+    TrainOptions opts;
+    opts.epochs = options_.local_epochs;
+    opts.batch_size = client.config.batch_size;
+    opts.lr = client.config.lr;
+    train_supervised(client.model, client.train_data, opts, client.rng);
+  }
+
+  // 2. Clients upload softmaxed logits; the server averages probabilities.
+  //    (DS-FL ships probability vectors; same wire size as logits.)
+  tensor::Tensor mean_probs({public_n, fed.num_classes});
+  std::size_t received = 0;
+  for (Client& client : fed.active()) {
+    tensor::Tensor probs = tensor::softmax_rows(
+        compute_logits(client.model, fed.public_data.features));
+    auto wire = fed.channel.send(client.id, comm::kServerId,
+                                 comm::LogitsPayload{ids, std::move(probs)});
+    if (!wire) continue;
+    tensor::add_inplace(mean_probs, comm::decode_logits(*wire).logits);
+    ++received;
+  }
+  if (received == 0) return;
+  tensor::scale_inplace(mean_probs, 1.0f / static_cast<float>(received));
+
+  // 3. Entropy-reduction aggregation, then broadcast + digest.
+  const tensor::Tensor sharpened =
+      sharpen_rows(mean_probs, options_.sharpen_temperature);
+  const std::vector<int> pseudo = tensor::argmax_rows(sharpened);
+  for (Client& client : fed.active()) {
+    auto wire = fed.channel.send(comm::kServerId, client.id,
+                                 comm::LogitsPayload{ids, sharpened});
+    if (!wire) continue;
+    DistillSet set{fed.public_data.features, comm::decode_logits(*wire).logits,
+                   pseudo};
+    TrainOptions opts;
+    opts.epochs = options_.digest_epochs;
+    opts.batch_size = client.config.batch_size;
+    opts.lr = client.config.lr;
+    train_distill(client.model, set, /*gamma=*/1.0f, opts, client.rng);
+  }
+}
+
+}  // namespace fedpkd::fl

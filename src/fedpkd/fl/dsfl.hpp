@@ -1,0 +1,33 @@
+#pragma once
+
+#include "fedpkd/fl/federation.hpp"
+
+namespace fedpkd::fl {
+
+/// DS-FL (Itahara et al. 2020): federated distillation with entropy-reduction
+/// aggregation.
+///
+/// Protocol matches FedMD (clients upload public-set logits, the server
+/// broadcasts an aggregate, clients distill), but the aggregate is the mean
+/// of the client *probability* vectors sharpened with a low temperature:
+///   p_agg = normalize(mean_c softmax(z_c)^(1/T)),  T < 1.
+/// Sharpening counteracts the entropy inflation that plain averaging causes
+/// under non-IID data, which is DS-FL's core contribution.
+class DsFl : public Algorithm {
+ public:
+  struct Options {
+    std::size_t local_epochs = 10;
+    std::size_t digest_epochs = 20;
+    float sharpen_temperature = 0.5f;  // ERA temperature, < 1 sharpens
+  };
+
+  explicit DsFl(Options options);
+
+  std::string name() const override { return "DS-FL"; }
+  void run_round(Federation& fed, std::size_t round) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace fedpkd::fl

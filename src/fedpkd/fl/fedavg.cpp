@@ -1,0 +1,63 @@
+#include "fedpkd/fl/fedavg.hpp"
+
+#include <stdexcept>
+
+#include "fedpkd/fl/trainer.hpp"
+#include "fedpkd/tensor/ops.hpp"
+
+namespace fedpkd::fl {
+
+FedAvg::FedAvg(Federation& fed, Options options)
+    : options_(options), global_(fed.clients.at(0).model.clone()) {
+  for (Client& client : fed.clients) {
+    if (client.model.parameter_count() != global_.parameter_count() ||
+        client.model.arch() != global_.arch()) {
+      throw std::invalid_argument(
+          "FedAvg: requires homogeneous client architectures, got " +
+          client.model.arch() + " vs " + global_.arch());
+    }
+  }
+}
+
+void FedAvg::run_round(Federation& fed, std::size_t) {
+  // 1. Broadcast the global weights.
+  const comm::WeightsPayload broadcast{global_.flat_weights()};
+  for (Client& client : fed.active()) {
+    auto wire = fed.channel.send(comm::kServerId, client.id, broadcast);
+    if (!wire) continue;  // dropped: client trains from its stale weights
+    client.model.set_flat_weights(comm::decode_weights(*wire).flat);
+  }
+
+  // 2. Local supervised training (Eq. 4), optionally with the FedProx
+  //    proximal term against the weights the round started from.
+  std::size_t total_samples = 0;
+  for (Client& client : fed.active()) {
+    TrainOptions opts;
+    opts.epochs = options_.local_epochs;
+    opts.batch_size = client.config.batch_size;
+    opts.lr = client.config.lr;
+    opts.proximal_mu = options_.proximal_mu;
+    train_supervised(client.model, client.train_data, opts, client.rng);
+    total_samples += client.train_data.size();
+  }
+
+  // 3. Upload weights and 4. aggregate: w_G = sum_c |D_c| w_c / sum |D_c|.
+  tensor::Tensor accum({global_.parameter_count()});
+  std::size_t received_weight = 0;
+  for (Client& client : fed.active()) {
+    const comm::WeightsPayload upload{client.model.flat_weights()};
+    auto wire = fed.channel.send(client.id, comm::kServerId, upload);
+    if (!wire) continue;  // dropped uploads are excluded from the average
+    const auto payload = comm::decode_weights(*wire);
+    tensor::axpy_inplace(accum,
+                         static_cast<float>(client.train_data.size()),
+                         payload.flat);
+    received_weight += client.train_data.size();
+  }
+  if (received_weight == 0) return;  // every upload dropped: keep old global
+  tensor::scale_inplace(accum, 1.0f / static_cast<float>(received_weight));
+  global_.set_flat_weights(accum);
+  (void)total_samples;
+}
+
+}  // namespace fedpkd::fl

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <optional>
+
+#include "fedpkd/fl/federation.hpp"
+
+namespace fedpkd::fl {
+
+/// FedAvg (McMahan et al. 2017): the classic parameter-averaging baseline.
+///
+/// Each round: the server broadcasts the global weights, every client runs
+/// `local_epochs` of supervised training on its private data, uploads its
+/// weights, and the server replaces the global model with the data-size-
+/// weighted average (Eq. 1). Requires all clients and the server to share one
+/// architecture — the constructor enforces this, which is exactly the
+/// system-heterogeneity limitation the paper is attacking.
+class FedAvg : public Algorithm {
+ public:
+  struct Options {
+    std::size_t local_epochs = 10;  // paper: e_{c,tr}=10 for FedAvg/FedProx
+    /// FedProx proximal coefficient; nullopt = plain FedAvg.
+    std::optional<float> proximal_mu;
+  };
+
+  FedAvg(Federation& fed, Options options);
+
+  std::string name() const override { return proximal_name_; }
+  void run_round(Federation& fed, std::size_t round) override;
+  nn::Classifier* server_model() override { return &global_; }
+
+ protected:
+  void set_name(std::string name) { proximal_name_ = std::move(name); }
+
+ private:
+  Options options_;
+  nn::Classifier global_;
+  std::string proximal_name_ = "FedAvg";
+};
+
+}  // namespace fedpkd::fl

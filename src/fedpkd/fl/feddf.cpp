@@ -1,0 +1,79 @@
+#include "fedpkd/fl/feddf.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "fedpkd/fl/trainer.hpp"
+#include "fedpkd/tensor/ops.hpp"
+
+namespace fedpkd::fl {
+
+FedDf::FedDf(Federation& fed, Options options)
+    : options_(options),
+      server_(fed.clients.at(0).model.clone()),
+      server_rng_(fed.rng.split(0xdf)) {
+  for (Client& client : fed.clients) {
+    if (client.model.arch() != server_.arch()) {
+      throw std::invalid_argument(
+          "FedDF: weight-space fusion requires homogeneous architectures");
+    }
+  }
+}
+
+void FedDf::run_round(Federation& fed, std::size_t) {
+  const std::size_t public_n = fed.public_data.size();
+  std::vector<std::uint32_t> ids(public_n);
+  std::iota(ids.begin(), ids.end(), 0u);
+
+  // 1. Broadcast fused weights; 2. local training.
+  const comm::WeightsPayload broadcast{server_.flat_weights()};
+  for (Client& client : fed.active()) {
+    auto wire = fed.channel.send(comm::kServerId, client.id, broadcast);
+    if (wire) client.model.set_flat_weights(comm::decode_weights(*wire).flat);
+    TrainOptions opts;
+    opts.epochs = options_.local_epochs;
+    opts.batch_size = client.config.batch_size;
+    opts.lr = client.config.lr;
+    train_supervised(client.model, client.train_data, opts, client.rng);
+  }
+
+  // 3. Upload weights; the server reconstructs each client model (this is
+  //    what makes FedDF's ensemble possible without shipping logits) and
+  //    simultaneously accumulates the FedAvg initialization.
+  tensor::Tensor accum({server_.parameter_count()});
+  tensor::Tensor ensemble_probs({public_n, fed.num_classes});
+  std::size_t received_weight = 0;
+  std::size_t received = 0;
+  nn::Classifier scratch = server_.clone();
+  for (Client& client : fed.active()) {
+    auto wire = fed.channel.send(client.id, comm::kServerId,
+                                 comm::WeightsPayload{client.model.flat_weights()});
+    if (!wire) continue;
+    const auto payload = comm::decode_weights(*wire);
+    tensor::axpy_inplace(accum, static_cast<float>(client.train_data.size()),
+                         payload.flat);
+    received_weight += client.train_data.size();
+    ++received;
+    scratch.set_flat_weights(payload.flat);
+    tensor::Tensor probs = tensor::softmax_rows(
+        compute_logits(scratch, fed.public_data.features),
+        options_.distill_temperature);
+    tensor::add_inplace(ensemble_probs, probs);
+  }
+  if (received == 0) return;
+  tensor::scale_inplace(accum, 1.0f / static_cast<float>(received_weight));
+  tensor::scale_inplace(ensemble_probs, 1.0f / static_cast<float>(received));
+
+  // 4. Initialize from the parameter average, then distill the ensemble.
+  server_.set_flat_weights(accum);
+  DistillSet set{fed.public_data.features, ensemble_probs,
+                 tensor::argmax_rows(ensemble_probs)};
+  TrainOptions opts;
+  opts.epochs = options_.server_epochs;
+  opts.batch_size = options_.distill_batch;
+  opts.lr = fed.clients.front().config.lr;
+  train_distill(server_, set, /*gamma=*/1.0f, opts, server_rng_,
+                options_.distill_temperature);
+}
+
+}  // namespace fedpkd::fl

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "fedpkd/fl/federation.hpp"
+
+namespace fedpkd::fl {
+
+/// FedDF (Lin et al. 2020): robust model fusion via ensemble distillation.
+///
+/// Each round follows FedAvg's broadcast/local-train/upload protocol, but
+/// instead of using the parameter average directly, the server initializes
+/// from the average and then distills the *ensemble* of uploaded client
+/// models into the server model on the unlabeled public dataset (teacher =
+/// mean of client softmax outputs). Because fusion happens in weight space,
+/// the server architecture is pinned to the clients' — the restriction the
+/// paper calls out in Section I.
+class FedDf : public Algorithm {
+ public:
+  struct Options {
+    std::size_t local_epochs = 30;   // paper: e_{c,tr}=30 for FedDF
+    std::size_t server_epochs = 5;   // paper: e_s=5
+    std::size_t distill_batch = 32;
+    float distill_temperature = 1.0f;
+  };
+
+  FedDf(Federation& fed, Options options);
+
+  std::string name() const override { return "FedDF"; }
+  void run_round(Federation& fed, std::size_t round) override;
+  nn::Classifier* server_model() override { return &server_; }
+
+ private:
+  Options options_;
+  nn::Classifier server_;
+  tensor::Rng server_rng_;
+};
+
+}  // namespace fedpkd::fl

@@ -1,0 +1,253 @@
+#include "fedpkd/fl/federation.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "fedpkd/fl/trainer.hpp"
+#include "fedpkd/nn/model_zoo.hpp"
+
+namespace fedpkd::fl {
+
+PartitionSpec PartitionSpec::iid() {
+  PartitionSpec s;
+  s.method = PartitionMethod::kIid;
+  return s;
+}
+
+PartitionSpec PartitionSpec::dirichlet(double alpha) {
+  PartitionSpec s;
+  s.method = PartitionMethod::kDirichlet;
+  s.alpha = alpha;
+  return s;
+}
+
+PartitionSpec PartitionSpec::shards(std::size_t k,
+                                    std::size_t shards_per_client,
+                                    std::size_t shard_size) {
+  PartitionSpec s;
+  s.method = PartitionMethod::kShards;
+  s.classes_per_client = k;
+  s.shards_per_client = shards_per_client;
+  s.shard_size = shard_size;
+  return s;
+}
+
+PartitionSpec PartitionSpec::class_split() {
+  PartitionSpec s;
+  s.method = PartitionMethod::kClassSplit;
+  return s;
+}
+
+std::string PartitionSpec::label() const {
+  std::ostringstream os;
+  switch (method) {
+    case PartitionMethod::kIid:
+      os << "iid";
+      break;
+    case PartitionMethod::kDirichlet:
+      os << "dir(" << alpha << ")";
+      break;
+    case PartitionMethod::kShards:
+      os << "shards(k=" << classes_per_client << ")";
+      break;
+    case PartitionMethod::kClassSplit:
+      os << "class-split";
+      break;
+  }
+  return os.str();
+}
+
+namespace {
+
+data::Partition make_partition(const data::Dataset& pool,
+                               const PartitionSpec& spec, std::size_t clients,
+                               tensor::Rng& rng) {
+  switch (spec.method) {
+    case PartitionMethod::kIid:
+      return data::iid_partition(pool.size(), clients, rng);
+    case PartitionMethod::kDirichlet:
+      return data::dirichlet_partition(pool, clients, spec.alpha, rng);
+    case PartitionMethod::kShards:
+      return data::shards_partition(pool, clients, spec.classes_per_client,
+                                    spec.shards_per_client, spec.shard_size,
+                                    rng);
+    case PartitionMethod::kClassSplit:
+      return data::class_split_partition(pool, clients);
+  }
+  throw std::logic_error("make_partition: unknown method");
+}
+
+/// Draws a local test set from the global test pool whose label distribution
+/// matches `train_hist` (sampling per class with replacement if the pool for
+/// a class is smaller than requested).
+data::Dataset make_local_test(const data::Dataset& test_pool,
+                              const std::vector<std::size_t>& train_hist,
+                              std::size_t target_size, tensor::Rng& rng) {
+  const std::size_t train_total =
+      std::accumulate(train_hist.begin(), train_hist.end(), std::size_t{0});
+  if (train_total == 0) {
+    throw std::invalid_argument("make_local_test: client has no train data");
+  }
+  std::vector<std::size_t> chosen;
+  chosen.reserve(target_size);
+  for (std::size_t j = 0; j < train_hist.size(); ++j) {
+    if (train_hist[j] == 0) continue;
+    const auto pool = test_pool.indices_of_class(static_cast<int>(j));
+    if (pool.empty()) continue;
+    // Round to nearest, but guarantee at least one sample per present class.
+    const double share = static_cast<double>(train_hist[j]) /
+                         static_cast<double>(train_total);
+    std::size_t want = static_cast<std::size_t>(
+        share * static_cast<double>(target_size) + 0.5);
+    want = std::max<std::size_t>(want, 1);
+    for (std::size_t i = 0; i < want; ++i) {
+      chosen.push_back(pool[rng.uniform_index(pool.size())]);
+    }
+  }
+  if (chosen.empty()) {
+    throw std::logic_error("make_local_test: empty local test set");
+  }
+  return test_pool.subset(chosen);
+}
+
+}  // namespace
+
+void Federation::begin_round(std::size_t round) {
+  meter.begin_round(round);
+  sampled_once_ = true;
+  active_indices_.clear();
+  if (participation_fraction >= 1.0) return;  // empty = everyone
+  if (participation_fraction <= 0.0) {
+    throw std::invalid_argument(
+        "Federation: participation_fraction must be in (0, 1]");
+  }
+  const auto want = std::max<std::size_t>(
+      1, static_cast<std::size_t>(participation_fraction *
+                                  static_cast<double>(clients.size()) + 0.5));
+  std::vector<std::size_t> order(clients.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[participation_rng_.uniform_index(i)]);
+  }
+  active_indices_.assign(order.begin(),
+                         order.begin() + static_cast<std::ptrdiff_t>(want));
+  std::sort(active_indices_.begin(), active_indices_.end());
+}
+
+std::vector<Client*> Federation::active_clients() {
+  std::vector<Client*> out;
+  // begin_round with fraction < 1 always fills active_indices_, so an empty
+  // list means full participation (requested or pre-first-round).
+  if (!sampled_once_ || active_indices_.empty()) {
+    out.reserve(clients.size());
+    for (Client& client : clients) out.push_back(&client);
+    return out;
+  }
+  out.reserve(active_indices_.size());
+  for (std::size_t i : active_indices_) out.push_back(&clients[i]);
+  return out;
+}
+
+std::unique_ptr<Federation> build_federation(
+    const data::FederatedDataBundle& bundle, const PartitionSpec& partition,
+    const FederationConfig& config) {
+  if (config.num_clients == 0) {
+    throw std::invalid_argument("build_federation: zero clients");
+  }
+  if (config.client_archs.empty()) {
+    throw std::invalid_argument("build_federation: no client architectures");
+  }
+  bundle.train_pool.validate();
+  bundle.test_global.validate();
+  bundle.public_data.validate();
+  if (bundle.train_pool.num_classes != bundle.test_global.num_classes ||
+      bundle.train_pool.num_classes != bundle.public_data.num_classes ||
+      bundle.train_pool.dim() != bundle.test_global.dim() ||
+      bundle.train_pool.dim() != bundle.public_data.dim()) {
+    throw std::invalid_argument("build_federation: inconsistent bundle");
+  }
+
+  auto fed = std::make_unique<Federation>();
+  fed->public_data = bundle.public_data;
+  fed->test_global = bundle.test_global;
+  fed->num_classes = bundle.train_pool.num_classes;
+  fed->input_dim = bundle.train_pool.dim();
+  fed->rng = tensor::Rng(config.seed);
+
+  tensor::Rng partition_rng = fed->rng.split(0x70617274);
+  const data::Partition split =
+      make_partition(bundle.train_pool, partition, config.num_clients,
+                     partition_rng);
+  data::validate_partition(split, bundle.train_pool.size());
+
+  fed->seed_participation(fed->rng.split(0x7061727469636970ull));
+  tensor::Rng test_rng = fed->rng.split(0x74657374);
+  fed->clients.reserve(config.num_clients);
+  for (std::size_t c = 0; c < config.num_clients; ++c) {
+    ClientConfig cc = config.client_defaults;
+    cc.arch = config.client_archs[c % config.client_archs.size()];
+    tensor::Rng model_rng = fed->rng.split(0x6d6f0000 + c);
+    nn::Classifier model = nn::make_classifier(cc.arch, fed->input_dim,
+                                               fed->num_classes, model_rng);
+    data::Dataset train = bundle.train_pool.subset(split[c]);
+    data::Dataset test =
+        make_local_test(bundle.test_global, train.class_histogram(),
+                        config.local_test_per_client, test_rng);
+    fed->clients.emplace_back(static_cast<comm::NodeId>(c), std::move(cc),
+                              std::move(model), std::move(train),
+                              std::move(test), fed->rng.split(0xc1000 + c));
+  }
+  return fed;
+}
+
+RoundMetrics evaluate_round(Algorithm& algorithm, Federation& fed,
+                            std::size_t round, std::size_t eval_batch) {
+  RoundMetrics metrics;
+  metrics.round = round;
+  if (nn::Classifier* server = algorithm.server_model()) {
+    metrics.server_accuracy =
+        evaluate_accuracy(*server, fed.test_global, eval_batch);
+  }
+  metrics.client_accuracy.reserve(fed.clients.size());
+  double acc_sum = 0.0;
+  for (Client& client : fed.clients) {
+    const float acc =
+        evaluate_accuracy(client.model, client.test_data, eval_batch);
+    metrics.client_accuracy.push_back(acc);
+    acc_sum += acc;
+  }
+  metrics.mean_client_accuracy =
+      fed.clients.empty()
+          ? 0.0f
+          : static_cast<float>(acc_sum / static_cast<double>(fed.clients.size()));
+  metrics.cumulative_bytes = fed.meter.total();
+  return metrics;
+}
+
+RunHistory run_federation(Algorithm& algorithm, Federation& fed,
+                          const RunOptions& options) {
+  RunHistory history;
+  history.algorithm = algorithm.name();
+  history.rounds.reserve(options.rounds);
+  for (std::size_t t = 0; t < options.rounds; ++t) {
+    fed.begin_round(t);
+    algorithm.run_round(fed, t);
+    RoundMetrics metrics = evaluate_round(algorithm, fed, t, options.eval_batch);
+    if (options.log != nullptr) {
+      *options.log << history.algorithm << " round " << t;
+      if (metrics.server_accuracy) {
+        *options.log << " S_acc=" << *metrics.server_accuracy;
+      }
+      *options.log << " C_acc=" << metrics.mean_client_accuracy << " comm="
+                   << comm::Meter::to_mb(metrics.cumulative_bytes) << "MB\n";
+      options.log->flush();
+    }
+    history.rounds.push_back(std::move(metrics));
+  }
+  return history;
+}
+
+}  // namespace fedpkd::fl

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fedpkd/comm/channel.hpp"
+#include "fedpkd/data/partition.hpp"
+#include "fedpkd/data/synthetic_vision.hpp"
+#include "fedpkd/fl/client.hpp"
+#include "fedpkd/fl/metrics.hpp"
+
+namespace fedpkd::fl {
+
+/// How the train pool is split across clients (paper Section V-A).
+enum class PartitionMethod { kIid, kDirichlet, kShards, kClassSplit };
+
+struct PartitionSpec {
+  PartitionMethod method = PartitionMethod::kDirichlet;
+  double alpha = 0.5;                  // Dirichlet concentration
+  std::size_t classes_per_client = 3;  // shards: the paper's k
+  std::size_t shards_per_client = 8;
+  std::size_t shard_size = 20;
+
+  static PartitionSpec iid();
+  static PartitionSpec dirichlet(double alpha);
+  static PartitionSpec shards(std::size_t k, std::size_t shards_per_client,
+                              std::size_t shard_size = 20);
+  static PartitionSpec class_split();
+
+  /// Short label like "dir(0.1)" or "shards(k=3)" for experiment tables.
+  std::string label() const;
+};
+
+/// Federation-wide construction parameters.
+struct FederationConfig {
+  std::size_t num_clients = 8;
+  /// Architectures cycled across clients; one entry = homogeneous setting.
+  std::vector<std::string> client_archs = {"resmlp20"};
+  ClientConfig client_defaults;
+  /// Size of each client's personalized test set, resampled from the global
+  /// test pool to match the client's training label distribution.
+  std::size_t local_test_per_client = 200;
+  std::uint64_t seed = 7;
+};
+
+/// Iterable view over a set of clients, yielding Client& (so algorithm round
+/// loops read the same whether they visit everyone or a sampled subset).
+class ClientView {
+ public:
+  explicit ClientView(std::vector<Client*> ptrs) : ptrs_(std::move(ptrs)) {}
+
+  class iterator {
+   public:
+    explicit iterator(Client* const* p) : p_(p) {}
+    Client& operator*() const { return **p_; }
+    iterator& operator++() {
+      ++p_;
+      return *this;
+    }
+    bool operator!=(const iterator& other) const { return p_ != other.p_; }
+
+   private:
+    Client* const* p_;
+  };
+
+  iterator begin() const { return iterator(ptrs_.data()); }
+  iterator end() const { return iterator(ptrs_.data() + ptrs_.size()); }
+  std::size_t size() const { return ptrs_.size(); }
+  bool empty() const { return ptrs_.empty(); }
+
+ private:
+  std::vector<Client*> ptrs_;
+};
+
+/// The shared world of one federated run: datasets, clients, and the metered
+/// star network. Non-copyable and non-movable (Channel aliases Meter);
+/// construct with build_federation.
+struct Federation {
+  data::Dataset public_data;  // treated as unlabeled by all algorithms
+  data::Dataset test_global;
+  std::vector<Client> clients;
+  comm::Meter meter;
+  comm::Channel channel{meter};
+  tensor::Rng rng{0};
+  std::size_t num_classes = 0;
+  std::size_t input_dim = 0;
+
+  /// Fraction of clients sampled into each round (FedAvg's C parameter);
+  /// 1.0 = full participation. At least one client always participates.
+  /// Set before run_federation; resampled by begin_round every round.
+  double participation_fraction = 1.0;
+
+  Federation() = default;
+  Federation(const Federation&) = delete;
+  Federation& operator=(const Federation&) = delete;
+
+  std::size_t num_clients() const { return clients.size(); }
+
+  /// Stamps the traffic meter with the round number and samples this round's
+  /// participants. run_federation calls this before every
+  /// Algorithm::run_round; drive it manually when stepping rounds yourself.
+  void begin_round(std::size_t round);
+
+  /// The clients participating in the current round. All clients until
+  /// begin_round is first called or while participation_fraction == 1.
+  std::vector<Client*> active_clients();
+
+  /// Reference view over active_clients() for range-for loops.
+  ClientView active() { return ClientView(active_clients()); }
+
+  /// Reseeds the participation sampler (build_federation derives it from the
+  /// federation seed so runs stay reproducible).
+  void seed_participation(tensor::Rng rng) { participation_rng_ = rng; }
+
+ private:
+  std::vector<std::size_t> active_indices_;
+  tensor::Rng participation_rng_{0x9a47};
+  bool sampled_once_ = false;
+};
+
+/// Builds a federation from a data bundle: partitions the train pool,
+/// instantiates per-client models (cycling client_archs), and derives each
+/// client's local test set from the global test pool so that its label
+/// distribution matches the client's training distribution (the paper's
+/// personalized C_acc protocol).
+std::unique_ptr<Federation> build_federation(
+    const data::FederatedDataBundle& bundle, const PartitionSpec& partition,
+    const FederationConfig& config);
+
+/// A federated learning algorithm driven round-by-round.
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+  virtual std::string name() const = 0;
+  /// Executes communication round `round` against the federation.
+  virtual void run_round(Federation& fed, std::size_t round) = 0;
+  /// The server model, if the algorithm trains one (nullptr otherwise).
+  virtual nn::Classifier* server_model() { return nullptr; }
+};
+
+struct RunOptions {
+  std::size_t rounds = 10;
+  /// If non-null, one progress line is printed per round.
+  std::ostream* log = nullptr;
+  std::size_t eval_batch = 256;
+};
+
+/// Runs `algorithm` for the configured number of rounds, evaluating server
+/// and client accuracy and cumulative traffic after each round.
+RunHistory run_federation(Algorithm& algorithm, Federation& fed,
+                          const RunOptions& options);
+
+/// Evaluates the current state without training (round snapshot).
+RoundMetrics evaluate_round(Algorithm& algorithm, Federation& fed,
+                            std::size_t round, std::size_t eval_batch = 256);
+
+}  // namespace fedpkd::fl

@@ -1,0 +1,101 @@
+#include "fedpkd/fl/fedet.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "fedpkd/fl/trainer.hpp"
+#include "fedpkd/nn/model_zoo.hpp"
+#include "fedpkd/tensor/ops.hpp"
+
+namespace fedpkd::fl {
+
+namespace {
+nn::Classifier make_server_model(const std::string& arch,
+                                 const Federation& fed, std::uint64_t salt) {
+  tensor::Rng rng = fed.rng.split(salt);
+  return nn::make_classifier(arch, fed.input_dim, fed.num_classes, rng);
+}
+}  // namespace
+
+FedEt::FedEt(Federation& fed, Options options)
+    : options_(options),
+      server_(make_server_model(options.server_arch, fed, 0xe7)),
+      server_rng_(fed.rng.split(0xe8)) {}
+
+void FedEt::run_round(Federation& fed, std::size_t) {
+  const std::size_t public_n = fed.public_data.size();
+  std::vector<std::uint32_t> ids(public_n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  const float max_entropy =
+      std::log(static_cast<float>(fed.num_classes));
+
+  // 1. Local training, then upload public-set logits.
+  std::vector<tensor::Tensor> client_logits;
+  client_logits.reserve(fed.clients.size());
+  for (Client& client : fed.active()) {
+    TrainOptions opts;
+    opts.epochs = options_.local_epochs;
+    opts.batch_size = client.config.batch_size;
+    opts.lr = client.config.lr;
+    train_supervised(client.model, client.train_data, opts, client.rng);
+
+    tensor::Tensor logits =
+        compute_logits(client.model, fed.public_data.features);
+    auto wire = fed.channel.send(client.id, comm::kServerId,
+                                 comm::LogitsPayload{ids, std::move(logits)});
+    if (wire) client_logits.push_back(comm::decode_logits(*wire).logits);
+  }
+  if (client_logits.empty()) return;
+
+  // 2. Confidence-weighted ensemble: per sample, weight each client's
+  //    distribution by (1 - H/H_max), its normalized prediction confidence.
+  tensor::Tensor teacher({public_n, fed.num_classes});
+  std::vector<double> weight_sum(public_n, 0.0);
+  for (const tensor::Tensor& logits : client_logits) {
+    const tensor::Tensor probs = tensor::softmax_rows(logits);
+    const tensor::Tensor entropy = tensor::entropy_rows(probs);
+    for (std::size_t i = 0; i < public_n; ++i) {
+      const double w =
+          std::max(1e-6, 1.0 - static_cast<double>(entropy[i]) / max_entropy);
+      weight_sum[i] += w;
+      for (std::size_t j = 0; j < fed.num_classes; ++j) {
+        teacher[i * fed.num_classes + j] +=
+            static_cast<float>(w) * probs[i * fed.num_classes + j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < public_n; ++i) {
+    const float inv = static_cast<float>(1.0 / weight_sum[i]);
+    for (std::size_t j = 0; j < fed.num_classes; ++j) {
+      teacher[i * fed.num_classes + j] *= inv;
+    }
+  }
+
+  // 3. Distill the weighted ensemble into the (larger) server model.
+  DistillSet server_set{fed.public_data.features, teacher,
+                        tensor::argmax_rows(teacher)};
+  TrainOptions server_opts;
+  server_opts.epochs = options_.server_epochs;
+  server_opts.batch_size = options_.distill_batch;
+  server_opts.lr = fed.clients.front().config.lr;
+  train_distill(server_, server_set, /*gamma=*/1.0f, server_opts, server_rng_);
+
+  // 4. Server broadcasts its own public-set logits; clients digest them.
+  tensor::Tensor server_logits =
+      compute_logits(server_, fed.public_data.features);
+  const tensor::Tensor server_probs = tensor::softmax_rows(server_logits);
+  const std::vector<int> server_pseudo = tensor::argmax_rows(server_logits);
+  for (Client& client : fed.active()) {
+    auto wire = fed.channel.send(comm::kServerId, client.id,
+                                 comm::LogitsPayload{ids, server_logits});
+    if (!wire) continue;
+    DistillSet set{fed.public_data.features, server_probs, server_pseudo};
+    TrainOptions opts;
+    opts.epochs = options_.client_digest_epochs;
+    opts.batch_size = client.config.batch_size;
+    opts.lr = client.config.lr;
+    train_distill(client.model, set, /*gamma=*/1.0f, opts, client.rng);
+  }
+}
+
+}  // namespace fedpkd::fl

@@ -1,0 +1,72 @@
+#include "fedpkd/fl/fedmd.hpp"
+
+#include <numeric>
+
+#include "fedpkd/fl/trainer.hpp"
+#include "fedpkd/tensor/ops.hpp"
+
+namespace fedpkd::fl {
+
+namespace {
+
+std::vector<std::uint32_t> all_sample_ids(std::size_t n) {
+  std::vector<std::uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  return ids;
+}
+
+}  // namespace
+
+void FedMd::run_round(Federation& fed, std::size_t) {
+  const std::size_t public_n = fed.public_data.size();
+  const auto ids = all_sample_ids(public_n);
+
+  // 1. Local supervised training.
+  for (Client& client : fed.active()) {
+    TrainOptions opts;
+    opts.epochs = options_.local_epochs;
+    opts.batch_size = client.config.batch_size;
+    opts.lr = client.config.lr;
+    train_supervised(client.model, client.train_data, opts, client.rng);
+  }
+
+  // 2. Communicate: each client uploads its public-set logits.
+  tensor::Tensor consensus({public_n, fed.num_classes});
+  std::size_t received = 0;
+  for (Client& client : fed.active()) {
+    tensor::Tensor logits =
+        compute_logits(client.model, fed.public_data.features);
+    auto wire = fed.channel.send(client.id, comm::kServerId,
+                                 comm::LogitsPayload{ids, std::move(logits)});
+    if (!wire) continue;
+    tensor::add_inplace(consensus, comm::decode_logits(*wire).logits);
+    ++received;
+  }
+  if (received == 0) return;
+  tensor::scale_inplace(consensus, 1.0f / static_cast<float>(received));
+
+  // 3. Aggregate consensus is broadcast and each client digests it.
+  const tensor::Tensor teacher =
+      tensor::softmax_rows(consensus, options_.distill_temperature);
+  const std::vector<int> pseudo = tensor::argmax_rows(consensus);
+  for (Client& client : fed.active()) {
+    auto wire = fed.channel.send(comm::kServerId, client.id,
+                                 comm::LogitsPayload{ids, consensus});
+    if (!wire) continue;
+    const auto payload = comm::decode_logits(*wire);
+    DistillSet set{fed.public_data.features,
+                   tensor::softmax_rows(payload.logits,
+                                        options_.distill_temperature),
+                   pseudo};
+    TrainOptions opts;
+    opts.epochs = options_.digest_epochs;
+    opts.batch_size = client.config.batch_size;
+    opts.lr = client.config.lr;
+    // FedMD digests with pure distillation (gamma = 1): the public set is
+    // unlabeled, so the consensus is the only supervision.
+    train_distill(client.model, set, /*gamma=*/1.0f, opts, client.rng,
+                  options_.distill_temperature);
+  }
+}
+
+}  // namespace fedpkd::fl

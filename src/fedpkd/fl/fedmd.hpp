@@ -1,0 +1,33 @@
+#pragma once
+
+#include "fedpkd/fl/federation.hpp"
+
+namespace fedpkd::fl {
+
+/// FedMD (Li & Wang 2019): logit-consensus federated distillation with no
+/// server model.
+///
+/// Each round: clients train locally, compute logits over the shared public
+/// dataset and upload them; the server averages the logits per sample and
+/// broadcasts the consensus; each client then "digests" the consensus (soft
+/// cross-entropy distillation on the public set) before the next round.
+/// Supports heterogeneous client architectures — the only coupling between
+/// clients is the logit interface over the public dataset.
+class FedMd : public Algorithm {
+ public:
+  struct Options {
+    std::size_t local_epochs = 10;   // e_{c,tr}
+    std::size_t digest_epochs = 20;  // e_s in the paper's parameterization
+    float distill_temperature = 1.0f;
+  };
+
+  explicit FedMd(Options options) : options_(options) {}
+
+  std::string name() const override { return "FedMD"; }
+  void run_round(Federation& fed, std::size_t round) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace fedpkd::fl

@@ -1,0 +1,3 @@
+#include "fedpkd/fl/fedprox.hpp"
+
+// FedProx is a thin configuration of FedAvg (see header).

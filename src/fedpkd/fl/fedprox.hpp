@@ -1,0 +1,25 @@
+#pragma once
+
+#include "fedpkd/fl/fedavg.hpp"
+
+namespace fedpkd::fl {
+
+/// FedProx (Li et al. 2020): FedAvg with a proximal term
+/// mu/2 ||w - w_global||^2 added to every client's local objective, which
+/// tames client drift under statistical heterogeneity. Identical wire
+/// protocol (and hence identical per-round traffic) to FedAvg.
+class FedProx : public FedAvg {
+ public:
+  struct Options {
+    std::size_t local_epochs = 10;
+    float mu = 0.01f;
+  };
+
+  FedProx(Federation& fed, Options options)
+      : FedAvg(fed, {.local_epochs = options.local_epochs,
+                     .proximal_mu = options.mu}) {
+    set_name("FedProx");
+  }
+};
+
+}  // namespace fedpkd::fl

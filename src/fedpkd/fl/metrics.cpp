@@ -1,0 +1,63 @@
+#include "fedpkd/fl/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedpkd::fl {
+
+const RoundMetrics& RunHistory::final_round() const {
+  if (rounds.empty()) throw std::logic_error("RunHistory: empty history");
+  return rounds.back();
+}
+
+float RunHistory::best_server_accuracy() const {
+  float best = 0.0f;
+  for (const auto& r : rounds) {
+    if (r.server_accuracy) best = std::max(best, *r.server_accuracy);
+  }
+  return best;
+}
+
+float RunHistory::best_client_accuracy() const {
+  float best = 0.0f;
+  for (const auto& r : rounds) {
+    best = std::max(best, r.mean_client_accuracy);
+  }
+  return best;
+}
+
+std::optional<std::size_t> RunHistory::bytes_to_server_accuracy(
+    float target) const {
+  for (const auto& r : rounds) {
+    if (r.server_accuracy && *r.server_accuracy >= target) {
+      return r.cumulative_bytes;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> RunHistory::bytes_to_client_accuracy(
+    float target) const {
+  for (const auto& r : rounds) {
+    if (r.mean_client_accuracy >= target) return r.cumulative_bytes;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> RunHistory::rounds_to_server_accuracy(
+    float target) const {
+  for (const auto& r : rounds) {
+    if (r.server_accuracy && *r.server_accuracy >= target) return r.round;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> RunHistory::rounds_to_client_accuracy(
+    float target) const {
+  for (const auto& r : rounds) {
+    if (r.mean_client_accuracy >= target) return r.round;
+  }
+  return std::nullopt;
+}
+
+}  // namespace fedpkd::fl

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fedpkd::fl {
+
+/// Metrics captured after each communication round.
+struct RoundMetrics {
+  std::size_t round = 0;
+  /// S_acc: server-model accuracy on the global test set. Absent for
+  /// algorithms without a server model (FedMD, DS-FL).
+  std::optional<float> server_accuracy;
+  /// C_acc: mean client-model accuracy, each on its own local test set.
+  float mean_client_accuracy = 0.0f;
+  std::vector<float> client_accuracy;
+  /// Cumulative network traffic after this round (bytes).
+  std::size_t cumulative_bytes = 0;
+};
+
+/// Full trajectory of one federated run.
+struct RunHistory {
+  std::string algorithm;
+  std::vector<RoundMetrics> rounds;
+
+  bool empty() const { return rounds.empty(); }
+  const RoundMetrics& final_round() const;
+
+  float best_server_accuracy() const;
+  float best_client_accuracy() const;
+
+  /// Cumulative bytes at the first round whose server accuracy reaches
+  /// `target`; nullopt if never reached. This is Table I's S_acc column.
+  std::optional<std::size_t> bytes_to_server_accuracy(float target) const;
+  /// Same for mean client accuracy (Table I's C_acc column).
+  std::optional<std::size_t> bytes_to_client_accuracy(float target) const;
+
+  /// First round index reaching the target, if any.
+  std::optional<std::size_t> rounds_to_server_accuracy(float target) const;
+  std::optional<std::size_t> rounds_to_client_accuracy(float target) const;
+};
+
+}  // namespace fedpkd::fl

@@ -1,0 +1,97 @@
+#include "fedpkd/fl/timing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedpkd::fl {
+
+DeviceProfile DeviceProfile::sensor() {
+  return {.flops_per_second = 1e8,
+          .uplink_bytes_per_second = 0.25 * 1024 * 1024,
+          .downlink_bytes_per_second = 1.0 * 1024 * 1024,
+          .latency_seconds = 0.1};
+}
+
+DeviceProfile DeviceProfile::gateway() {
+  return {.flops_per_second = 1e9,
+          .uplink_bytes_per_second = 1.0 * 1024 * 1024,
+          .downlink_bytes_per_second = 4.0 * 1024 * 1024,
+          .latency_seconds = 0.05};
+}
+
+DeviceProfile DeviceProfile::edge_box() {
+  return {.flops_per_second = 1e10,
+          .uplink_bytes_per_second = 8.0 * 1024 * 1024,
+          .downlink_bytes_per_second = 32.0 * 1024 * 1024,
+          .latency_seconds = 0.02};
+}
+
+std::size_t inference_flops(nn::Classifier& model, std::size_t samples) {
+  return 2 * model.parameter_count() * samples;
+}
+
+std::size_t training_flops(nn::Classifier& model, std::size_t samples,
+                           std::size_t epochs) {
+  return 3 * inference_flops(model, samples) * epochs;
+}
+
+RoundTimeReport estimate_round_time(
+    const comm::Meter& meter, std::size_t round,
+    std::span<const DeviceProfile> profiles,
+    std::span<const std::size_t> compute_flops) {
+  if (profiles.size() != compute_flops.size() || profiles.empty()) {
+    throw std::invalid_argument(
+        "estimate_round_time: profiles/compute size mismatch");
+  }
+  for (const DeviceProfile& p : profiles) {
+    if (p.flops_per_second <= 0.0 || p.uplink_bytes_per_second <= 0.0 ||
+        p.downlink_bytes_per_second <= 0.0 || p.latency_seconds < 0.0) {
+      throw std::invalid_argument("estimate_round_time: bad device profile");
+    }
+  }
+
+  RoundTimeReport report;
+  report.per_client.resize(profiles.size());
+  for (std::size_t c = 0; c < profiles.size(); ++c) {
+    report.per_client[c].compute_seconds =
+        static_cast<double>(compute_flops[c]) / profiles[c].flops_per_second;
+  }
+  for (const comm::TrafficRecord& record : meter.records()) {
+    if (record.round != round) continue;
+    const bool uplink = record.to == comm::kServerId;
+    const comm::NodeId client = uplink ? record.from : record.to;
+    if (client < 0 || static_cast<std::size_t>(client) >= profiles.size()) {
+      continue;  // server-to-server or out-of-range: not a client cost
+    }
+    const auto c = static_cast<std::size_t>(client);
+    ClientRoundTime& t = report.per_client[c];
+    if (uplink) {
+      t.uplink_seconds += static_cast<double>(record.bytes) /
+                          profiles[c].uplink_bytes_per_second;
+    } else {
+      t.downlink_seconds += static_cast<double>(record.bytes) /
+                            profiles[c].downlink_bytes_per_second;
+    }
+    t.latency_seconds += profiles[c].latency_seconds;
+  }
+
+  std::vector<double> totals;
+  totals.reserve(report.per_client.size());
+  for (const ClientRoundTime& t : report.per_client) {
+    totals.push_back(t.total());
+  }
+  report.makespan_seconds = *std::max_element(totals.begin(), totals.end());
+  // Lower median, so with an even client count the makespan itself is never
+  // chosen as the reference (a 2-client fleet with one straggler still
+  // reports a factor > 1).
+  const std::size_t mid = (totals.size() - 1) / 2;
+  std::nth_element(totals.begin(),
+                   totals.begin() + static_cast<std::ptrdiff_t>(mid),
+                   totals.end());
+  const double median = totals[mid];
+  report.straggler_factor =
+      median > 0.0 ? report.makespan_seconds / median : 1.0;
+  return report;
+}
+
+}  // namespace fedpkd::fl

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fedpkd/comm/meter.hpp"
+#include "fedpkd/nn/classifier.hpp"
+
+namespace fedpkd::fl {
+
+/// Analytic wall-clock model for synchronous federated rounds.
+///
+/// The paper's Section I motivates heterogeneity-aware FL with the training-
+/// time gap: when clients with different resources train identical models,
+/// the round blocks on the slowest device. This module quantifies that
+/// argument: given per-device compute/network profiles, the per-client
+/// training workload, and the actual bytes the Meter recorded for a round,
+/// it estimates each client's round time and the synchronous round makespan.
+/// Used by bench/abl_system_heterogeneity to reproduce the motivation
+/// quantitatively (identical models vs capacity-matched models).
+
+/// A device's capabilities. Defaults model a mid-range edge device.
+struct DeviceProfile {
+  double flops_per_second = 1e9;
+  double uplink_bytes_per_second = 1.0 * 1024 * 1024;    // 1 MiB/s
+  double downlink_bytes_per_second = 4.0 * 1024 * 1024;  // 4 MiB/s
+  double latency_seconds = 0.05;  // per message, each direction
+
+  /// Convenience presets for the example/bench device classes.
+  static DeviceProfile sensor();   // weak: 0.1 GFLOPS, slow links
+  static DeviceProfile gateway();  // mid: 1 GFLOPS
+  static DeviceProfile edge_box(); // strong: 10 GFLOPS, fast links
+};
+
+/// Approximate FLOP counts for our models. The standard estimate: a forward
+/// pass costs ~2 FLOPs per parameter per sample (multiply + add), and
+/// training (forward + backward + update) ~3x that.
+std::size_t inference_flops(nn::Classifier& model, std::size_t samples);
+std::size_t training_flops(nn::Classifier& model, std::size_t samples,
+                           std::size_t epochs);
+
+/// Per-client timing breakdown for one round.
+struct ClientRoundTime {
+  double compute_seconds = 0.0;
+  double uplink_seconds = 0.0;
+  double downlink_seconds = 0.0;
+  double latency_seconds = 0.0;
+
+  double total() const {
+    return compute_seconds + uplink_seconds + downlink_seconds +
+           latency_seconds;
+  }
+};
+
+struct RoundTimeReport {
+  std::vector<ClientRoundTime> per_client;
+  /// Synchronous makespan: the slowest client gates the round.
+  double makespan_seconds = 0.0;
+  /// makespan / median client time — 1.0 means no straggler problem.
+  double straggler_factor = 1.0;
+};
+
+/// Estimates one round's timing. `profiles[c]` and `compute_flops[c]`
+/// describe client c (sizes must equal the number of clients); message sizes
+/// and counts are read from the meter's records for `round`. The (virtually
+/// free) server receive side is ignored; server compute is not part of the
+/// client makespan and is reported by the caller if needed.
+RoundTimeReport estimate_round_time(const comm::Meter& meter,
+                                    std::size_t round,
+                                    std::span<const DeviceProfile> profiles,
+                                    std::span<const std::size_t> compute_flops);
+
+}  // namespace fedpkd::fl

@@ -1,0 +1,230 @@
+#include "fedpkd/fl/trainer.hpp"
+
+#include <stdexcept>
+
+#include "fedpkd/data/loader.hpp"
+#include "fedpkd/nn/optimizer.hpp"
+#include "fedpkd/tensor/ops.hpp"
+
+namespace fedpkd::fl {
+
+namespace {
+
+/// Builds the per-batch prototype target matrix and the present-row mask.
+/// Rows whose class has no prototype contribute no gradient.
+struct PrototypeBatch {
+  Tensor targets;           // [b, feature_dim]
+  std::vector<bool> valid;  // size b
+  bool any = false;
+};
+
+PrototypeBatch gather_prototype_targets(const TrainOptions& options,
+                                        std::span<const int> labels,
+                                        std::size_t feature_dim) {
+  PrototypeBatch out;
+  const Tensor& protos = *options.prototype_matrix;
+  if (protos.rank() != 2 || protos.cols() != feature_dim) {
+    throw std::invalid_argument(
+        "train: prototype matrix shape does not match feature dim");
+  }
+  out.targets = Tensor({labels.size(), feature_dim});
+  out.valid.assign(labels.size(), false);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto cls = static_cast<std::size_t>(labels[i]);
+    if (cls >= protos.rows()) {
+      throw std::invalid_argument("train: label outside prototype matrix");
+    }
+    const bool present = options.prototype_class_present == nullptr ||
+                         (*options.prototype_class_present)[cls];
+    if (!present) continue;
+    out.valid[i] = true;
+    out.any = true;
+    out.targets.set_row(i, protos.row(cls));
+  }
+  return out;
+}
+
+/// MSE(features, targets) over valid rows only; returns loss and the gradient
+/// w.r.t. features (zero on invalid rows).
+std::pair<float, Tensor> masked_feature_mse(const Tensor& features,
+                                            const PrototypeBatch& proto) {
+  Tensor grad(features.shape());
+  const std::size_t b = features.rows(), d = features.cols();
+  double loss = 0.0;
+  std::size_t valid_elems = 0;
+  for (std::size_t r = 0; r < b; ++r) {
+    if (!proto.valid[r]) continue;
+    valid_elems += d;
+  }
+  if (valid_elems == 0) return {0.0f, std::move(grad)};
+  const float inv = 1.0f / static_cast<float>(valid_elems);
+  for (std::size_t r = 0; r < b; ++r) {
+    if (!proto.valid[r]) continue;
+    for (std::size_t c = 0; c < d; ++c) {
+      const float diff = features[r * d + c] - proto.targets[r * d + c];
+      loss += static_cast<double>(diff) * diff;
+      grad[r * d + c] = 2.0f * diff * inv;
+    }
+  }
+  return {static_cast<float>(loss) * inv, std::move(grad)};
+}
+
+}  // namespace
+
+TrainStats train_supervised(Classifier& model, const data::Dataset& dataset,
+                            const TrainOptions& options, Rng& rng) {
+  if (dataset.empty()) {
+    throw std::invalid_argument("train_supervised: empty dataset");
+  }
+  nn::Adam optimizer(model.parameters(), {.lr = options.lr});
+  const Tensor reference =
+      options.proximal_mu ? model.flat_weights() : Tensor{};
+
+  data::DataLoader loader(dataset, options.batch_size, rng.split(0x7261696e));
+  TrainStats stats;
+  double loss_sum = 0.0;
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    loader.reset();
+    while (auto batch = loader.next()) {
+      optimizer.zero_grad();
+      Tensor logits = model.forward(batch->x, /*train=*/true);
+      auto [ce, grad_logits] = nn::softmax_cross_entropy(logits, batch->y);
+      float loss = ce;
+
+      if (options.prototype_matrix != nullptr) {
+        const PrototypeBatch proto = gather_prototype_targets(
+            options, batch->y, model.feature_dim());
+        if (proto.any) {
+          auto [mse_loss, grad_features] =
+              masked_feature_mse(model.last_features(), proto);
+          loss += options.prototype_epsilon * mse_loss;
+          tensor::scale_inplace(grad_features, options.prototype_epsilon);
+          model.backward(grad_logits, &grad_features);
+        } else {
+          model.backward(grad_logits);
+        }
+      } else {
+        model.backward(grad_logits);
+      }
+
+      if (options.proximal_mu) {
+        nn::add_proximal_gradient(model.parameters(), reference,
+                                  *options.proximal_mu);
+      }
+      optimizer.step();
+      ++stats.steps;
+      stats.final_loss = loss;
+      loss_sum += loss;
+    }
+  }
+  stats.mean_loss = stats.steps > 0
+                        ? static_cast<float>(loss_sum / stats.steps)
+                        : 0.0f;
+  return stats;
+}
+
+TrainStats train_distill(Classifier& model, const DistillSet& set, float gamma,
+                         const TrainOptions& options, Rng& rng,
+                         float temperature) {
+  if (set.inputs.rank() != 2 || set.teacher_probs.rank() != 2 ||
+      set.inputs.rows() != set.teacher_probs.rows() ||
+      set.pseudo_labels.size() != set.inputs.rows()) {
+    throw std::invalid_argument("train_distill: inconsistent distill set");
+  }
+  if (gamma < 0.0f || gamma > 1.0f) {
+    throw std::invalid_argument("train_distill: gamma must be in [0, 1]");
+  }
+  if (set.inputs.rows() == 0) {
+    throw std::invalid_argument("train_distill: empty distill set");
+  }
+  // Wrap the distill set as a Dataset so DataLoader handles shuffling; the
+  // teacher rows are re-gathered per batch by index.
+  data::Dataset wrapper(set.inputs, set.pseudo_labels,
+                        set.teacher_probs.cols());
+  nn::Adam optimizer(model.parameters(), {.lr = options.lr});
+  data::DataLoader loader(wrapper, options.batch_size, rng.split(0x64697374));
+
+  TrainStats stats;
+  double loss_sum = 0.0;
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    loader.reset();
+    while (auto batch = loader.next()) {
+      optimizer.zero_grad();
+      Tensor teacher = set.teacher_probs.gather_rows(batch->indices);
+      Tensor logits = model.forward(batch->x, /*train=*/true);
+
+      auto [kl, grad_kl] = nn::kl_distillation(logits, teacher, temperature);
+      float loss = gamma * kl;
+      tensor::scale_inplace(grad_kl, gamma);
+      if (gamma < 1.0f) {
+        auto [ce, grad_ce] = nn::softmax_cross_entropy(logits, batch->y);
+        loss += (1.0f - gamma) * ce;
+        tensor::axpy_inplace(grad_kl, 1.0f - gamma, grad_ce);
+      }
+      model.backward(grad_kl);
+      optimizer.step();
+      ++stats.steps;
+      stats.final_loss = loss;
+      loss_sum += loss;
+    }
+  }
+  stats.mean_loss = stats.steps > 0
+                        ? static_cast<float>(loss_sum / stats.steps)
+                        : 0.0f;
+  return stats;
+}
+
+namespace {
+
+template <typename Forward>
+Tensor batched_apply(const Tensor& inputs, std::size_t batch_size,
+                     std::size_t out_cols, Forward&& forward) {
+  if (inputs.rank() != 2) {
+    throw std::invalid_argument("batched_apply: inputs must be rank-2");
+  }
+  if (batch_size == 0) {
+    throw std::invalid_argument("batched_apply: batch_size must be > 0");
+  }
+  const std::size_t n = inputs.rows();
+  Tensor out({n, out_cols});
+  std::vector<std::size_t> idx;
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t take = std::min(batch_size, n - start);
+    idx.resize(take);
+    for (std::size_t i = 0; i < take; ++i) idx[i] = start + i;
+    Tensor block = forward(inputs.gather_rows(idx));
+    for (std::size_t i = 0; i < take; ++i) {
+      out.set_row(start + i, block.row(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor compute_logits(Classifier& model, const Tensor& inputs,
+                      std::size_t batch_size) {
+  return batched_apply(inputs, batch_size, model.num_classes(),
+                       [&](const Tensor& x) {
+                         return model.forward(x, /*train=*/false);
+                       });
+}
+
+Tensor compute_features(Classifier& model, const Tensor& inputs,
+                        std::size_t batch_size) {
+  return batched_apply(inputs, batch_size, model.feature_dim(),
+                       [&](const Tensor& x) {
+                         return model.features(x, /*train=*/false);
+                       });
+}
+
+float evaluate_accuracy(Classifier& model, const data::Dataset& dataset,
+                        std::size_t batch_size) {
+  if (dataset.empty()) {
+    throw std::invalid_argument("evaluate_accuracy: empty dataset");
+  }
+  Tensor logits = compute_logits(model, dataset.features, batch_size);
+  return nn::accuracy(logits, dataset.labels);
+}
+
+}  // namespace fedpkd::fl

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "fedpkd/nn/module.hpp"
+
+namespace fedpkd::nn {
+
+/// Elementwise rectified linear unit: y = max(x, 0).
+class Relu final : public Module {
+ public:
+  Relu() = default;
+
+  Tensor forward(const Tensor& x, bool train = true) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::unique_ptr<Module> clone() const override;
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Elementwise hyperbolic tangent: y = tanh(x).
+class Tanh final : public Module {
+ public:
+  Tanh() = default;
+
+  Tensor forward(const Tensor& x, bool train = true) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::unique_ptr<Module> clone() const override;
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace fedpkd::nn

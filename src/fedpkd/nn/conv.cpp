@@ -1,0 +1,314 @@
+#include "fedpkd/nn/conv.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fedpkd/tensor/ops.hpp"
+
+namespace fedpkd::nn {
+
+namespace {
+
+std::size_t conv_out_dim(std::size_t in, std::size_t kernel,
+                         std::size_t stride, std::size_t padding) {
+  const std::size_t padded = in + 2 * padding;
+  if (padded < kernel) {
+    throw std::invalid_argument("Conv2d: kernel larger than padded input");
+  }
+  // Standard floor semantics: trailing pixels that do not fit a full stride
+  // are dropped, as in every mainstream framework.
+  return (padded - kernel) / stride + 1;
+}
+
+}  // namespace
+
+Conv2d::Conv2d(ImageShape input, std::size_t out_channels, std::size_t kernel,
+               std::size_t stride, std::size_t padding, Rng& rng,
+               std::string name)
+    : input_(input),
+      output_{out_channels, conv_out_dim(input.height, kernel, stride, padding),
+              conv_out_dim(input.width, kernel, stride, padding)},
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weight_(name + ".weight",
+              Tensor::randn(
+                  {input.channels * kernel * kernel, out_channels}, rng, 0.0f,
+                  std::sqrt(2.0f / static_cast<float>(input.channels * kernel *
+                                                      kernel)))),
+      bias_(name + ".bias", Tensor::zeros({out_channels})) {
+  if (input.numel() == 0 || out_channels == 0 || kernel == 0 || stride == 0) {
+    throw std::invalid_argument("Conv2d: zero-sized argument");
+  }
+}
+
+Conv2d::Conv2d(ImageShape input, ImageShape output, std::size_t kernel,
+               std::size_t stride, std::size_t padding, Parameter w,
+               Parameter b)
+    : input_(input),
+      output_(output),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weight_(std::move(w)),
+      bias_(std::move(b)) {}
+
+void Conv2d::im2col(const float* sample, Tensor& columns) const {
+  const std::size_t positions = output_.height * output_.width;
+  const std::size_t patch = input_.channels * kernel_ * kernel_;
+  if (columns.rank() != 2 || columns.rows() != positions ||
+      columns.cols() != patch) {
+    throw std::logic_error("Conv2d::im2col: bad buffer shape");
+  }
+  float* out = columns.data();
+  for (std::size_t oy = 0; oy < output_.height; ++oy) {
+    for (std::size_t ox = 0; ox < output_.width; ++ox) {
+      for (std::size_t c = 0; c < input_.channels; ++c) {
+        const float* plane = sample + c * input_.height * input_.width;
+        for (std::size_t ky = 0; ky < kernel_; ++ky) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+              static_cast<std::ptrdiff_t>(padding_);
+          for (std::size_t kx = 0; kx < kernel_; ++kx) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                static_cast<std::ptrdiff_t>(padding_);
+            const bool inside =
+                iy >= 0 && ix >= 0 &&
+                iy < static_cast<std::ptrdiff_t>(input_.height) &&
+                ix < static_cast<std::ptrdiff_t>(input_.width);
+            *out++ = inside ? plane[static_cast<std::size_t>(iy) *
+                                        input_.width +
+                                    static_cast<std::size_t>(ix)]
+                            : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::col2im(const Tensor& columns, float* sample_grad) const {
+  const float* in = columns.data();
+  for (std::size_t oy = 0; oy < output_.height; ++oy) {
+    for (std::size_t ox = 0; ox < output_.width; ++ox) {
+      for (std::size_t c = 0; c < input_.channels; ++c) {
+        float* plane = sample_grad + c * input_.height * input_.width;
+        for (std::size_t ky = 0; ky < kernel_; ++ky) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+              static_cast<std::ptrdiff_t>(padding_);
+          for (std::size_t kx = 0; kx < kernel_; ++kx) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                static_cast<std::ptrdiff_t>(padding_);
+            const float v = *in++;
+            if (iy >= 0 && ix >= 0 &&
+                iy < static_cast<std::ptrdiff_t>(input_.height) &&
+                ix < static_cast<std::ptrdiff_t>(input_.width)) {
+              plane[static_cast<std::size_t>(iy) * input_.width +
+                    static_cast<std::size_t>(ix)] += v;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  if (x.rank() != 2 || x.cols() != input_.numel()) {
+    throw std::invalid_argument("Conv2d::forward: expected [batch, " +
+                                std::to_string(input_.numel()) + "], got " +
+                                x.shape_string());
+  }
+  if (train) cached_input_ = x;
+  const std::size_t batch = x.rows();
+  const std::size_t positions = output_.height * output_.width;
+  Tensor y({batch, output_.numel()});
+  Tensor columns({positions, input_.channels * kernel_ * kernel_});
+  for (std::size_t b = 0; b < batch; ++b) {
+    im2col(x.data() + b * input_.numel(), columns);
+    // [positions, patch] x [patch, out_ch] -> [positions, out_ch].
+    Tensor out = tensor::matmul(columns, weight_.value);
+    // Transpose to channel-major C,H,W rows expected by downstream layers.
+    float* dst = y.data() + b * output_.numel();
+    for (std::size_t p = 0; p < positions; ++p) {
+      for (std::size_t oc = 0; oc < output_.channels; ++oc) {
+        dst[oc * positions + p] = out[p * output_.channels + oc] +
+                                  bias_.value[oc];
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("Conv2d::backward called before forward(train)");
+  }
+  if (grad_out.rank() != 2 || grad_out.cols() != output_.numel() ||
+      grad_out.rows() != cached_input_.rows()) {
+    throw std::invalid_argument("Conv2d::backward: grad shape " +
+                                grad_out.shape_string());
+  }
+  const std::size_t batch = cached_input_.rows();
+  const std::size_t positions = output_.height * output_.width;
+  const std::size_t patch = input_.channels * kernel_ * kernel_;
+  Tensor grad_in({batch, input_.numel()});
+  Tensor columns({positions, patch});
+  Tensor gout_pm({positions, output_.channels});  // position-major view
+  for (std::size_t b = 0; b < batch; ++b) {
+    // Rebuild the patch matrix (recompute beats caching batch x positions x
+    // patch floats for memory locality at these sizes).
+    im2col(cached_input_.data() + b * input_.numel(), columns);
+    const float* g = grad_out.data() + b * output_.numel();
+    for (std::size_t p = 0; p < positions; ++p) {
+      for (std::size_t oc = 0; oc < output_.channels; ++oc) {
+        gout_pm[p * output_.channels + oc] = g[oc * positions + p];
+        }
+    }
+    // dW += columns^T x gout; db += column sums; dx = gout x W^T -> col2im.
+    tensor::add_inplace(weight_.grad,
+                        tensor::matmul_transpose_a(columns, gout_pm));
+    tensor::add_inplace(bias_.grad, tensor::sum_rows(gout_pm));
+    Tensor dcolumns = tensor::matmul_transpose_b(gout_pm, weight_.value);
+    col2im(dcolumns, grad_in.data() + b * input_.numel());
+  }
+  return grad_in;
+}
+
+void Conv2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+std::unique_ptr<Module> Conv2d::clone() const {
+  Parameter w(weight_.name, weight_.value);
+  Parameter b(bias_.name, bias_.value);
+  return std::unique_ptr<Module>(new Conv2d(
+      input_, output_, kernel_, stride_, padding_, std::move(w), std::move(b)));
+}
+
+GlobalAvgPool::GlobalAvgPool(ImageShape input) : input_(input) {
+  if (input.numel() == 0) {
+    throw std::invalid_argument("GlobalAvgPool: empty shape");
+  }
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
+  if (x.rank() != 2 || x.cols() != input_.numel()) {
+    throw std::invalid_argument("GlobalAvgPool::forward: bad input " +
+                                x.shape_string());
+  }
+  if (train) cached_batch_ = x.rows();
+  const std::size_t plane = input_.height * input_.width;
+  Tensor y({x.rows(), input_.channels});
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (std::size_t b = 0; b < x.rows(); ++b) {
+    const float* src = x.data() + b * input_.numel();
+    for (std::size_t c = 0; c < input_.channels; ++c) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < plane; ++p) acc += src[c * plane + p];
+      y[b * input_.channels + c] = static_cast<float>(acc) * inv;
+    }
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  if (cached_batch_ == 0) {
+    throw std::logic_error("GlobalAvgPool::backward before forward(train)");
+  }
+  if (grad_out.rank() != 2 || grad_out.cols() != input_.channels ||
+      grad_out.rows() != cached_batch_) {
+    throw std::invalid_argument("GlobalAvgPool::backward: grad shape");
+  }
+  const std::size_t plane = input_.height * input_.width;
+  const float inv = 1.0f / static_cast<float>(plane);
+  Tensor g({grad_out.rows(), input_.numel()});
+  for (std::size_t b = 0; b < grad_out.rows(); ++b) {
+    float* dst = g.data() + b * input_.numel();
+    for (std::size_t c = 0; c < input_.channels; ++c) {
+      const float v = grad_out[b * input_.channels + c] * inv;
+      for (std::size_t p = 0; p < plane; ++p) dst[c * plane + p] = v;
+    }
+  }
+  return g;
+}
+
+std::unique_ptr<Module> GlobalAvgPool::clone() const {
+  return std::make_unique<GlobalAvgPool>(input_);
+}
+
+AvgPool2x2::AvgPool2x2(ImageShape input)
+    : input_(input),
+      output_{input.channels, input.height / 2, input.width / 2} {
+  if (input.height % 2 != 0 || input.width % 2 != 0 || input.numel() == 0) {
+    throw std::invalid_argument("AvgPool2x2: dimensions must be even");
+  }
+}
+
+Tensor AvgPool2x2::forward(const Tensor& x, bool train) {
+  if (x.rank() != 2 || x.cols() != input_.numel()) {
+    throw std::invalid_argument("AvgPool2x2::forward: bad input " +
+                                x.shape_string());
+  }
+  if (train) cached_batch_ = x.rows();
+  Tensor y({x.rows(), output_.numel()});
+  for (std::size_t b = 0; b < x.rows(); ++b) {
+    const float* src = x.data() + b * input_.numel();
+    float* dst = y.data() + b * output_.numel();
+    for (std::size_t c = 0; c < input_.channels; ++c) {
+      const float* plane = src + c * input_.height * input_.width;
+      float* out_plane = dst + c * output_.height * output_.width;
+      for (std::size_t oy = 0; oy < output_.height; ++oy) {
+        for (std::size_t ox = 0; ox < output_.width; ++ox) {
+          const std::size_t iy = 2 * oy, ix = 2 * ox;
+          out_plane[oy * output_.width + ox] =
+              0.25f * (plane[iy * input_.width + ix] +
+                       plane[iy * input_.width + ix + 1] +
+                       plane[(iy + 1) * input_.width + ix] +
+                       plane[(iy + 1) * input_.width + ix + 1]);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor AvgPool2x2::backward(const Tensor& grad_out) {
+  if (cached_batch_ == 0) {
+    throw std::logic_error("AvgPool2x2::backward before forward(train)");
+  }
+  if (grad_out.rank() != 2 || grad_out.cols() != output_.numel() ||
+      grad_out.rows() != cached_batch_) {
+    throw std::invalid_argument("AvgPool2x2::backward: grad shape");
+  }
+  Tensor g({grad_out.rows(), input_.numel()});
+  for (std::size_t b = 0; b < grad_out.rows(); ++b) {
+    const float* src = grad_out.data() + b * output_.numel();
+    float* dst = g.data() + b * input_.numel();
+    for (std::size_t c = 0; c < input_.channels; ++c) {
+      const float* out_plane = src + c * output_.height * output_.width;
+      float* plane = dst + c * input_.height * input_.width;
+      for (std::size_t oy = 0; oy < output_.height; ++oy) {
+        for (std::size_t ox = 0; ox < output_.width; ++ox) {
+          const float v = 0.25f * out_plane[oy * output_.width + ox];
+          const std::size_t iy = 2 * oy, ix = 2 * ox;
+          plane[iy * input_.width + ix] = v;
+          plane[iy * input_.width + ix + 1] = v;
+          plane[(iy + 1) * input_.width + ix] = v;
+          plane[(iy + 1) * input_.width + ix + 1] = v;
+        }
+      }
+    }
+  }
+  return g;
+}
+
+std::unique_ptr<Module> AvgPool2x2::clone() const {
+  return std::make_unique<AvgPool2x2>(input_);
+}
+
+}  // namespace fedpkd::nn

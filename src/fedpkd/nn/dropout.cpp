@@ -1,0 +1,48 @@
+#include "fedpkd/nn/dropout.hpp"
+
+#include <stdexcept>
+
+namespace fedpkd::nn {
+
+Dropout::Dropout(float p, Rng rng) : p_(p), rng_(rng) {
+  if (p < 0.0f || p >= 1.0f) {
+    throw std::invalid_argument("Dropout: p must be in [0, 1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  if (!train || p_ == 0.0f) {
+    cached_mask_ = Tensor();  // identity pass: no mask to backprop through
+    return x;
+  }
+  cached_mask_ = Tensor(x.shape());
+  const float keep_scale = 1.0f / (1.0f - p_);
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const float m = rng_.uniform() < p_ ? 0.0f : keep_scale;
+    cached_mask_[i] = m;
+    y[i] = x[i] * m;
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (cached_mask_.empty()) {
+    // forward ran in eval mode (or p == 0): gradient passes through.
+    return grad_out;
+  }
+  if (!grad_out.same_shape(cached_mask_)) {
+    throw std::invalid_argument("Dropout::backward: grad shape mismatch");
+  }
+  Tensor g(grad_out.shape());
+  for (std::size_t i = 0; i < grad_out.numel(); ++i) {
+    g[i] = grad_out[i] * cached_mask_[i];
+  }
+  return g;
+}
+
+std::unique_ptr<Module> Dropout::clone() const {
+  return std::make_unique<Dropout>(p_, rng_);
+}
+
+}  // namespace fedpkd::nn

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "fedpkd/nn/module.hpp"
+
+namespace fedpkd::nn {
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability p and the survivors are scaled by 1/(1-p), so inference
+/// (train = false) is the identity. The mask is drawn from the module's own
+/// RNG stream, keeping whole-run determinism.
+class Dropout final : public Module {
+ public:
+  /// p in [0, 1): drop probability. Draws masks from `rng` (copied).
+  Dropout(float p, Rng rng);
+
+  Tensor forward(const Tensor& x, bool train = true) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::unique_ptr<Module> clone() const override;
+
+  float drop_probability() const { return p_; }
+
+ private:
+  float p_;
+  Rng rng_;
+  Tensor cached_mask_;  // holds the 0 / (1/(1-p)) multipliers
+};
+
+}  // namespace fedpkd::nn

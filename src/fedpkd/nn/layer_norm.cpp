@@ -1,0 +1,107 @@
+#include "fedpkd/nn/layer_norm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedpkd::nn {
+
+LayerNorm::LayerNorm(std::size_t features, float eps, std::string name)
+    : features_(features),
+      eps_(eps),
+      gamma_(name + ".gamma", Tensor::ones({features})),
+      beta_(name + ".beta", Tensor::zeros({features})) {
+  if (features == 0) throw std::invalid_argument("LayerNorm: zero features");
+  if (eps <= 0.0f) throw std::invalid_argument("LayerNorm: eps must be > 0");
+}
+
+LayerNorm::LayerNorm(std::size_t features, float eps, Parameter gamma,
+                     Parameter beta)
+    : features_(features),
+      eps_(eps),
+      gamma_(std::move(gamma)),
+      beta_(std::move(beta)) {}
+
+Tensor LayerNorm::forward(const Tensor& x, bool train) {
+  if (x.rank() != 2 || x.cols() != features_) {
+    throw std::invalid_argument("LayerNorm::forward: expected [batch, " +
+                                std::to_string(features_) + "], got " +
+                                x.shape_string());
+  }
+  const std::size_t m = x.rows(), n = features_;
+  Tensor xhat(x.shape());
+  Tensor inv_std({m});
+  Tensor y(x.shape());
+  for (std::size_t r = 0; r < m; ++r) {
+    const float* px = x.data() + r * n;
+    double mu = 0.0;
+    for (std::size_t c = 0; c < n; ++c) mu += px[c];
+    mu /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      const double d = px[c] - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    const float is = static_cast<float>(1.0 / std::sqrt(var + eps_));
+    inv_std[r] = is;
+    float* ph = xhat.data() + r * n;
+    float* py = y.data() + r * n;
+    for (std::size_t c = 0; c < n; ++c) {
+      ph[c] = (px[c] - static_cast<float>(mu)) * is;
+      py[c] = gamma_.value[c] * ph[c] + beta_.value[c];
+    }
+  }
+  if (train) {
+    cached_xhat_ = std::move(xhat);
+    cached_inv_std_ = std::move(inv_std);
+  }
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_out) {
+  if (cached_xhat_.empty()) {
+    throw std::logic_error("LayerNorm::backward called before forward(train)");
+  }
+  if (!grad_out.same_shape(cached_xhat_)) {
+    throw std::invalid_argument("LayerNorm::backward: grad shape mismatch");
+  }
+  const std::size_t m = grad_out.rows(), n = features_;
+  Tensor gx(grad_out.shape());
+  for (std::size_t r = 0; r < m; ++r) {
+    const float* g = grad_out.data() + r * n;
+    const float* xh = cached_xhat_.data() + r * n;
+    float* pgx = gx.data() + r * n;
+    // dxhat = g * gamma; dx via the standard layer-norm backward identity.
+    double sum_dxhat = 0.0;
+    double sum_dxhat_xhat = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      const double dxh = static_cast<double>(g[c]) * gamma_.value[c];
+      sum_dxhat += dxh;
+      sum_dxhat_xhat += dxh * xh[c];
+      gamma_.grad[c] += g[c] * xh[c];
+      beta_.grad[c] += g[c];
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    const double is = cached_inv_std_[r];
+    for (std::size_t c = 0; c < n; ++c) {
+      const double dxh = static_cast<double>(g[c]) * gamma_.value[c];
+      pgx[c] = static_cast<float>(
+          is * (dxh - inv_n * sum_dxhat - inv_n * xh[c] * sum_dxhat_xhat));
+    }
+  }
+  return gx;
+}
+
+void LayerNorm::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+std::unique_ptr<Module> LayerNorm::clone() const {
+  Parameter g(gamma_.name, gamma_.value);
+  Parameter b(beta_.name, beta_.value);
+  return std::unique_ptr<Module>(
+      new LayerNorm(features_, eps_, std::move(g), std::move(b)));
+}
+
+}  // namespace fedpkd::nn

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "fedpkd/nn/module.hpp"
+
+namespace fedpkd::nn {
+
+/// Layer normalization over the feature (last) dimension with learned affine
+/// parameters gamma and beta.
+///
+/// Used instead of batch normalization because federated clients train on
+/// tiny, skewed batches where running batch statistics diverge between
+/// clients; layer norm carries no cross-batch state, which keeps model
+/// aggregation (FedAvg/FedProx/FedDF) semantics clean.
+class LayerNorm final : public Module {
+ public:
+  explicit LayerNorm(std::size_t features, float eps = 1e-5f,
+                     std::string name = "layer_norm");
+
+  Tensor forward(const Tensor& x, bool train = true) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  std::unique_ptr<Module> clone() const override;
+
+  std::size_t features() const { return features_; }
+
+ private:
+  LayerNorm(std::size_t features, float eps, Parameter gamma, Parameter beta);
+
+  std::size_t features_;
+  float eps_;
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;  // [batch], 1/sqrt(var + eps) per row
+};
+
+}  // namespace fedpkd::nn

@@ -1,0 +1,64 @@
+#include "fedpkd/nn/linear.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fedpkd/tensor/ops.hpp"
+
+namespace fedpkd::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
+               std::string name)
+    : in_(in_features),
+      out_(out_features),
+      weight_(name + ".weight",
+              Tensor::randn({in_features, out_features}, rng, 0.0f,
+                            std::sqrt(2.0f / static_cast<float>(in_features)))),
+      bias_(name + ".bias", Tensor::zeros({out_features})) {
+  if (in_features == 0 || out_features == 0) {
+    throw std::invalid_argument("Linear: zero-sized layer");
+  }
+}
+
+Linear::Linear(std::size_t in, std::size_t out, Parameter w, Parameter b)
+    : in_(in), out_(out), weight_(std::move(w)), bias_(std::move(b)) {}
+
+Tensor Linear::forward(const Tensor& x, bool train) {
+  if (x.rank() != 2 || x.cols() != in_) {
+    throw std::invalid_argument("Linear::forward: expected [batch, " +
+                                std::to_string(in_) + "], got " +
+                                x.shape_string());
+  }
+  if (train) cached_input_ = x;
+  Tensor y = tensor::matmul(x, weight_.value);
+  return tensor::add_row_vector(y, bias_.value);
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("Linear::backward called before forward(train)");
+  }
+  if (grad_out.rank() != 2 || grad_out.cols() != out_ ||
+      grad_out.rows() != cached_input_.rows()) {
+    throw std::invalid_argument("Linear::backward: grad shape " +
+                                grad_out.shape_string());
+  }
+  tensor::add_inplace(weight_.grad,
+                      tensor::matmul_transpose_a(cached_input_, grad_out));
+  tensor::add_inplace(bias_.grad, tensor::sum_rows(grad_out));
+  return tensor::matmul_transpose_b(grad_out, weight_.value);
+}
+
+void Linear::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+std::unique_ptr<Module> Linear::clone() const {
+  Parameter w(weight_.name, weight_.value);
+  Parameter b(bias_.name, bias_.value);
+  return std::unique_ptr<Module>(
+      new Linear(in_, out_, std::move(w), std::move(b)));
+}
+
+}  // namespace fedpkd::nn

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "fedpkd/nn/module.hpp"
+
+namespace fedpkd::nn {
+
+/// Fully connected layer: y = x W + b, with W [in, out] and b [out].
+///
+/// Weights use He (Kaiming) initialization, W ~ N(0, 2/in), matching the
+/// ReLU-heavy residual MLPs in the model zoo; biases start at zero.
+class Linear final : public Module {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
+         std::string name = "linear");
+
+  Tensor forward(const Tensor& x, bool train = true) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  std::unique_ptr<Module> clone() const override;
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  Linear(std::size_t in, std::size_t out, Parameter w, Parameter b);
+
+  std::size_t in_;
+  std::size_t out_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace fedpkd::nn

@@ -1,0 +1,142 @@
+#include "fedpkd/nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fedpkd/tensor/ops.hpp"
+
+namespace fedpkd::nn {
+
+namespace {
+constexpr double kEps = 1e-12;
+
+void check_logits_labels(const Tensor& logits, std::span<const int> labels,
+                         const char* what) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument(std::string(what) + ": logits must be rank-2");
+  }
+  if (logits.rows() != labels.size()) {
+    throw std::invalid_argument(std::string(what) + ": batch mismatch (" +
+                                std::to_string(logits.rows()) + " logits, " +
+                                std::to_string(labels.size()) + " labels)");
+  }
+  if (logits.rows() == 0) {
+    throw std::invalid_argument(std::string(what) + ": empty batch");
+  }
+}
+}  // namespace
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> labels) {
+  check_logits_labels(logits, labels, "softmax_cross_entropy");
+  const std::size_t m = logits.rows(), n = logits.cols();
+  Tensor probs = tensor::softmax_rows(logits);
+  double loss = 0.0;
+  Tensor grad = probs;  // grad = (p - onehot)/m
+  const float inv_m = 1.0f / static_cast<float>(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    const int y = labels[r];
+    if (y < 0 || static_cast<std::size_t>(y) >= n) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    loss -= std::log(static_cast<double>(probs[r * n + y]) + kEps);
+    grad[r * n + static_cast<std::size_t>(y)] -= 1.0f;
+  }
+  tensor::scale_inplace(grad, inv_m);
+  return {static_cast<float>(loss / static_cast<double>(m)), std::move(grad)};
+}
+
+LossResult soft_cross_entropy(const Tensor& logits,
+                              const Tensor& target_probs) {
+  if (!logits.same_shape(target_probs)) {
+    throw std::invalid_argument("soft_cross_entropy: shape mismatch " +
+                                logits.shape_string() + " vs " +
+                                target_probs.shape_string());
+  }
+  const std::size_t m = logits.rows(), n = logits.cols();
+  if (m == 0) throw std::invalid_argument("soft_cross_entropy: empty batch");
+  Tensor logp = tensor::log_softmax_rows(logits);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < m * n; ++i) {
+    loss -= static_cast<double>(target_probs[i]) * logp[i];
+  }
+  Tensor grad = tensor::softmax_rows(logits);
+  tensor::sub_inplace(grad, target_probs);
+  tensor::scale_inplace(grad, 1.0f / static_cast<float>(m));
+  return {static_cast<float>(loss / static_cast<double>(m)), std::move(grad)};
+}
+
+LossResult kl_distillation(const Tensor& logits, const Tensor& teacher_probs,
+                           float temperature) {
+  if (temperature <= 0.0f) {
+    throw std::invalid_argument("kl_distillation: temperature must be > 0");
+  }
+  if (!logits.same_shape(teacher_probs)) {
+    throw std::invalid_argument("kl_distillation: shape mismatch " +
+                                logits.shape_string() + " vs " +
+                                teacher_probs.shape_string());
+  }
+  const std::size_t m = logits.rows();
+  if (m == 0) throw std::invalid_argument("kl_distillation: empty batch");
+  Tensor student = tensor::softmax_rows(logits, temperature);
+  const float value = tensor::kl_divergence_rows(teacher_probs, student);
+  Tensor grad = std::move(student);
+  tensor::sub_inplace(grad, teacher_probs);
+  tensor::scale_inplace(grad, 1.0f / (static_cast<float>(m) * temperature));
+  return {value, std::move(grad)};
+}
+
+LossResult mse(const Tensor& pred, const Tensor& target) {
+  if (!pred.same_shape(target)) {
+    throw std::invalid_argument("mse: shape mismatch " + pred.shape_string() +
+                                " vs " + target.shape_string());
+  }
+  if (pred.numel() == 0) throw std::invalid_argument("mse: empty tensors");
+  double loss = 0.0;
+  Tensor grad(pred.shape());
+  const float inv = 1.0f / static_cast<float>(pred.numel());
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const float d = pred[i] - target[i];
+    loss += static_cast<double>(d) * d;
+    grad[i] = 2.0f * d * inv;
+  }
+  return {static_cast<float>(loss * inv), std::move(grad)};
+}
+
+float accuracy(const Tensor& logits, std::span<const int> labels) {
+  check_logits_labels(logits, labels, "accuracy");
+  const std::vector<int> pred = tensor::argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(pred.size());
+}
+
+PerClassAccuracy per_class_accuracy(const Tensor& logits,
+                                    std::span<const int> labels,
+                                    std::size_t num_classes) {
+  check_logits_labels(logits, labels, "per_class_accuracy");
+  PerClassAccuracy out;
+  out.accuracy.assign(num_classes, 0.0f);
+  out.counts.assign(num_classes, 0);
+  std::vector<std::size_t> correct(num_classes, 0);
+  const std::vector<int> pred = tensor::argmax_rows(logits);
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const int y = labels[i];
+    if (y < 0 || static_cast<std::size_t>(y) >= num_classes) {
+      throw std::invalid_argument("per_class_accuracy: label out of range");
+    }
+    ++out.counts[static_cast<std::size_t>(y)];
+    if (pred[i] == y) ++correct[static_cast<std::size_t>(y)];
+  }
+  for (std::size_t j = 0; j < num_classes; ++j) {
+    if (out.counts[j] > 0) {
+      out.accuracy[j] = static_cast<float>(correct[j]) /
+                        static_cast<float>(out.counts[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace fedpkd::nn

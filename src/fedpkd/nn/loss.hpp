@@ -1,0 +1,55 @@
+#pragma once
+
+#include <span>
+
+#include "fedpkd/tensor/tensor.hpp"
+
+namespace fedpkd::nn {
+
+using tensor::Tensor;
+
+/// Scalar loss value together with its gradient w.r.t. the first argument of
+/// the loss (logits, predictions, or features). The trainer feeds `grad` to
+/// Module::backward.
+struct LossResult {
+  float value = 0.0f;
+  Tensor grad;
+};
+
+/// Mean softmax cross-entropy against integer labels (Eq. 4 of the paper).
+/// logits: [batch, classes]; labels: batch ints in [0, classes).
+/// grad = (softmax(logits) - one_hot) / batch.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> labels);
+
+/// Mean cross-entropy against soft target distributions (rows of
+/// `target_probs` must be probability vectors). Gradient matches
+/// softmax_cross_entropy with one_hot replaced by the soft target.
+LossResult soft_cross_entropy(const Tensor& logits, const Tensor& target_probs);
+
+/// Temperature-scaled distillation loss: mean over rows of
+/// KL(teacher_probs || softmax(logits / T)), as in Eq. (2)/(11).
+/// `teacher_probs` rows must already be probability vectors (the caller
+/// softmaxes the aggregated teacher logits, possibly at the same T).
+/// grad = (softmax(logits/T) - teacher_probs) / (batch * T).
+LossResult kl_distillation(const Tensor& logits, const Tensor& teacher_probs,
+                           float temperature = 1.0f);
+
+/// Mean squared error over all elements (Eq. 12/16 prototype loss).
+/// grad = 2 (pred - target) / numel.
+LossResult mse(const Tensor& pred, const Tensor& target);
+
+/// Fraction of rows whose argmax equals the label.
+float accuracy(const Tensor& logits, std::span<const int> labels);
+
+/// Per-class accuracy: element j is the accuracy over samples with label j
+/// (NaN-free: classes with no samples report 0 and are flagged in `counts`).
+struct PerClassAccuracy {
+  std::vector<float> accuracy;
+  std::vector<std::size_t> counts;
+};
+PerClassAccuracy per_class_accuracy(const Tensor& logits,
+                                    std::span<const int> labels,
+                                    std::size_t num_classes);
+
+}  // namespace fedpkd::nn

@@ -1,0 +1,38 @@
+#include "fedpkd/nn/residual.hpp"
+
+#include <stdexcept>
+
+#include "fedpkd/tensor/ops.hpp"
+
+namespace fedpkd::nn {
+
+Residual::Residual(std::unique_ptr<Module> inner) : inner_(std::move(inner)) {
+  if (!inner_) throw std::invalid_argument("Residual: null inner module");
+}
+
+Tensor Residual::forward(const Tensor& x, bool train) {
+  Tensor fx = inner_->forward(x, train);
+  if (!fx.same_shape(x)) {
+    throw std::invalid_argument(
+        "Residual::forward: inner module changed shape " + x.shape_string() +
+        " -> " + fx.shape_string());
+  }
+  tensor::add_inplace(fx, x);
+  return fx;
+}
+
+Tensor Residual::backward(const Tensor& grad_out) {
+  Tensor g = inner_->backward(grad_out);
+  tensor::add_inplace(g, grad_out);
+  return g;
+}
+
+void Residual::collect_parameters(std::vector<Parameter*>& out) {
+  inner_->collect_parameters(out);
+}
+
+std::unique_ptr<Module> Residual::clone() const {
+  return std::make_unique<Residual>(inner_->clone());
+}
+
+}  // namespace fedpkd::nn

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <memory>
+
+#include "fedpkd/nn/module.hpp"
+
+namespace fedpkd::nn {
+
+/// Identity skip connection: y = x + f(x).
+///
+/// The inner module must preserve shape. These blocks give the model zoo its
+/// "ResNet-like" depth scaling: ResMLP-11/20/29/56 differ only in how many
+/// Residual blocks they stack (see model_zoo.hpp).
+class Residual final : public Module {
+ public:
+  explicit Residual(std::unique_ptr<Module> inner);
+
+  Tensor forward(const Tensor& x, bool train = true) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  std::unique_ptr<Module> clone() const override;
+
+ private:
+  std::unique_ptr<Module> inner_;
+};
+
+}  // namespace fedpkd::nn

@@ -1,0 +1,53 @@
+#include "fedpkd/nn/scheduler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedpkd::nn {
+
+ConstantLr::ConstantLr(float value) : value_(value) {
+  if (value <= 0.0f) throw std::invalid_argument("ConstantLr: lr must be > 0");
+}
+
+float ConstantLr::lr(std::size_t) const { return value_; }
+
+StepDecayLr::StepDecayLr(float base, float gamma, std::size_t period)
+    : base_(base), gamma_(gamma), period_(period) {
+  if (base <= 0.0f) throw std::invalid_argument("StepDecayLr: base must be > 0");
+  if (gamma <= 0.0f || gamma > 1.0f) {
+    throw std::invalid_argument("StepDecayLr: gamma must be in (0, 1]");
+  }
+  if (period == 0) throw std::invalid_argument("StepDecayLr: period must be > 0");
+}
+
+float StepDecayLr::lr(std::size_t step) const {
+  return base_ * std::pow(gamma_, static_cast<float>(step / period_));
+}
+
+CosineLr::CosineLr(float base, float floor, std::size_t horizon)
+    : base_(base), floor_(floor), horizon_(horizon) {
+  if (base <= 0.0f || floor < 0.0f || floor > base) {
+    throw std::invalid_argument("CosineLr: need 0 <= floor <= base, base > 0");
+  }
+  if (horizon == 0) throw std::invalid_argument("CosineLr: horizon must be > 0");
+}
+
+float CosineLr::lr(std::size_t step) const {
+  if (step >= horizon_) return floor_;
+  const double progress =
+      static_cast<double>(step) / static_cast<double>(horizon_);
+  return floor_ + 0.5f * (base_ - floor_) *
+                      static_cast<float>(1.0 + std::cos(M_PI * progress));
+}
+
+WarmupLr::WarmupLr(std::size_t warmup, const LrSchedule& after)
+    : warmup_(warmup), after_(&after) {}
+
+float WarmupLr::lr(std::size_t step) const {
+  if (warmup_ == 0 || step >= warmup_) return after_->lr(step);
+  const float target = after_->lr(warmup_);
+  return target * static_cast<float>(step + 1) /
+         static_cast<float>(warmup_);
+}
+
+}  // namespace fedpkd::nn

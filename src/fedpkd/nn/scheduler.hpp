@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+
+namespace fedpkd::nn {
+
+/// Learning-rate schedules, expressed as pure functions of the step index so
+/// they compose with any optimizer: callers query lr(step) and write it into
+/// the optimizer options before each step (see fl::TrainOptions::lr or the
+/// trainer loops).
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate to use at 0-based step `step`.
+  virtual float lr(std::size_t step) const = 0;
+};
+
+/// Constant rate (the default everywhere in the paper: Adam, 1e-3).
+class ConstantLr final : public LrSchedule {
+ public:
+  explicit ConstantLr(float value);
+  float lr(std::size_t step) const override;
+
+ private:
+  float value_;
+};
+
+/// Step decay: lr = base * gamma^(step / period).
+class StepDecayLr final : public LrSchedule {
+ public:
+  StepDecayLr(float base, float gamma, std::size_t period);
+  float lr(std::size_t step) const override;
+
+ private:
+  float base_;
+  float gamma_;
+  std::size_t period_;
+};
+
+/// Cosine annealing from base to floor over `horizon` steps, constant at
+/// `floor` afterwards.
+class CosineLr final : public LrSchedule {
+ public:
+  CosineLr(float base, float floor, std::size_t horizon);
+  float lr(std::size_t step) const override;
+
+ private:
+  float base_;
+  float floor_;
+  std::size_t horizon_;
+};
+
+/// Linear warmup to base over `warmup` steps, then delegate to `after`.
+/// `after` is referenced, not owned; it must outlive the warmup schedule.
+class WarmupLr final : public LrSchedule {
+ public:
+  WarmupLr(std::size_t warmup, const LrSchedule& after);
+  float lr(std::size_t step) const override;
+
+ private:
+  std::size_t warmup_;
+  const LrSchedule* after_;
+};
+
+}  // namespace fedpkd::nn

@@ -1,0 +1,45 @@
+#include "fedpkd/nn/sequential.hpp"
+
+#include <stdexcept>
+
+namespace fedpkd::nn {
+
+Sequential::Sequential(std::vector<std::unique_ptr<Module>> layers)
+    : layers_(std::move(layers)) {
+  for (const auto& l : layers_) {
+    if (!l) throw std::invalid_argument("Sequential: null layer");
+  }
+}
+
+Sequential& Sequential::add(std::unique_ptr<Module> layer) {
+  if (!layer) throw std::invalid_argument("Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h, train);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void Sequential::collect_parameters(std::vector<Parameter*>& out) {
+  for (auto& l : layers_) l->collect_parameters(out);
+}
+
+std::unique_ptr<Module> Sequential::clone() const {
+  std::vector<std::unique_ptr<Module>> copies;
+  copies.reserve(layers_.size());
+  for (const auto& l : layers_) copies.push_back(l->clone());
+  return std::make_unique<Sequential>(std::move(copies));
+}
+
+}  // namespace fedpkd::nn

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fedpkd/nn/module.hpp"
+
+namespace fedpkd::nn {
+
+/// Ordered composition of modules: forward applies them left-to-right,
+/// backward right-to-left.
+class Sequential final : public Module {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<std::unique_ptr<Module>> layers);
+
+  /// Appends a layer; returns *this for builder-style chaining.
+  Sequential& add(std::unique_ptr<Module> layer);
+
+  Tensor forward(const Tensor& x, bool train = true) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  std::unique_ptr<Module> clone() const override;
+
+  std::size_t size() const { return layers_.size(); }
+  Module& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Module>> layers_;
+};
+
+}  // namespace fedpkd::nn

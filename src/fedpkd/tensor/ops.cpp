@@ -1,0 +1,370 @@
+#include "fedpkd/tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fedpkd::tensor {
+
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* what) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch " +
+                                a.shape_string() + " vs " + b.shape_string());
+  }
+}
+
+template <typename F>
+Tensor zip(const Tensor& a, const Tensor& b, const char* what, F&& f) {
+  check_same_shape(a, b, what);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return zip(a, b, "add", [](float x, float y) { return x + y; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return zip(a, b, "sub", [](float x, float y) { return x - y; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return zip(a, b, "mul", [](float x, float y) { return x * y; });
+}
+
+Tensor div(const Tensor& a, const Tensor& b) {
+  return zip(a, b, "div", [](float x, float y) { return x / y; });
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.numel(); ++i) out[i] = a[i] + s;
+  return out;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add_inplace");
+  for (std::size_t i = 0; i < a.numel(); ++i) a[i] += b[i];
+}
+
+void sub_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub_inplace");
+  for (std::size_t i = 0; i < a.numel(); ++i) a[i] -= b[i];
+}
+
+void scale_inplace(Tensor& a, float s) {
+  for (std::size_t i = 0; i < a.numel(); ++i) a[i] *= s;
+}
+
+void axpy_inplace(Tensor& a, float s, const Tensor& b) {
+  check_same_shape(a, b, "axpy_inplace");
+  for (std::size_t i = 0; i < a.numel(); ++i) a[i] += s * b[i];
+}
+
+Tensor add_row_vector(const Tensor& a, const Tensor& v) {
+  if (a.rank() != 2 || v.rank() != 1 || v.dim(0) != a.cols()) {
+    throw std::invalid_argument("add_row_vector: need [m,n] and [n], got " +
+                                a.shape_string() + " and " + v.shape_string());
+  }
+  Tensor out(a.shape());
+  const std::size_t m = a.rows(), n = a.cols();
+  for (std::size_t r = 0; r < m; ++r) {
+    const float* pa = a.data() + r * n;
+    float* po = out.data() + r * n;
+    for (std::size_t c = 0; c < n; ++c) po[c] = pa[c] + v[c];
+  }
+  return out;
+}
+
+Tensor mul_row_vector(const Tensor& a, const Tensor& v) {
+  if (a.rank() != 2 || v.rank() != 1 || v.dim(0) != a.cols()) {
+    throw std::invalid_argument("mul_row_vector: need [m,n] and [n], got " +
+                                a.shape_string() + " and " + v.shape_string());
+  }
+  Tensor out(a.shape());
+  const std::size_t m = a.rows(), n = a.cols();
+  for (std::size_t r = 0; r < m; ++r) {
+    const float* pa = a.data() + r * n;
+    float* po = out.data() + r * n;
+    for (std::size_t c = 0; c < n; ++c) po[c] = pa[c] * v[c];
+  }
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul: incompatible shapes " +
+                                a.shape_string() + " x " + b.shape_string());
+  }
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor out({m, n});
+  // i-k-j ordering keeps both B and C accesses contiguous.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* pa = a.data() + i * k;
+    float* po = out.data() + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = pa[kk];
+      if (av == 0.0f) continue;
+      const float* pb = b.data() + kk * n;
+      for (std::size_t j = 0; j < n; ++j) po[j] += av * pb[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.rows() != b.rows()) {
+    throw std::invalid_argument("matmul_transpose_a: incompatible shapes " +
+                                a.shape_string() + "^T x " + b.shape_string());
+  }
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  Tensor out({m, n});
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* pa = a.data() + kk * m;
+    const float* pb = b.data() + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = pa[i];
+      if (av == 0.0f) continue;
+      float* po = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) po[j] += av * pb[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_transpose_b: incompatible shapes " +
+                                a.shape_string() + " x " + b.shape_string() +
+                                "^T");
+  }
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Tensor out({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* pa = a.data() + i * k;
+    float* po = out.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* pb = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += pa[kk] * pb[kk];
+      po[j] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& a) {
+  if (a.rank() != 2) {
+    throw std::invalid_argument("transpose: need rank-2, got " +
+                                a.shape_string());
+  }
+  const std::size_t m = a.rows(), n = a.cols();
+  Tensor out({n, m});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) out[j * m + i] = a[i * n + j];
+  }
+  return out;
+}
+
+float sum(const Tensor& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) acc += a[i];
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("mean: empty tensor");
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float min(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("min: empty tensor");
+  return *std::min_element(a.flat().begin(), a.flat().end());
+}
+
+float max(const Tensor& a) {
+  if (a.numel() == 0) throw std::invalid_argument("max: empty tensor");
+  return *std::max_element(a.flat().begin(), a.flat().end());
+}
+
+Tensor sum_rows(const Tensor& a) {
+  const std::size_t m = a.rows(), n = a.cols();
+  Tensor out({n});
+  for (std::size_t r = 0; r < m; ++r) {
+    const float* pa = a.data() + r * n;
+    for (std::size_t c = 0; c < n; ++c) out[c] += pa[c];
+  }
+  return out;
+}
+
+Tensor mean_rows(const Tensor& a) {
+  if (a.rows() == 0) throw std::invalid_argument("mean_rows: zero rows");
+  Tensor out = sum_rows(a);
+  scale_inplace(out, 1.0f / static_cast<float>(a.rows()));
+  return out;
+}
+
+std::vector<int> argmax_rows(const Tensor& a) {
+  const std::size_t m = a.rows(), n = a.cols();
+  if (n == 0) throw std::invalid_argument("argmax_rows: zero cols");
+  std::vector<int> out(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    const float* pa = a.data() + r * n;
+    out[r] = static_cast<int>(std::max_element(pa, pa + n) - pa);
+  }
+  return out;
+}
+
+Tensor variance_per_row(const Tensor& a) {
+  const std::size_t m = a.rows(), n = a.cols();
+  if (n == 0) throw std::invalid_argument("variance_per_row: zero cols");
+  Tensor out({m});
+  for (std::size_t r = 0; r < m; ++r) {
+    const float* pa = a.data() + r * n;
+    double mu = 0.0;
+    for (std::size_t c = 0; c < n; ++c) mu += pa[c];
+    mu /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      const double d = pa[c] - mu;
+      var += d * d;
+    }
+    out[r] = static_cast<float>(var / static_cast<double>(n));
+  }
+  return out;
+}
+
+float squared_norm(const Tensor& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    acc += static_cast<double>(a[i]) * a[i];
+  }
+  return static_cast<float>(acc);
+}
+
+float l2_distance(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "l2_distance");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float row_l2_distance(const Tensor& a, std::size_t r, const Tensor& v) {
+  if (a.rank() != 2 || v.rank() != 1 || v.dim(0) != a.cols()) {
+    throw std::invalid_argument("row_l2_distance: need [m,n] and [n]");
+  }
+  if (r >= a.rows()) throw std::out_of_range("row_l2_distance: row index");
+  const float* pa = a.data() + r * a.cols();
+  double acc = 0.0;
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    const double d = static_cast<double>(pa[c]) - v[c];
+    acc += d * d;
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+Tensor softmax_rows(const Tensor& logits, float temperature) {
+  if (temperature <= 0.0f) {
+    throw std::invalid_argument("softmax_rows: temperature must be > 0");
+  }
+  const std::size_t m = logits.rows(), n = logits.cols();
+  Tensor out(logits.shape());
+  for (std::size_t r = 0; r < m; ++r) {
+    const float* pl = logits.data() + r * n;
+    float* po = out.data() + r * n;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::size_t c = 0; c < n; ++c) mx = std::max(mx, pl[c] / temperature);
+    double z = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      po[c] = std::exp(pl[c] / temperature - mx);
+      z += po[c];
+    }
+    const float inv = static_cast<float>(1.0 / z);
+    for (std::size_t c = 0; c < n; ++c) po[c] *= inv;
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& logits, float temperature) {
+  if (temperature <= 0.0f) {
+    throw std::invalid_argument("log_softmax_rows: temperature must be > 0");
+  }
+  const std::size_t m = logits.rows(), n = logits.cols();
+  Tensor out(logits.shape());
+  for (std::size_t r = 0; r < m; ++r) {
+    const float* pl = logits.data() + r * n;
+    float* po = out.data() + r * n;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::size_t c = 0; c < n; ++c) mx = std::max(mx, pl[c] / temperature);
+    double z = 0.0;
+    for (std::size_t c = 0; c < n; ++c) z += std::exp(pl[c] / temperature - mx);
+    const float logz = mx + static_cast<float>(std::log(z));
+    for (std::size_t c = 0; c < n; ++c) po[c] = pl[c] / temperature - logz;
+  }
+  return out;
+}
+
+float kl_divergence_rows(const Tensor& p, const Tensor& q) {
+  check_same_shape(p, q, "kl_divergence_rows");
+  const std::size_t m = p.rows(), n = p.cols();
+  if (m == 0) throw std::invalid_argument("kl_divergence_rows: zero rows");
+  double acc = 0.0;
+  constexpr double kEps = 1e-12;
+  for (std::size_t i = 0; i < m * n; ++i) {
+    const double pi = p[i];
+    if (pi <= 0.0) continue;
+    acc += pi * (std::log(pi + kEps) - std::log(static_cast<double>(q[i]) + kEps));
+  }
+  return static_cast<float>(acc / static_cast<double>(m));
+}
+
+Tensor entropy_rows(const Tensor& p) {
+  const std::size_t m = p.rows(), n = p.cols();
+  Tensor out({m});
+  constexpr double kEps = 1e-12;
+  for (std::size_t r = 0; r < m; ++r) {
+    const float* pp = p.data() + r * n;
+    double h = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (pp[c] > 0.0f) h -= pp[c] * std::log(pp[c] + kEps);
+    }
+    out[r] = static_cast<float>(h);
+  }
+  return out;
+}
+
+bool has_non_finite(const Tensor& a) {
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    if (!std::isfinite(a[i])) return true;
+  }
+  return false;
+}
+
+float max_abs_difference(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "max_abs_difference");
+  float mx = 0.0f;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    mx = std::max(mx, std::abs(a[i] - b[i]));
+  }
+  return mx;
+}
+
+}  // namespace fedpkd::tensor

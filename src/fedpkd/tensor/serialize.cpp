@@ -1,0 +1,116 @@
+#include "fedpkd/tensor/serialize.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fedpkd::tensor {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x464b5054u;  // 'FPKT'
+constexpr std::uint8_t kMaxRank = 8;
+
+void require(bool cond, const char* msg) {
+  if (!cond) throw std::runtime_error(std::string("decode_tensor: ") + msg);
+}
+}  // namespace
+
+void put_u32(std::uint32_t v, std::vector<std::byte>& out) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::uint64_t v, std::vector<std::byte>& out) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_f32(float v, std::vector<std::byte>& out) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u32(bits, out);
+}
+
+std::uint32_t get_u32(std::span<const std::byte> bytes, std::size_t& offset) {
+  require(offset + 4 <= bytes.size(), "truncated u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(bytes[offset + i]) << (8 * i);
+  }
+  offset += 4;
+  return v;
+}
+
+std::uint64_t get_u64(std::span<const std::byte> bytes, std::size_t& offset) {
+  require(offset + 8 <= bytes.size(), "truncated u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes[offset + i]) << (8 * i);
+  }
+  offset += 8;
+  return v;
+}
+
+float get_f32(std::span<const std::byte> bytes, std::size_t& offset) {
+  const std::uint32_t bits = get_u32(bytes, offset);
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::size_t encoded_size(const Shape& s) {
+  return 4 + 1 + 8 * s.size() + 4 * shape_numel(s);
+}
+
+std::size_t encode_tensor(const Tensor& t, std::vector<std::byte>& out) {
+  const std::size_t before = out.size();
+  if (t.rank() > kMaxRank) {
+    throw std::invalid_argument("encode_tensor: rank too large");
+  }
+  put_u32(kMagic, out);
+  out.push_back(static_cast<std::byte>(t.rank()));
+  for (std::size_t d : t.shape()) put_u64(d, out);
+  const std::size_t payload = 4 * t.numel();
+  const std::size_t base = out.size();
+  out.resize(base + payload);
+  if (payload > 0) std::memcpy(out.data() + base, t.data(), payload);
+  return out.size() - before;
+}
+
+std::vector<std::byte> encode_tensor(const Tensor& t) {
+  std::vector<std::byte> out;
+  out.reserve(encoded_size(t.shape()));
+  encode_tensor(t, out);
+  return out;
+}
+
+Tensor decode_tensor(std::span<const std::byte> bytes, std::size_t& offset) {
+  require(get_u32(bytes, offset) == kMagic, "bad magic");
+  require(offset < bytes.size(), "truncated rank");
+  const auto rank = static_cast<std::uint8_t>(bytes[offset++]);
+  require(rank <= kMaxRank, "rank too large");
+  Shape shape(rank);
+  for (std::uint8_t i = 0; i < rank; ++i) {
+    const std::uint64_t d = get_u64(bytes, offset);
+    require(d <= (1ull << 32), "dimension too large");
+    shape[i] = static_cast<std::size_t>(d);
+  }
+  const std::size_t n = shape_numel(shape);
+  require(offset + 4 * n <= bytes.size(), "truncated payload");
+  std::vector<float> values(n);
+  if (n > 0) std::memcpy(values.data(), bytes.data() + offset, 4 * n);
+  offset += 4 * n;
+  return Tensor(std::move(shape), std::move(values));
+}
+
+Tensor decode_tensor(std::span<const std::byte> bytes) {
+  std::size_t offset = 0;
+  Tensor t = decode_tensor(bytes, offset);
+  if (offset != bytes.size()) {
+    throw std::runtime_error("decode_tensor: trailing bytes");
+  }
+  return t;
+}
+
+}  // namespace fedpkd::tensor

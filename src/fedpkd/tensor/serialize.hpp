@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fedpkd/tensor/tensor.hpp"
+
+namespace fedpkd::tensor {
+
+/// Byte-exact binary serialization for tensors.
+///
+/// Wire format (little-endian):
+///   u32 magic 'FPKT' | u8 rank | u64 dim[rank] | f32 payload[numel]
+///
+/// The communication layer charges clients for exactly these bytes, so the
+/// format intentionally has no compression or padding: a logits tensor of
+/// |D_p| x N floats costs |D_p|*N*4 bytes + a small header, matching the
+/// analytic accounting in the paper (Fig. 3 / Table I).
+
+/// Serializes `t`, appending to `out`. Returns the number of bytes appended.
+std::size_t encode_tensor(const Tensor& t, std::vector<std::byte>& out);
+
+/// Convenience: serialize into a fresh buffer.
+std::vector<std::byte> encode_tensor(const Tensor& t);
+
+/// Deserializes one tensor starting at `offset` within `bytes`; advances
+/// `offset` past the consumed region. Throws std::runtime_error on any
+/// malformed input (bad magic, truncated payload, absurd rank).
+Tensor decode_tensor(std::span<const std::byte> bytes, std::size_t& offset);
+
+/// Deserializes a buffer that contains exactly one tensor.
+Tensor decode_tensor(std::span<const std::byte> bytes);
+
+/// Exact number of bytes encode_tensor will produce for shape `s`.
+std::size_t encoded_size(const Shape& s);
+
+/// -- Small scalar helpers (shared by the comm payload codecs) ---------------
+
+void put_u32(std::uint32_t v, std::vector<std::byte>& out);
+void put_u64(std::uint64_t v, std::vector<std::byte>& out);
+void put_f32(float v, std::vector<std::byte>& out);
+std::uint32_t get_u32(std::span<const std::byte> bytes, std::size_t& offset);
+std::uint64_t get_u64(std::span<const std::byte> bytes, std::size_t& offset);
+float get_f32(std::span<const std::byte> bytes, std::size_t& offset);
+
+}  // namespace fedpkd::tensor

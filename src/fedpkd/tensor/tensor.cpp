@@ -1,0 +1,197 @@
+#include "fedpkd/tensor/tensor.hpp"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedpkd::tensor {
+
+std::size_t shape_numel(const Shape& shape) {
+  if (shape.empty()) return 0;
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return n;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  if (data_.size() != shape_numel(shape_)) {
+    throw std::invalid_argument("Tensor: values size " +
+                                std::to_string(data_.size()) +
+                                " does not match shape " + shape_string());
+  }
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0f); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng.normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::vector(std::initializer_list<float> values) {
+  return Tensor({values.size()}, std::vector<float>(values));
+}
+
+Tensor Tensor::matrix(
+    std::initializer_list<std::initializer_list<float>> rows) {
+  const std::size_t r = rows.size();
+  const std::size_t c = r == 0 ? 0 : rows.begin()->size();
+  std::vector<float> values;
+  values.reserve(r * c);
+  for (const auto& row : rows) {
+    if (row.size() != c) {
+      throw std::invalid_argument("Tensor::matrix: ragged rows");
+    }
+    values.insert(values.end(), row.begin(), row.end());
+  }
+  return Tensor({r, c}, std::move(values));
+}
+
+Tensor Tensor::one_hot(std::span<const int> labels, std::size_t num_classes) {
+  Tensor t({labels.size(), num_classes});
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const int y = labels[i];
+    if (y < 0 || static_cast<std::size_t>(y) >= num_classes) {
+      throw std::invalid_argument("Tensor::one_hot: label " +
+                                  std::to_string(y) + " out of range");
+    }
+    t.data_[i * num_classes + static_cast<std::size_t>(y)] = 1.0f;
+  }
+  return t;
+}
+
+std::size_t Tensor::dim(std::size_t d) const {
+  if (d >= shape_.size()) {
+    throw std::out_of_range("Tensor::dim: axis " + std::to_string(d) +
+                            " out of range for " + shape_string());
+  }
+  return shape_[d];
+}
+
+void Tensor::check_rank2(const char* what) const {
+  if (rank() != 2) {
+    throw std::invalid_argument(std::string(what) +
+                                ": tensor is not rank-2, shape is " +
+                                shape_string());
+  }
+}
+
+std::size_t Tensor::rows() const {
+  check_rank2("Tensor::rows");
+  return shape_[0];
+}
+
+std::size_t Tensor::cols() const {
+  check_rank2("Tensor::cols");
+  return shape_[1];
+}
+
+float& Tensor::at(std::size_t i) {
+  if (i >= data_.size()) throw std::out_of_range("Tensor::at: index");
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  if (i >= data_.size()) throw std::out_of_range("Tensor::at: index");
+  return data_[i];
+}
+
+float& Tensor::at(std::size_t r, std::size_t c) {
+  check_rank2("Tensor::at");
+  if (r >= shape_[0] || c >= shape_[1]) {
+    throw std::out_of_range("Tensor::at: (" + std::to_string(r) + ", " +
+                            std::to_string(c) + ") out of " + shape_string());
+  }
+  return data_[r * shape_[1] + c];
+}
+
+float Tensor::at(std::size_t r, std::size_t c) const {
+  return const_cast<Tensor*>(this)->at(r, c);
+}
+
+std::span<float> Tensor::row(std::size_t r) {
+  check_rank2("Tensor::row");
+  if (r >= shape_[0]) throw std::out_of_range("Tensor::row: index");
+  return {data_.data() + r * shape_[1], shape_[1]};
+}
+
+std::span<const float> Tensor::row(std::size_t r) const {
+  return const_cast<Tensor*>(this)->row(r);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  if (shape_numel(new_shape) != numel()) {
+    throw std::invalid_argument("Tensor::reshape: cannot reshape " +
+                                shape_string() + " to new element count");
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::gather_rows(std::span<const std::size_t> indices) const {
+  check_rank2("Tensor::gather_rows");
+  Tensor out({indices.size(), shape_[1]});
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= shape_[0]) {
+      throw std::out_of_range("Tensor::gather_rows: row index");
+    }
+    const float* src = data_.data() + indices[i] * shape_[1];
+    std::copy(src, src + shape_[1], out.data_.data() + i * shape_[1]);
+  }
+  return out;
+}
+
+Tensor Tensor::row_copy(std::size_t r) const {
+  check_rank2("Tensor::row_copy");
+  if (r >= shape_[0]) throw std::out_of_range("Tensor::row_copy: index");
+  const float* src = data_.data() + r * shape_[1];
+  return Tensor({shape_[1]}, std::vector<float>(src, src + shape_[1]));
+}
+
+void Tensor::set_row(std::size_t r, std::span<const float> values) {
+  check_rank2("Tensor::set_row");
+  if (r >= shape_[0]) throw std::out_of_range("Tensor::set_row: index");
+  if (values.size() != shape_[1]) {
+    throw std::invalid_argument("Tensor::set_row: width mismatch");
+  }
+  std::copy(values.begin(), values.end(), data_.data() + r * shape_[1]);
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace fedpkd::tensor

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fedpkd/tensor/rng.hpp"
+
+namespace fedpkd::tensor {
+
+/// Shape of a dense tensor, outermost dimension first.
+using Shape = std::vector<std::size_t>;
+
+/// Dense, row-major, float32 tensor with value semantics.
+///
+/// This is the single numeric container used throughout the library: model
+/// parameters, activations, gradients, datasets, logits, and prototypes are
+/// all Tensors. It deliberately supports only what the FedPKD stack needs —
+/// rank 0-4, contiguous storage, and the arithmetic in ops.hpp — and checks
+/// shapes aggressively (throws std::invalid_argument on mismatch) because
+/// federated aggregation bugs almost always manifest as silent shape abuse.
+class Tensor {
+ public:
+  /// Empty (rank-0, zero-element) tensor.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor with the given shape and explicit contents (row-major).
+  /// Throws if `values.size()` does not match the shape's element count.
+  Tensor(Shape shape, std::vector<float> values);
+
+  /// -- Factories -----------------------------------------------------------
+
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, float value);
+  /// i.i.d. N(mean, stddev^2) entries drawn from `rng`.
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  /// i.i.d. U[lo, hi) entries drawn from `rng`.
+  static Tensor rand_uniform(Shape shape, Rng& rng, float lo, float hi);
+  /// 1-D tensor from an initializer list.
+  static Tensor vector(std::initializer_list<float> values);
+  /// 2-D tensor from nested initializer lists; all rows must be equal length.
+  static Tensor matrix(std::initializer_list<std::initializer_list<float>> rows);
+  /// One-hot encoding: row i has a single 1 at column labels[i].
+  /// Every label must lie in [0, num_classes).
+  static Tensor one_hot(std::span<const int> labels, std::size_t num_classes);
+
+  /// -- Introspection -------------------------------------------------------
+
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  /// Total number of elements.
+  std::size_t numel() const { return data_.size(); }
+  /// Size of dimension `d`. Throws if d >= rank().
+  std::size_t dim(std::size_t d) const;
+  /// Number of rows / columns of a rank-2 tensor. Throws if rank() != 2.
+  std::size_t rows() const;
+  std::size_t cols() const;
+  bool empty() const { return data_.empty(); }
+  /// True if shapes are identical (element values not compared).
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// -- Element access ------------------------------------------------------
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  /// Linear (row-major) indexing with bounds check.
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
+  /// 2-D indexing with bounds check. Requires rank() == 2.
+  float& at(std::size_t r, std::size_t c);
+  float at(std::size_t r, std::size_t c) const;
+
+  /// Unchecked fast access (hot loops).
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// View of row r of a rank-2 tensor.
+  std::span<float> row(std::size_t r);
+  std::span<const float> row(std::size_t r) const;
+
+  /// -- Whole-tensor mutation ------------------------------------------------
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+  /// Reinterpret with a new shape of identical element count (metadata only).
+  Tensor reshape(Shape new_shape) const;
+  /// Copy of rows `indices` (rank-2 only); output has indices.size() rows.
+  Tensor gather_rows(std::span<const std::size_t> indices) const;
+  /// Copy of a single row as a rank-1 tensor (rank-2 only).
+  Tensor row_copy(std::size_t r) const;
+  /// Writes `values` (length cols()) into row r of a rank-2 tensor.
+  void set_row(std::size_t r, std::span<const float> values);
+
+  /// Human-readable shape, e.g. "[32, 10]".
+  std::string shape_string() const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+
+  void check_rank2(const char* what) const;
+};
+
+/// Element count implied by a shape (product of dimensions; 1 for rank 0...
+/// except the canonical empty tensor which has 0 elements when any dim is 0).
+std::size_t shape_numel(const Shape& shape);
+
+}  // namespace fedpkd::tensor

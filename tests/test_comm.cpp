@@ -1,0 +1,271 @@
+// Tests for the communication substrate: payload codecs, traffic meter, and
+// the simulated channel (including drop injection).
+
+#include <gtest/gtest.h>
+
+#include "fedpkd/comm/channel.hpp"
+#include "fedpkd/comm/meter.hpp"
+#include "fedpkd/comm/payload.hpp"
+#include "fedpkd/tensor/ops.hpp"
+
+namespace fedpkd::comm {
+namespace {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+// ---------------------------------------------------------------- Payload ---
+
+TEST(Payload, WeightsRoundTrip) {
+  Rng rng(1);
+  WeightsPayload payload{Tensor::randn({137}, rng)};
+  const auto bytes = encode(payload);
+  EXPECT_EQ(peek_kind(bytes), PayloadKind::kWeights);
+  const WeightsPayload back = decode_weights(bytes);
+  EXPECT_EQ(tensor::max_abs_difference(back.flat, payload.flat), 0.0f);
+}
+
+TEST(Payload, LogitsRoundTripWithSampleIds) {
+  Rng rng(2);
+  LogitsPayload payload{{5, 9, 42}, Tensor::randn({3, 10}, rng)};
+  const auto bytes = encode(payload);
+  EXPECT_EQ(peek_kind(bytes), PayloadKind::kLogits);
+  const LogitsPayload back = decode_logits(bytes);
+  EXPECT_EQ(back.sample_ids, payload.sample_ids);
+  EXPECT_EQ(tensor::max_abs_difference(back.logits, payload.logits), 0.0f);
+}
+
+TEST(Payload, LogitsEncodeRejectsMismatch) {
+  LogitsPayload bad{{1, 2}, Tensor::zeros({3, 4})};
+  EXPECT_THROW(encode(bad), std::invalid_argument);
+}
+
+TEST(Payload, PrototypesRoundTrip) {
+  Rng rng(3);
+  PrototypesPayload payload;
+  payload.entries.push_back({2, 17, Tensor::randn({8}, rng)});
+  payload.entries.push_back({7, 3, Tensor::randn({8}, rng)});
+  const auto bytes = encode(payload);
+  EXPECT_EQ(peek_kind(bytes), PayloadKind::kPrototypes);
+  const PrototypesPayload back = decode_prototypes(bytes);
+  ASSERT_EQ(back.entries.size(), 2u);
+  EXPECT_EQ(back.entries[0].class_id, 2);
+  EXPECT_EQ(back.entries[0].support, 17u);
+  EXPECT_EQ(back.entries[1].class_id, 7);
+  EXPECT_EQ(tensor::max_abs_difference(back.entries[1].centroid,
+                                       payload.entries[1].centroid),
+            0.0f);
+}
+
+TEST(Payload, PrototypesEncodeRejectsNonVectorCentroid) {
+  PrototypesPayload bad;
+  bad.entries.push_back({0, 1, Tensor::zeros({2, 2})});
+  EXPECT_THROW(encode(bad), std::invalid_argument);
+}
+
+TEST(Payload, DecodeKindMismatchThrows) {
+  const auto bytes = encode(WeightsPayload{Tensor::zeros({4})});
+  EXPECT_THROW(decode_logits(bytes), std::runtime_error);
+  EXPECT_THROW(decode_prototypes(bytes), std::runtime_error);
+}
+
+TEST(Payload, DecodeMalformedThrows) {
+  std::vector<std::byte> empty;
+  EXPECT_THROW(peek_kind(empty), std::runtime_error);
+  std::vector<std::byte> junk{std::byte{99}};
+  EXPECT_THROW(peek_kind(junk), std::runtime_error);
+  auto bytes = encode(WeightsPayload{Tensor::zeros({4})});
+  bytes.pop_back();
+  EXPECT_THROW(decode_weights(bytes), std::runtime_error);
+  bytes.push_back(std::byte{0});
+  bytes.push_back(std::byte{0});
+  EXPECT_THROW(decode_weights(bytes), std::runtime_error);
+}
+
+TEST(Payload, FuzzRandomBytesNeverCrash) {
+  // Decoders must reject arbitrary garbage with exceptions, never UB. Run a
+  // few hundred random buffers of assorted sizes through every decoder.
+  Rng fuzz_rng(0xf022);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t len = fuzz_rng.uniform_index(200);
+    std::vector<std::byte> bytes(len);
+    for (auto& b : bytes) {
+      b = static_cast<std::byte>(fuzz_rng.uniform_index(256));
+    }
+    try {
+      (void)decode_weights(bytes);
+    } catch (const std::exception&) {
+    }
+    try {
+      (void)decode_logits(bytes);
+    } catch (const std::exception&) {
+    }
+    try {
+      (void)decode_prototypes(bytes);
+    } catch (const std::exception&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Payload, FuzzTruncationsOfValidPayloadAlwaysThrow) {
+  Rng rng(77);
+  LogitsPayload payload{{1, 2, 3}, Tensor::randn({3, 4}, rng)};
+  const auto bytes = encode(payload);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::span<const std::byte> truncated(bytes.data(), cut);
+    EXPECT_THROW((void)decode_logits(truncated), std::runtime_error)
+        << "cut=" << cut;
+  }
+}
+
+TEST(Payload, FuzzBitFlipsEitherThrowOrPreserveStructure) {
+  Rng rng(78);
+  PrototypesPayload payload;
+  payload.entries.push_back({1, 4, Tensor::randn({6}, rng)});
+  const auto bytes = encode(payload);
+  Rng flip_rng(79);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto corrupted = bytes;
+    const std::size_t pos = flip_rng.uniform_index(corrupted.size());
+    corrupted[pos] ^= static_cast<std::byte>(
+        1u << flip_rng.uniform_index(8));
+    try {
+      const PrototypesPayload back = decode_prototypes(corrupted);
+      // If it decoded, the structural invariants must still hold.
+      for (const auto& e : back.entries) {
+        EXPECT_EQ(e.centroid.rank(), 1u);
+      }
+    } catch (const std::exception&) {
+      // Rejection is the expected common case.
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Payload, LogitsWireSizeScalesWithSamples) {
+  // The linear relationship behind Fig. 3: bytes ~= 4 * n * classes.
+  Rng rng(4);
+  const std::size_t classes = 10;
+  std::size_t previous = 0;
+  for (std::size_t n : {100u, 200u, 400u}) {
+    std::vector<std::uint32_t> ids(n);
+    for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<std::uint32_t>(i);
+    const auto bytes = encode(
+        LogitsPayload{ids, Tensor::randn({n, classes}, rng)});
+    EXPECT_GT(bytes.size(), previous);
+    // Dominant term: 4 bytes per logit + 4 per sample id.
+    EXPECT_NEAR(static_cast<double>(bytes.size()),
+                4.0 * n * classes + 4.0 * n, 64.0);
+    previous = bytes.size();
+  }
+}
+
+// ------------------------------------------------------------------ Meter ---
+
+TEST(Meter, TotalsByDirectionKindRoundClient) {
+  Meter meter;
+  meter.begin_round(0);
+  meter.record({0, 0, kServerId, PayloadKind::kLogits, 100});
+  meter.record({0, kServerId, 0, PayloadKind::kWeights, 50});
+  meter.begin_round(1);
+  meter.record({1, 1, kServerId, PayloadKind::kPrototypes, 7});
+
+  EXPECT_EQ(meter.total(), 157u);
+  EXPECT_EQ(meter.total_uplink(), 107u);
+  EXPECT_EQ(meter.total_downlink(), 50u);
+  EXPECT_EQ(meter.total_for_kind(PayloadKind::kLogits), 100u);
+  EXPECT_EQ(meter.total_for_kind(PayloadKind::kWeights), 50u);
+  EXPECT_EQ(meter.total_for_client(0), 150u);
+  EXPECT_EQ(meter.total_for_client(1), 7u);
+  EXPECT_EQ(meter.total_for_round(0), 150u);
+  EXPECT_EQ(meter.total_for_round(1), 7u);
+  EXPECT_DOUBLE_EQ(meter.mean_per_client(2), 78.5);
+}
+
+TEST(Meter, ClearResets) {
+  Meter meter;
+  meter.record({0, 0, kServerId, PayloadKind::kLogits, 10});
+  meter.clear();
+  EXPECT_EQ(meter.total(), 0u);
+  EXPECT_TRUE(meter.records().empty());
+}
+
+TEST(Meter, MbFormatting) {
+  EXPECT_EQ(Meter::to_mb(1024 * 1024), "1.00");
+  EXPECT_EQ(Meter::to_mb(1536 * 1024), "1.50");
+  EXPECT_DOUBLE_EQ(Meter::bytes_to_mb(0), 0.0);
+}
+
+// ---------------------------------------------------------------- Channel ---
+
+TEST(Channel, SendChargesExactSerializedBytes) {
+  Meter meter;
+  Channel channel(meter);
+  Rng rng(5);
+  const WeightsPayload payload{Tensor::randn({64}, rng)};
+  const auto expected = encode(payload).size();
+  auto wire = channel.send(3, kServerId, payload);
+  ASSERT_TRUE(wire.has_value());
+  EXPECT_EQ(wire->size(), expected);
+  EXPECT_EQ(meter.total(), expected);
+  ASSERT_EQ(meter.records().size(), 1u);
+  EXPECT_EQ(meter.records()[0].from, 3);
+  EXPECT_EQ(meter.records()[0].to, kServerId);
+  EXPECT_EQ(meter.records()[0].kind, PayloadKind::kWeights);
+}
+
+TEST(Channel, RoundStampsRecords) {
+  Meter meter;
+  Channel channel(meter);
+  meter.begin_round(4);
+  channel.send(0, kServerId, WeightsPayload{Tensor::zeros({2})});
+  EXPECT_EQ(meter.records()[0].round, 4u);
+}
+
+TEST(Channel, ReceiverDecodesWhatSenderEncoded) {
+  Meter meter;
+  Channel channel(meter);
+  Rng rng(6);
+  LogitsPayload payload{{1, 2}, Tensor::randn({2, 3}, rng)};
+  auto wire = channel.send(0, kServerId, payload);
+  ASSERT_TRUE(wire.has_value());
+  const LogitsPayload back = decode_logits(*wire);
+  EXPECT_EQ(back.sample_ids, payload.sample_ids);
+}
+
+TEST(Channel, DropProbabilityOneDropsEverythingUncharged) {
+  Meter meter;
+  Channel channel(meter);
+  channel.set_drop_probability(1.0, Rng(7));
+  for (int i = 0; i < 10; ++i) {
+    auto wire = channel.send(0, kServerId, WeightsPayload{Tensor::zeros({4})});
+    EXPECT_FALSE(wire.has_value());
+  }
+  EXPECT_EQ(meter.total(), 0u);
+}
+
+TEST(Channel, DropProbabilityHalfDropsAboutHalf) {
+  Meter meter;
+  Channel channel(meter);
+  channel.set_drop_probability(0.5, Rng(8));
+  int delivered = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (channel.send(0, kServerId, WeightsPayload{Tensor::zeros({1})})) {
+      ++delivered;
+    }
+  }
+  EXPECT_NEAR(delivered, 250, 60);
+}
+
+TEST(Channel, DropProbabilityValidation) {
+  Meter meter;
+  Channel channel(meter);
+  EXPECT_THROW(channel.set_drop_probability(-0.1, Rng(9)),
+               std::invalid_argument);
+  EXPECT_THROW(channel.set_drop_probability(1.1, Rng(9)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedpkd::comm
