@@ -5,13 +5,17 @@
 /// Usage:
 ///   experiment_cli [--dataset synth10|synth100] [--algorithm NAME]
 ///                  [--partition iid|dirichlet|shards] [--alpha A] [--k K]
-///                  [--clients N] [--rounds R] [--hetero]
+///                  [--clients N] [--rounds R] [--hetero] [--threads T]
 ///                  [--csv out.csv] [--checkpoint out.bin] [--seed S]
+///
+/// --threads T runs the round engine on T lanes (0 = one per hardware
+/// thread). Results are bitwise identical for every T; only wall-clock
+/// changes.
 ///
 /// Algorithms: FedAvg FedProx FedMD DS-FL FedDF FedET FedPKD
 ///
 /// Examples:
-///   ./build/examples/experiment_cli --algorithm FedPKD --partition dirichlet \
+///   ./build/examples/experiment_cli --algorithm FedPKD --partition dirichlet
 ///       --alpha 0.1 --rounds 8 --csv fedpkd.csv --checkpoint server.bin
 
 #include <cstring>
@@ -42,6 +46,7 @@ struct Args {
   std::size_t clients = 6;
   std::size_t rounds = 6;
   bool hetero = false;
+  std::size_t threads = 1;
   std::string csv;
   std::string checkpoint;
   std::uint64_t seed = 7;
@@ -65,6 +70,7 @@ Args parse(int argc, char** argv) {
     else if (a == "--clients") args.clients = std::stoul(need(i, "--clients"));
     else if (a == "--rounds") args.rounds = std::stoul(need(i, "--rounds"));
     else if (a == "--hetero") args.hetero = true;
+    else if (a == "--threads") args.threads = std::stoul(need(i, "--threads"));
     else if (a == "--csv") args.csv = need(i, "--csv");
     else if (a == "--checkpoint") args.checkpoint = need(i, "--checkpoint");
     else if (a == "--seed") args.seed = std::stoull(need(i, "--seed"));
@@ -151,6 +157,7 @@ int main(int argc, char** argv) try {
           ? std::vector<std::string>{"resmlp11", "resmlp20", "resmlp29"}
           : std::vector<std::string>{"resmlp20"};
   fed_config.seed = args.seed;
+  fed_config.num_threads = args.threads;
   auto fed = fl::build_federation(bundle, spec, fed_config);
 
   auto algo = make_algo(args.algorithm, *fed);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fedpkd/data/loader.hpp"
+#include "fedpkd/exec/thread_pool.hpp"
 #include "fedpkd/nn/loss.hpp"
 #include "fedpkd/nn/optimizer.hpp"
 #include "fedpkd/tensor/ops.hpp"
@@ -78,12 +79,16 @@ fl::TrainStats server_ensemble_distill(Classifier& server_model,
         }
         mean_w /= static_cast<double>(batch->size());
         const std::size_t cols = grad_logits.cols();
-        for (std::size_t r = 0; r < batch->size(); ++r) {
-          const float w = static_cast<float>(
-              confidence[batch->indices[r]] / mean_w);
-          float* g = grad_logits.data() + r * cols;
-          for (std::size_t c = 0; c < cols; ++c) g[c] *= w;
-        }
+        // Row-parallel: every row's scale depends only on its own index.
+        exec::parallel_for(
+            batch->size(), [&](std::size_t row_begin, std::size_t row_end) {
+              for (std::size_t r = row_begin; r < row_end; ++r) {
+                const float w = static_cast<float>(
+                    confidence[batch->indices[r]] / mean_w);
+                float* g = grad_logits.data() + r * cols;
+                for (std::size_t c = 0; c < cols; ++c) g[c] *= w;
+              }
+            });
       }
 
       // L_p (Eq. 12): pull each sample's feature vector toward the global
@@ -92,18 +97,32 @@ fl::TrainStats server_ensemble_distill(Classifier& server_model,
         const Tensor& features = server_model.last_features();
         Tensor grad_features(features.shape());
         const std::size_t b = features.rows();
+        // Rows are independent: each lane writes its own gradient rows and a
+        // per-row MSE partial; the partials reduce serially in row order so
+        // the loss is identical for every thread count.
+        std::vector<double> row_mse(b, 0.0);
+        std::vector<std::size_t> row_counted(b, 0);
+        exec::parallel_for(b, [&](std::size_t row_begin, std::size_t row_end) {
+          for (std::size_t r = row_begin; r < row_end; ++r) {
+            const auto cls = static_cast<std::size_t>(batch->y[r]);
+            if (!global_prototypes.present[cls]) continue;
+            row_counted[r] = feature_dim;
+            double acc = 0.0;
+            for (std::size_t c = 0; c < feature_dim; ++c) {
+              const float diff =
+                  features[r * feature_dim + c] -
+                  global_prototypes.matrix[cls * feature_dim + c];
+              acc += static_cast<double>(diff) * diff;
+              grad_features[r * feature_dim + c] = 2.0f * diff;
+            }
+            row_mse[r] = acc;
+          }
+        });
         double mse = 0.0;
         std::size_t counted = 0;
         for (std::size_t r = 0; r < b; ++r) {
-          const auto cls = static_cast<std::size_t>(batch->y[r]);
-          if (!global_prototypes.present[cls]) continue;
-          counted += feature_dim;
-          for (std::size_t c = 0; c < feature_dim; ++c) {
-            const float diff = features[r * feature_dim + c] -
-                               global_prototypes.matrix[cls * feature_dim + c];
-            mse += static_cast<double>(diff) * diff;
-            grad_features[r * feature_dim + c] = 2.0f * diff;
-          }
+          mse += row_mse[r];
+          counted += row_counted[r];
         }
         if (counted > 0) {
           const float inv = 1.0f / static_cast<float>(counted);

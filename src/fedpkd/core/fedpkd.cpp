@@ -1,8 +1,10 @@
 #include "fedpkd/core/fedpkd.hpp"
 
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
+#include "fedpkd/exec/thread_pool.hpp"
 #include "fedpkd/nn/model_zoo.hpp"
 #include "fedpkd/tensor/ops.hpp"
 
@@ -51,21 +53,24 @@ void FedPkd::run_round(fl::Federation& fed, std::size_t round) {
   std::vector<std::uint32_t> all_ids(public_n);
   std::iota(all_ids.begin(), all_ids.end(), 0u);
 
+  const std::vector<fl::Client*> active = fed.active_clients();
+
   // ---- 1. ClientPriTrain (Eq. 4 in round 0, Eq. 16 afterwards) ------------
+  // Clients train concurrently; the global prototype set is shared read-only.
   const bool have_prototypes =
       options_.use_prototypes && global_prototypes_.has_value();
-  for (fl::Client& client : fed.active()) {
-    fl::TrainOptions opts;
-    opts.epochs = options_.local_epochs;
-    opts.batch_size = client.config.batch_size;
-    opts.lr = client.config.lr;
-    if (have_prototypes) {
-      opts.prototype_matrix = &global_prototypes_->matrix;
-      opts.prototype_class_present = &global_prototypes_->present;
-      opts.prototype_epsilon = options_.epsilon;
+  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      fl::TrainOptions opts;
+      opts.epochs = options_.local_epochs;
+      if (have_prototypes) {
+        opts.prototype_matrix = &global_prototypes_->matrix;
+        opts.prototype_class_present = &global_prototypes_->present;
+        opts.prototype_epsilon = options_.epsilon;
+      }
+      active[i]->train_local(opts);
     }
-    fl::train_supervised(client.model, client.train_data, opts, client.rng);
-  }
+  });
 
   // ---- 2. Dual knowledge transfer: logits + prototypes to the server ------
   // Clients ship their *softened* outputs (softmax at the configured
@@ -74,21 +79,31 @@ void FedPkd::run_round(fl::Federation& fed, std::size_t round) {
   // dominate Eq. (6)'s weighting, whereas probability vectors bound every
   // client's vote and make Var(.) a proper confidence signal (this matches
   // how FedDF/DS-FL exchange "logits" and is ablated in abl_aggregation).
+  // Local knowledge (softened public-set outputs + prototypes) is computed
+  // concurrently per client; uploads then run serially in client-index order
+  // so the channel's meter and drop dice see the same sequence as a serial
+  // round.
+  std::vector<tensor::Tensor> local_probs(active.size());
+  std::vector<std::optional<PrototypeSet>> local_protos(active.size());
+  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      local_probs[i] = tensor::softmax_rows(
+          active[i]->logits_on(fed.public_data.features),
+          options_.temperature);
+      local_protos[i] =
+          compute_local_prototypes(active[i]->model, active[i]->train_data);
+    }
+  });
   std::vector<tensor::Tensor> client_logits;
   std::vector<PrototypeSet> client_prototypes;
-  client_logits.reserve(fed.clients.size());
-  client_prototypes.reserve(fed.clients.size());
-  for (fl::Client& client : fed.active()) {
-    tensor::Tensor probs = tensor::softmax_rows(
-        fl::compute_logits(client.model, fed.public_data.features),
-        options_.temperature);
-    auto logits_wire =
-        fed.channel.send(client.id, comm::kServerId,
-                         comm::LogitsPayload{all_ids, std::move(probs)});
-    const PrototypeSet local =
-        compute_local_prototypes(client.model, client.train_data);
-    auto proto_wire =
-        fed.channel.send(client.id, comm::kServerId, to_payload(local));
+  client_logits.reserve(active.size());
+  client_prototypes.reserve(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    auto logits_wire = fed.channel.send(
+        active[i]->id, comm::kServerId,
+        comm::LogitsPayload{all_ids, std::move(local_probs[i])});
+    auto proto_wire = fed.channel.send(active[i]->id, comm::kServerId,
+                                       to_payload(*local_protos[i]));
     // Dual knowledge is all-or-nothing: a client whose upload partially
     // failed is skipped this round, exactly like a straggler drop-out.
     if (!logits_wire || !proto_wire) continue;
@@ -162,31 +177,38 @@ void FedPkd::run_round(fl::Federation& fed, std::size_t round) {
       fl::compute_logits(server_, selected_inputs), options_.temperature);
   const comm::PrototypesPayload proto_payload = to_payload(global);
 
-  for (fl::Client& client : fed.active()) {
+  // Serial downlink sends, then concurrent client digests of the decoded
+  // payloads.
+  std::vector<std::optional<comm::LogitsPayload>> downlink(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
     auto logits_wire =
-        fed.channel.send(comm::kServerId, client.id,
+        fed.channel.send(comm::kServerId, active[i]->id,
                          comm::LogitsPayload{selected_ids, server_probs});
     auto proto_wire =
-        fed.channel.send(comm::kServerId, client.id, proto_payload);
+        fed.channel.send(comm::kServerId, active[i]->id, proto_payload);
     if (!logits_wire || !proto_wire) continue;
-    const auto payload = comm::decode_logits(*logits_wire);
-
-    // Eq. (14): pseudo-labels from the *server* logits; Eq. (15): digest.
-    fl::DistillSet set;
-    std::vector<std::size_t> rows(payload.sample_ids.size());
-    for (std::size_t i = 0; i < payload.sample_ids.size(); ++i) {
-      rows[i] = payload.sample_ids[i];
-    }
-    set.inputs = fed.public_data.features.gather_rows(rows);
-    set.teacher_probs = payload.logits;  // already probability rows
-    set.pseudo_labels = tensor::argmax_rows(payload.logits);
-    fl::TrainOptions opts;
-    opts.epochs = options_.public_epochs;
-    opts.batch_size = client.config.batch_size;
-    opts.lr = client.config.lr;
-    fl::train_distill(client.model, set, options_.gamma, opts, client.rng,
-                      options_.temperature);
+    downlink[i] = comm::decode_logits(*logits_wire);
   }
+  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t c = begin; c < end; ++c) {
+      if (!downlink[c]) continue;
+      const comm::LogitsPayload& payload = *downlink[c];
+
+      // Eq. (14): pseudo-labels from the *server* logits; Eq. (15): digest.
+      fl::DistillSet set;
+      std::vector<std::size_t> rows(payload.sample_ids.size());
+      for (std::size_t i = 0; i < payload.sample_ids.size(); ++i) {
+        rows[i] = payload.sample_ids[i];
+      }
+      set.inputs = fed.public_data.features.gather_rows(rows);
+      set.teacher_probs = payload.logits;  // already probability rows
+      set.pseudo_labels = tensor::argmax_rows(payload.logits);
+      fl::TrainOptions digest_opts;
+      digest_opts.epochs = options_.public_epochs;
+      active[c]->digest(set, options_.gamma, digest_opts,
+                        options_.temperature);
+    }
+  });
 
   global_prototypes_ = std::move(global);
   (void)round;

@@ -1,32 +1,45 @@
 #include "fedpkd/core/fedproto.hpp"
 
+#include <optional>
+
+#include "fedpkd/exec/thread_pool.hpp"
+
 namespace fedpkd::core {
 
 void FedProto::run_round(fl::Federation& fed, std::size_t) {
   const std::size_t feature_dim =
       fed.clients.front().model.feature_dim();
+  const std::vector<fl::Client*> active = fed.active_clients();
 
-  // 1. Local training with the prototype regularizer once prototypes exist.
-  for (fl::Client& client : fed.active()) {
-    fl::TrainOptions opts;
-    opts.epochs = options_.local_epochs;
-    opts.batch_size = client.config.batch_size;
-    opts.lr = client.config.lr;
-    if (global_prototypes_) {
-      opts.prototype_matrix = &global_prototypes_->matrix;
-      opts.prototype_class_present = &global_prototypes_->present;
-      opts.prototype_epsilon = options_.prototype_weight;
+  // 1. Concurrent local training with the prototype regularizer once
+  //    prototypes exist (shared read-only).
+  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      fl::TrainOptions opts;
+      opts.epochs = options_.local_epochs;
+      if (global_prototypes_) {
+        opts.prototype_matrix = &global_prototypes_->matrix;
+        opts.prototype_class_present = &global_prototypes_->present;
+        opts.prototype_epsilon = options_.prototype_weight;
+      }
+      active[i]->train_local(opts);
     }
-    fl::train_supervised(client.model, client.train_data, opts, client.rng);
-  }
+  });
 
-  // 2. Upload prototypes only; 3. aggregate; 4. broadcast.
+  // 2. Upload prototypes only (computed concurrently, sent in client-index
+  //    order); 3. aggregate; 4. broadcast.
+  std::vector<std::optional<PrototypeSet>> locals(active.size());
+  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      locals[i] =
+          compute_local_prototypes(active[i]->model, active[i]->train_data);
+    }
+  });
   std::vector<PrototypeSet> client_sets;
-  client_sets.reserve(fed.clients.size());
-  for (fl::Client& client : fed.active()) {
-    const PrototypeSet local =
-        compute_local_prototypes(client.model, client.train_data);
-    auto wire = fed.channel.send(client.id, comm::kServerId, to_payload(local));
+  client_sets.reserve(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    auto wire = fed.channel.send(active[i]->id, comm::kServerId,
+                                 to_payload(*locals[i]));
     if (!wire) continue;
     client_sets.push_back(from_payload(comm::decode_prototypes(*wire),
                                        fed.num_classes, feature_dim));

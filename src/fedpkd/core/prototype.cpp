@@ -75,18 +75,35 @@ PrototypeSet aggregate_prototypes(std::span<const PrototypeSet> client_sets,
   }
   PrototypeSet global(classes, d);
   for (std::size_t j = 0; j < classes; ++j) {
-    std::size_t total_support = 0;
     std::size_t clients_with_class = 0;
+    const PrototypeSet* sole_contributor = nullptr;
     for (const PrototypeSet& set : client_sets) {
       if (!set.present[j]) continue;
       ++clients_with_class;
+      sole_contributor = &set;
+    }
+    if (clients_with_class == 0) continue;
+    if (clients_with_class == 1) {
+      // A support-weighted mean of one set is the set itself; multiplying by
+      // support and dividing by the same total would re-round every element.
+      // Copying keeps single-contributor classes bitwise intact (and the
+      // paper-literal 1/|C_j| factor is also 1 here).
+      for (std::size_t c = 0; c < d; ++c) {
+        global.matrix[j * d + c] = sole_contributor->matrix[j * d + c];
+      }
+      global.present[j] = true;
+      global.support[j] = sole_contributor->support[j];
+      continue;
+    }
+    std::size_t total_support = 0;
+    for (const PrototypeSet& set : client_sets) {
+      if (!set.present[j]) continue;
       total_support += set.support[j];
       for (std::size_t c = 0; c < d; ++c) {
         global.matrix[j * d + c] +=
             static_cast<float>(set.support[j]) * set.matrix[j * d + c];
       }
     }
-    if (clients_with_class == 0) continue;
     float inv = 1.0f / static_cast<float>(total_support);
     if (paper_literal_scaling) {
       inv /= static_cast<float>(clients_with_class);

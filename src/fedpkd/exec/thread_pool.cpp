@@ -1,0 +1,174 @@
+#include "fedpkd/exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+namespace fedpkd::exec {
+
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+thread_local std::size_t t_thread_limit = 0;  // 0 = unlimited
+
+/// Completion state shared between one run() call and its queued chunks.
+/// shared_ptr-owned so a chunk finishing after the caller stopped waiting
+/// (impossible today, but cheap insurance) never touches freed memory.
+struct JobState {
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t pending = 0;
+  std::exception_ptr error;
+
+  void finish_one(std::exception_ptr chunk_error) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (chunk_error && !error) error = std::move(chunk_error);
+    if (--pending == 0) done_cv.notify_all();
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    throw std::invalid_argument("ThreadPool: need at least one lane");
+  }
+  workers_.reserve(num_threads - 1);
+  for (std::size_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::in_parallel_region() { return t_in_parallel_region; }
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::run(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  std::size_t lanes = std::min(size(), n);
+  if (t_thread_limit != 0) lanes = std::min(lanes, t_thread_limit);
+  if (lanes <= 1 || t_in_parallel_region) {
+    body(0, n);
+    return;
+  }
+
+  // Contiguous chunks; the first `rem` chunks take one extra index. Chunk
+  // boundaries never influence results (see the determinism contract above),
+  // so uniform splitting is safe and keeps the schedule predictable.
+  const std::size_t base = n / lanes;
+  const std::size_t rem = n % lanes;
+  auto state = std::make_shared<JobState>();
+  state->pending = lanes - 1;
+
+  std::size_t begin = base + (rem > 0 ? 1 : 0);  // caller takes chunk 0
+  const std::size_t caller_end = begin;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t c = 1; c < lanes; ++c) {
+      const std::size_t len = base + (c < rem ? 1 : 0);
+      const std::size_t chunk_begin = begin;
+      const std::size_t chunk_end = begin + len;
+      begin = chunk_end;
+      queue_.emplace_back([state, &body, chunk_begin, chunk_end] {
+        t_in_parallel_region = true;
+        std::exception_ptr error;
+        try {
+          body(chunk_begin, chunk_end);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        t_in_parallel_region = false;
+        state->finish_one(std::move(error));
+      });
+    }
+  }
+  cv_.notify_all();
+
+  std::exception_ptr caller_error;
+  t_in_parallel_region = true;
+  try {
+    body(0, caller_end);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  t_in_parallel_region = false;
+
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done_cv.wait(lock, [&] { return state->pending == 0; });
+    if (!state->error && caller_error) state->error = std::move(caller_error);
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+ScopedThreadLimit::ScopedThreadLimit(std::size_t limit)
+    : previous_(t_thread_limit) {
+  if (limit != 0) {
+    t_thread_limit =
+        previous_ == 0 ? limit : std::min(previous_, limit);
+  }
+}
+
+ScopedThreadLimit::~ScopedThreadLimit() { t_thread_limit = previous_; }
+
+std::size_t ScopedThreadLimit::current() { return t_thread_limit; }
+
+std::size_t hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+std::atomic<std::size_t> g_num_threads{1};
+
+}  // namespace
+
+void set_num_threads(std::size_t n) {
+  if (n == 0) n = hardware_threads();
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_pool && g_pool->size() == n) return;
+  g_pool.reset();  // join old workers before the count changes
+  g_num_threads.store(n, std::memory_order_relaxed);
+  if (n > 1) g_pool = std::make_unique<ThreadPool>(n);
+}
+
+std::size_t num_threads() {
+  return g_num_threads.load(std::memory_order_relaxed);
+}
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) {
+    g_pool = std::make_unique<ThreadPool>(
+        g_num_threads.load(std::memory_order_relaxed));
+  }
+  return *g_pool;
+}
+
+}  // namespace fedpkd::exec

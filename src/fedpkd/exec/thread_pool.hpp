@@ -1,0 +1,103 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fedpkd::exec {
+
+/// A fixed-size pool of persistent worker threads driving `parallel_for`
+/// range splits. Deliberately work-stealing-free: one parallel_for call
+/// splits [0, n) into at most `size()` contiguous chunks, the caller runs
+/// one chunk itself, and workers pull the rest from a shared queue. This is
+/// exactly enough for the library's parallelism pattern — independent
+/// clients, independent rows — where chunks are uniform and stealing buys
+/// nothing.
+///
+/// Determinism contract: a chunk body must write only state owned by its
+/// index range, so results are bitwise independent of chunk boundaries and
+/// thread count. Reductions across indices belong in the caller, after run()
+/// returns, in index order.
+class ThreadPool {
+ public:
+  /// `num_threads` is the total number of concurrent lanes including the
+  /// caller; the pool spawns num_threads - 1 workers. 1 = fully inline.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Runs body(begin, end) over contiguous chunks covering [0, n) and blocks
+  /// until every chunk finished. Rethrows the first exception a chunk threw
+  /// (the remaining chunks still run to completion, so the pool stays
+  /// reusable). Calls from inside a running chunk execute inline — nested
+  /// parallelism never deadlocks, it serializes.
+  void run(std::size_t n,
+           const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// True while the calling thread is executing a chunk body.
+  static bool in_parallel_region();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Upper bound the current thread places on its own parallel_for fan-out
+/// while alive (models a weak device that owns fewer cores). 0 = no extra
+/// limit. Limits nest: the tightest one wins.
+class ScopedThreadLimit {
+ public:
+  explicit ScopedThreadLimit(std::size_t limit);
+  ~ScopedThreadLimit();
+  ScopedThreadLimit(const ScopedThreadLimit&) = delete;
+  ScopedThreadLimit& operator=(const ScopedThreadLimit&) = delete;
+
+  static std::size_t current();  // 0 = unlimited
+
+ private:
+  std::size_t previous_;
+};
+
+/// Number of hardware threads (>= 1).
+std::size_t hardware_threads();
+
+/// Configures the process-wide pool used by parallel_for. n lanes total;
+/// 1 (the default) keeps every loop serial, 0 means hardware_threads().
+/// Not safe to call while parallel work is in flight.
+void set_num_threads(std::size_t n);
+
+/// Current lane count of the process-wide pool.
+std::size_t num_threads();
+
+/// The process-wide pool (created on first use).
+ThreadPool& global_pool();
+
+/// Runs body(begin, end) over chunks of [0, n) on the global pool. Serial
+/// (one inline body(0, n) call) when the pool has one lane, when n <= 1,
+/// when already inside a parallel region, or under a ScopedThreadLimit of 1.
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body) {
+  if (n == 0) return;
+  const std::size_t cap = ScopedThreadLimit::current();
+  if (n <= 1 || num_threads() <= 1 || (cap != 0 && cap <= 1) ||
+      ThreadPool::in_parallel_region()) {
+    body(std::size_t{0}, n);
+    return;
+  }
+  global_pool().run(
+      n, std::function<void(std::size_t, std::size_t)>(std::forward<Body>(body)));
+}
+
+}  // namespace fedpkd::exec

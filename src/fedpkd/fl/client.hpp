@@ -4,6 +4,7 @@
 
 #include "fedpkd/comm/meter.hpp"
 #include "fedpkd/data/dataset.hpp"
+#include "fedpkd/fl/trainer.hpp"
 #include "fedpkd/nn/classifier.hpp"
 
 namespace fedpkd::fl {
@@ -17,6 +18,10 @@ struct ClientConfig {
   std::size_t public_epochs = 1;  // e_{c,p}: epochs on public knowledge
   std::size_t batch_size = 32;
   float lr = 1e-3f;
+  /// Cap on intra-op (matmul) threads while this client trains; 0 = inherit
+  /// the federation-wide exec::num_threads setting. Models a device that
+  /// owns fewer cores than the server. Never changes results, only speed.
+  std::size_t num_threads = 0;
 };
 
 /// One federated client: its private train/test split, its (possibly unique)
@@ -40,6 +45,23 @@ struct Client {
         train_data(std::move(train)),
         test_data(std::move(test)),
         rng(r) {}
+
+  /// Local supervised training on the private split (algorithm drivers set
+  /// `options.epochs` and any regularizers; batch size, learning rate, and
+  /// the thread cap are filled in from `config`). Touches only this client's
+  /// model and RNG stream, so distinct clients may run concurrently — the
+  /// round engines rely on that.
+  TrainStats train_local(TrainOptions options);
+
+  /// Distillation on broadcast knowledge ("digest"), same per-client
+  /// isolation guarantee as train_local.
+  TrainStats digest(const DistillSet& set, float gamma, TrainOptions options,
+                    float temperature = 1.0f);
+
+  /// Logits over `inputs` (typically the public set) from this client's
+  /// current model. Read-only on shared inputs; safe to run concurrently
+  /// across clients.
+  tensor::Tensor logits_on(const tensor::Tensor& inputs);
 };
 
 }  // namespace fedpkd::fl

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
+#include "fedpkd/exec/thread_pool.hpp"
 #include "fedpkd/fl/trainer.hpp"
 #include "fedpkd/tensor/ops.hpp"
 
@@ -43,25 +45,33 @@ void DsFl::run_round(Federation& fed, std::size_t) {
   const std::size_t public_n = fed.public_data.size();
   std::vector<std::uint32_t> ids(public_n);
   std::iota(ids.begin(), ids.end(), 0u);
+  const std::vector<Client*> active = fed.active_clients();
 
-  // 1. Local supervised training.
-  for (Client& client : fed.active()) {
-    TrainOptions opts;
-    opts.epochs = options_.local_epochs;
-    opts.batch_size = client.config.batch_size;
-    opts.lr = client.config.lr;
-    train_supervised(client.model, client.train_data, opts, client.rng);
-  }
+  // 1. Local supervised training, concurrent across clients.
+  TrainOptions local_opts;
+  local_opts.epochs = options_.local_epochs;
+  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      active[i]->train_local(local_opts);
+    }
+  });
 
-  // 2. Clients upload softmaxed logits; the server averages probabilities.
-  //    (DS-FL ships probability vectors; same wire size as logits.)
+  // 2. Clients compute softmaxed logits concurrently and upload; the server
+  //    averages probabilities serially in client-index order. (DS-FL ships
+  //    probability vectors; same wire size as logits.)
+  std::vector<tensor::Tensor> probs(active.size());
+  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      probs[i] =
+          tensor::softmax_rows(active[i]->logits_on(fed.public_data.features));
+    }
+  });
   tensor::Tensor mean_probs({public_n, fed.num_classes});
   std::size_t received = 0;
-  for (Client& client : fed.active()) {
-    tensor::Tensor probs = tensor::softmax_rows(
-        compute_logits(client.model, fed.public_data.features));
-    auto wire = fed.channel.send(client.id, comm::kServerId,
-                                 comm::LogitsPayload{ids, std::move(probs)});
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    auto wire =
+        fed.channel.send(active[i]->id, comm::kServerId,
+                         comm::LogitsPayload{ids, std::move(probs[i])});
     if (!wire) continue;
     tensor::add_inplace(mean_probs, comm::decode_logits(*wire).logits);
     ++received;
@@ -69,22 +79,27 @@ void DsFl::run_round(Federation& fed, std::size_t) {
   if (received == 0) return;
   tensor::scale_inplace(mean_probs, 1.0f / static_cast<float>(received));
 
-  // 3. Entropy-reduction aggregation, then broadcast + digest.
+  // 3. Entropy-reduction aggregation, then broadcast (serial sends) and
+  //    concurrent digests.
   const tensor::Tensor sharpened =
       sharpen_rows(mean_probs, options_.sharpen_temperature);
   const std::vector<int> pseudo = tensor::argmax_rows(sharpened);
-  for (Client& client : fed.active()) {
-    auto wire = fed.channel.send(comm::kServerId, client.id,
+  std::vector<std::optional<tensor::Tensor>> broadcast(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    auto wire = fed.channel.send(comm::kServerId, active[i]->id,
                                  comm::LogitsPayload{ids, sharpened});
-    if (!wire) continue;
-    DistillSet set{fed.public_data.features, comm::decode_logits(*wire).logits,
-                   pseudo};
-    TrainOptions opts;
-    opts.epochs = options_.digest_epochs;
-    opts.batch_size = client.config.batch_size;
-    opts.lr = client.config.lr;
-    train_distill(client.model, set, /*gamma=*/1.0f, opts, client.rng);
+    if (wire) broadcast[i] = comm::decode_logits(*wire).logits;
   }
+  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!broadcast[i]) continue;
+      DistillSet set{fed.public_data.features, std::move(*broadcast[i]),
+                     pseudo};
+      TrainOptions digest_opts;
+      digest_opts.epochs = options_.digest_epochs;
+      active[i]->digest(set, /*gamma=*/1.0f, digest_opts);
+    }
+  });
 }
 
 }  // namespace fedpkd::fl

@@ -1,7 +1,9 @@
 #include "fedpkd/fl/fedavg.hpp"
 
+#include <optional>
 #include <stdexcept>
 
+#include "fedpkd/exec/thread_pool.hpp"
 #include "fedpkd/fl/trainer.hpp"
 #include "fedpkd/tensor/ops.hpp"
 
@@ -20,44 +22,51 @@ FedAvg::FedAvg(Federation& fed, Options options)
 }
 
 void FedAvg::run_round(Federation& fed, std::size_t) {
-  // 1. Broadcast the global weights.
+  const std::vector<Client*> active = fed.active_clients();
+
+  // 1. Broadcast the global weights. Serial: the channel meters traffic and
+  //    rolls drop dice, so sends always happen in client-index order.
   const comm::WeightsPayload broadcast{global_.flat_weights()};
-  for (Client& client : fed.active()) {
-    auto wire = fed.channel.send(comm::kServerId, client.id, broadcast);
+  std::vector<std::optional<comm::WeightsPayload>> received(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    auto wire = fed.channel.send(comm::kServerId, active[i]->id, broadcast);
     if (!wire) continue;  // dropped: client trains from its stale weights
-    client.model.set_flat_weights(comm::decode_weights(*wire).flat);
+    received[i] = comm::decode_weights(*wire);
   }
 
   // 2. Local supervised training (Eq. 4), optionally with the FedProx
-  //    proximal term against the weights the round started from.
-  std::size_t total_samples = 0;
-  for (Client& client : fed.active()) {
-    TrainOptions opts;
-    opts.epochs = options_.local_epochs;
-    opts.batch_size = client.config.batch_size;
-    opts.lr = client.config.lr;
-    opts.proximal_mu = options_.proximal_mu;
-    train_supervised(client.model, client.train_data, opts, client.rng);
-    total_samples += client.train_data.size();
-  }
+  //    proximal term against the weights the round started from. Clients are
+  //    independent devices — each touches only its own model and RNG stream —
+  //    so they train concurrently.
+  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Client& client = *active[i];
+      if (received[i]) client.model.set_flat_weights(received[i]->flat);
+      TrainOptions opts;
+      opts.epochs = options_.local_epochs;
+      opts.proximal_mu = options_.proximal_mu;
+      client.train_local(opts);
+    }
+  });
 
   // 3. Upload weights and 4. aggregate: w_G = sum_c |D_c| w_c / sum |D_c|.
+  //    Serial, in client-index order — the float accumulation order (and so
+  //    the global model) is identical for every thread count.
   tensor::Tensor accum({global_.parameter_count()});
   std::size_t received_weight = 0;
-  for (Client& client : fed.active()) {
-    const comm::WeightsPayload upload{client.model.flat_weights()};
-    auto wire = fed.channel.send(client.id, comm::kServerId, upload);
+  for (Client* client : active) {
+    const comm::WeightsPayload upload{client->model.flat_weights()};
+    auto wire = fed.channel.send(client->id, comm::kServerId, upload);
     if (!wire) continue;  // dropped uploads are excluded from the average
     const auto payload = comm::decode_weights(*wire);
     tensor::axpy_inplace(accum,
-                         static_cast<float>(client.train_data.size()),
+                         static_cast<float>(client->train_data.size()),
                          payload.flat);
-    received_weight += client.train_data.size();
+    received_weight += client->train_data.size();
   }
   if (received_weight == 0) return;  // every upload dropped: keep old global
   tensor::scale_inplace(accum, 1.0f / static_cast<float>(received_weight));
   global_.set_flat_weights(accum);
-  (void)total_samples;
 }
 
 }  // namespace fedpkd::fl

@@ -1,8 +1,10 @@
 #include "fedpkd/fl/feddf.hpp"
 
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
+#include "fedpkd/exec/thread_pool.hpp"
 #include "fedpkd/fl/trainer.hpp"
 #include "fedpkd/tensor/ops.hpp"
 
@@ -25,42 +27,64 @@ void FedDf::run_round(Federation& fed, std::size_t) {
   std::vector<std::uint32_t> ids(public_n);
   std::iota(ids.begin(), ids.end(), 0u);
 
-  // 1. Broadcast fused weights; 2. local training.
-  const comm::WeightsPayload broadcast{server_.flat_weights()};
-  for (Client& client : fed.active()) {
-    auto wire = fed.channel.send(comm::kServerId, client.id, broadcast);
-    if (wire) client.model.set_flat_weights(comm::decode_weights(*wire).flat);
-    TrainOptions opts;
-    opts.epochs = options_.local_epochs;
-    opts.batch_size = client.config.batch_size;
-    opts.lr = client.config.lr;
-    train_supervised(client.model, client.train_data, opts, client.rng);
-  }
+  const std::vector<Client*> active = fed.active_clients();
 
-  // 3. Upload weights; the server reconstructs each client model (this is
-  //    what makes FedDF's ensemble possible without shipping logits) and
-  //    simultaneously accumulates the FedAvg initialization.
+  // 1. Broadcast fused weights (serial sends); 2. concurrent local training.
+  const comm::WeightsPayload broadcast{server_.flat_weights()};
+  std::vector<std::optional<comm::WeightsPayload>> received_weights(
+      active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    auto wire = fed.channel.send(comm::kServerId, active[i]->id, broadcast);
+    if (wire) received_weights[i] = comm::decode_weights(*wire);
+  }
+  TrainOptions local_opts;
+  local_opts.epochs = options_.local_epochs;
+  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (received_weights[i]) {
+        active[i]->model.set_flat_weights(received_weights[i]->flat);
+      }
+      active[i]->train_local(local_opts);
+    }
+  });
+
+  // 3. Upload weights (serial sends, index-ordered FedAvg accumulation); the
+  //    server reconstructs each client model (this is what makes FedDF's
+  //    ensemble possible without shipping logits) and evaluates the ensemble
+  //    members concurrently, each on its own scratch clone. The ensemble
+  //    mean reduces serially in upload order.
   tensor::Tensor accum({server_.parameter_count()});
-  tensor::Tensor ensemble_probs({public_n, fed.num_classes});
+  std::vector<comm::WeightsPayload> uploads;
+  uploads.reserve(active.size());
   std::size_t received_weight = 0;
-  std::size_t received = 0;
-  nn::Classifier scratch = server_.clone();
-  for (Client& client : fed.active()) {
-    auto wire = fed.channel.send(client.id, comm::kServerId,
-                                 comm::WeightsPayload{client.model.flat_weights()});
+  for (Client* client : active) {
+    auto wire =
+        fed.channel.send(client->id, comm::kServerId,
+                         comm::WeightsPayload{client->model.flat_weights()});
     if (!wire) continue;
-    const auto payload = comm::decode_weights(*wire);
-    tensor::axpy_inplace(accum, static_cast<float>(client.train_data.size()),
+    auto payload = comm::decode_weights(*wire);
+    tensor::axpy_inplace(accum, static_cast<float>(client->train_data.size()),
                          payload.flat);
-    received_weight += client.train_data.size();
-    ++received;
-    scratch.set_flat_weights(payload.flat);
-    tensor::Tensor probs = tensor::softmax_rows(
-        compute_logits(scratch, fed.public_data.features),
-        options_.distill_temperature);
+    received_weight += client->train_data.size();
+    uploads.push_back(std::move(payload));
+  }
+  const std::size_t received = uploads.size();
+  if (received == 0) return;
+
+  std::vector<tensor::Tensor> member_probs(received);
+  exec::parallel_for(received, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      nn::Classifier scratch = server_.clone();
+      scratch.set_flat_weights(uploads[i].flat);
+      member_probs[i] = tensor::softmax_rows(
+          compute_logits(scratch, fed.public_data.features),
+          options_.distill_temperature);
+    }
+  });
+  tensor::Tensor ensemble_probs({public_n, fed.num_classes});
+  for (const tensor::Tensor& probs : member_probs) {
     tensor::add_inplace(ensemble_probs, probs);
   }
-  if (received == 0) return;
   tensor::scale_inplace(accum, 1.0f / static_cast<float>(received_weight));
   tensor::scale_inplace(ensemble_probs, 1.0f / static_cast<float>(received));
 

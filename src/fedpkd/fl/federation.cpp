@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "fedpkd/exec/thread_pool.hpp"
 #include "fedpkd/fl/trainer.hpp"
 #include "fedpkd/nn/model_zoo.hpp"
 
@@ -170,6 +171,8 @@ std::unique_ptr<Federation> build_federation(
     throw std::invalid_argument("build_federation: inconsistent bundle");
   }
 
+  exec::set_num_threads(config.num_threads);
+
   auto fed = std::make_unique<Federation>();
   fed->public_data = bundle.public_data;
   fed->test_global = bundle.test_global;
@@ -211,14 +214,19 @@ RoundMetrics evaluate_round(Algorithm& algorithm, Federation& fed,
     metrics.server_accuracy =
         evaluate_accuracy(*server, fed.test_global, eval_batch);
   }
-  metrics.client_accuracy.reserve(fed.clients.size());
+  // Clients evaluate concurrently (each touches only its own model); the
+  // mean reduces serially in client-index order so it is thread-count
+  // independent.
+  metrics.client_accuracy.assign(fed.clients.size(), 0.0f);
+  exec::parallel_for(fed.clients.size(), [&](std::size_t begin,
+                                             std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      metrics.client_accuracy[i] = evaluate_accuracy(
+          fed.clients[i].model, fed.clients[i].test_data, eval_batch);
+    }
+  });
   double acc_sum = 0.0;
-  for (Client& client : fed.clients) {
-    const float acc =
-        evaluate_accuracy(client.model, client.test_data, eval_batch);
-    metrics.client_accuracy.push_back(acc);
-    acc_sum += acc;
-  }
+  for (const float acc : metrics.client_accuracy) acc_sum += acc;
   metrics.mean_client_accuracy =
       fed.clients.empty()
           ? 0.0f

@@ -43,6 +43,13 @@ struct FederationConfig {
   /// test pool to match the client's training label distribution.
   std::size_t local_test_per_client = 200;
   std::uint64_t seed = 7;
+  /// Lanes for the round-execution engine (client-parallel training and
+  /// knowledge computation, row-parallel tensor ops). build_federation
+  /// applies it via exec::set_num_threads. Default 1 = serial; 0 = one lane
+  /// per hardware thread. Results are bitwise identical for every value:
+  /// each client owns its RNG stream and aggregation always reduces in
+  /// client-index order, never completion order.
+  std::size_t num_threads = 1;
 };
 
 /// Iterable view over a set of clients, yielding Client& (so algorithm round

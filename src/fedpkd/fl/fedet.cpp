@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <numeric>
+#include <optional>
 
+#include "fedpkd/exec/thread_pool.hpp"
 #include "fedpkd/fl/trainer.hpp"
 #include "fedpkd/nn/model_zoo.hpp"
 #include "fedpkd/tensor/ops.hpp"
@@ -29,47 +31,65 @@ void FedEt::run_round(Federation& fed, std::size_t) {
   const float max_entropy =
       std::log(static_cast<float>(fed.num_classes));
 
-  // 1. Local training, then upload public-set logits.
-  std::vector<tensor::Tensor> client_logits;
-  client_logits.reserve(fed.clients.size());
-  for (Client& client : fed.active()) {
-    TrainOptions opts;
-    opts.epochs = options_.local_epochs;
-    opts.batch_size = client.config.batch_size;
-    opts.lr = client.config.lr;
-    train_supervised(client.model, client.train_data, opts, client.rng);
+  const std::vector<Client*> active = fed.active_clients();
 
-    tensor::Tensor logits =
-        compute_logits(client.model, fed.public_data.features);
-    auto wire = fed.channel.send(client.id, comm::kServerId,
-                                 comm::LogitsPayload{ids, std::move(logits)});
+  // 1. Concurrent local training and public-set inference, then serial
+  //    index-ordered uploads.
+  std::vector<tensor::Tensor> local_logits(active.size());
+  TrainOptions local_opts;
+  local_opts.epochs = options_.local_epochs;
+  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      active[i]->train_local(local_opts);
+      local_logits[i] = active[i]->logits_on(fed.public_data.features);
+    }
+  });
+  std::vector<tensor::Tensor> client_logits;
+  client_logits.reserve(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    auto wire =
+        fed.channel.send(active[i]->id, comm::kServerId,
+                         comm::LogitsPayload{ids, std::move(local_logits[i])});
     if (wire) client_logits.push_back(comm::decode_logits(*wire).logits);
   }
   if (client_logits.empty()) return;
 
   // 2. Confidence-weighted ensemble: per sample, weight each client's
   //    distribution by (1 - H/H_max), its normalized prediction confidence.
+  //    Row-parallel: every row's accumulation still walks the clients in
+  //    upload order, so each teacher element sees the serial float-op order.
+  std::vector<tensor::Tensor> member_probs(client_logits.size());
+  std::vector<tensor::Tensor> member_entropy(client_logits.size());
+  exec::parallel_for(client_logits.size(),
+                     [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t c = begin; c < end; ++c) {
+                         member_probs[c] =
+                             tensor::softmax_rows(client_logits[c]);
+                         member_entropy[c] =
+                             tensor::entropy_rows(member_probs[c]);
+                       }
+                     });
   tensor::Tensor teacher({public_n, fed.num_classes});
-  std::vector<double> weight_sum(public_n, 0.0);
-  for (const tensor::Tensor& logits : client_logits) {
-    const tensor::Tensor probs = tensor::softmax_rows(logits);
-    const tensor::Tensor entropy = tensor::entropy_rows(probs);
-    for (std::size_t i = 0; i < public_n; ++i) {
-      const double w =
-          std::max(1e-6, 1.0 - static_cast<double>(entropy[i]) / max_entropy);
-      weight_sum[i] += w;
+  exec::parallel_for(public_n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      double weight_sum = 0.0;
+      for (std::size_t c = 0; c < member_probs.size(); ++c) {
+        const double w = std::max(
+            1e-6,
+            1.0 - static_cast<double>(member_entropy[c][i]) / max_entropy);
+        weight_sum += w;
+        for (std::size_t j = 0; j < fed.num_classes; ++j) {
+          teacher[i * fed.num_classes + j] +=
+              static_cast<float>(w) *
+              member_probs[c][i * fed.num_classes + j];
+        }
+      }
+      const float inv = static_cast<float>(1.0 / weight_sum);
       for (std::size_t j = 0; j < fed.num_classes; ++j) {
-        teacher[i * fed.num_classes + j] +=
-            static_cast<float>(w) * probs[i * fed.num_classes + j];
+        teacher[i * fed.num_classes + j] *= inv;
       }
     }
-  }
-  for (std::size_t i = 0; i < public_n; ++i) {
-    const float inv = static_cast<float>(1.0 / weight_sum[i]);
-    for (std::size_t j = 0; j < fed.num_classes; ++j) {
-      teacher[i * fed.num_classes + j] *= inv;
-    }
-  }
+  });
 
   // 3. Distill the weighted ensemble into the (larger) server model.
   DistillSet server_set{fed.public_data.features, teacher,
@@ -80,22 +100,27 @@ void FedEt::run_round(Federation& fed, std::size_t) {
   server_opts.lr = fed.clients.front().config.lr;
   train_distill(server_, server_set, /*gamma=*/1.0f, server_opts, server_rng_);
 
-  // 4. Server broadcasts its own public-set logits; clients digest them.
+  // 4. Server broadcasts its own public-set logits (serial sends); clients
+  //    digest them concurrently.
   tensor::Tensor server_logits =
       compute_logits(server_, fed.public_data.features);
   const tensor::Tensor server_probs = tensor::softmax_rows(server_logits);
   const std::vector<int> server_pseudo = tensor::argmax_rows(server_logits);
-  for (Client& client : fed.active()) {
-    auto wire = fed.channel.send(comm::kServerId, client.id,
+  std::vector<bool> delivered(active.size(), false);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    auto wire = fed.channel.send(comm::kServerId, active[i]->id,
                                  comm::LogitsPayload{ids, server_logits});
-    if (!wire) continue;
-    DistillSet set{fed.public_data.features, server_probs, server_pseudo};
-    TrainOptions opts;
-    opts.epochs = options_.client_digest_epochs;
-    opts.batch_size = client.config.batch_size;
-    opts.lr = client.config.lr;
-    train_distill(client.model, set, /*gamma=*/1.0f, opts, client.rng);
+    delivered[i] = wire.has_value();
   }
+  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!delivered[i]) continue;
+      DistillSet set{fed.public_data.features, server_probs, server_pseudo};
+      TrainOptions digest_opts;
+      digest_opts.epochs = options_.client_digest_epochs;
+      active[i]->digest(set, /*gamma=*/1.0f, digest_opts);
+    }
+  });
 }
 
 }  // namespace fedpkd::fl

@@ -1,7 +1,9 @@
 #include "fedpkd/fl/fedmd.hpp"
 
 #include <numeric>
+#include <optional>
 
+#include "fedpkd/exec/thread_pool.hpp"
 #include "fedpkd/fl/trainer.hpp"
 #include "fedpkd/tensor/ops.hpp"
 
@@ -20,24 +22,32 @@ std::vector<std::uint32_t> all_sample_ids(std::size_t n) {
 void FedMd::run_round(Federation& fed, std::size_t) {
   const std::size_t public_n = fed.public_data.size();
   const auto ids = all_sample_ids(public_n);
+  const std::vector<Client*> active = fed.active_clients();
 
-  // 1. Local supervised training.
-  for (Client& client : fed.active()) {
-    TrainOptions opts;
-    opts.epochs = options_.local_epochs;
-    opts.batch_size = client.config.batch_size;
-    opts.lr = client.config.lr;
-    train_supervised(client.model, client.train_data, opts, client.rng);
-  }
+  // 1. Local supervised training, concurrent across clients.
+  TrainOptions local_opts;
+  local_opts.epochs = options_.local_epochs;
+  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      active[i]->train_local(local_opts);
+    }
+  });
 
-  // 2. Communicate: each client uploads its public-set logits.
+  // 2. Communicate: each client computes its public-set logits (concurrent,
+  //    read-only on the shared public set) and uploads them; the server
+  //    accumulates the consensus serially in client-index order.
+  std::vector<tensor::Tensor> logits(active.size());
+  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      logits[i] = active[i]->logits_on(fed.public_data.features);
+    }
+  });
   tensor::Tensor consensus({public_n, fed.num_classes});
   std::size_t received = 0;
-  for (Client& client : fed.active()) {
-    tensor::Tensor logits =
-        compute_logits(client.model, fed.public_data.features);
-    auto wire = fed.channel.send(client.id, comm::kServerId,
-                                 comm::LogitsPayload{ids, std::move(logits)});
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    auto wire =
+        fed.channel.send(active[i]->id, comm::kServerId,
+                         comm::LogitsPayload{ids, std::move(logits[i])});
     if (!wire) continue;
     tensor::add_inplace(consensus, comm::decode_logits(*wire).logits);
     ++received;
@@ -45,28 +55,30 @@ void FedMd::run_round(Federation& fed, std::size_t) {
   if (received == 0) return;
   tensor::scale_inplace(consensus, 1.0f / static_cast<float>(received));
 
-  // 3. Aggregate consensus is broadcast and each client digests it.
-  const tensor::Tensor teacher =
-      tensor::softmax_rows(consensus, options_.distill_temperature);
+  // 3. Aggregate consensus is broadcast (serial sends) and each client
+  //    digests its received copy concurrently.
   const std::vector<int> pseudo = tensor::argmax_rows(consensus);
-  for (Client& client : fed.active()) {
-    auto wire = fed.channel.send(comm::kServerId, client.id,
+  std::vector<std::optional<tensor::Tensor>> broadcast(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    auto wire = fed.channel.send(comm::kServerId, active[i]->id,
                                  comm::LogitsPayload{ids, consensus});
-    if (!wire) continue;
-    const auto payload = comm::decode_logits(*wire);
-    DistillSet set{fed.public_data.features,
-                   tensor::softmax_rows(payload.logits,
-                                        options_.distill_temperature),
-                   pseudo};
-    TrainOptions opts;
-    opts.epochs = options_.digest_epochs;
-    opts.batch_size = client.config.batch_size;
-    opts.lr = client.config.lr;
-    // FedMD digests with pure distillation (gamma = 1): the public set is
-    // unlabeled, so the consensus is the only supervision.
-    train_distill(client.model, set, /*gamma=*/1.0f, opts, client.rng,
-                  options_.distill_temperature);
+    if (wire) broadcast[i] = comm::decode_logits(*wire).logits;
   }
+  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!broadcast[i]) continue;
+      DistillSet set{fed.public_data.features,
+                     tensor::softmax_rows(*broadcast[i],
+                                          options_.distill_temperature),
+                     pseudo};
+      // FedMD digests with pure distillation (gamma = 1): the public set is
+      // unlabeled, so the consensus is the only supervision.
+      TrainOptions digest_opts;
+      digest_opts.epochs = options_.digest_epochs;
+      active[i]->digest(set, /*gamma=*/1.0f, digest_opts,
+                        options_.distill_temperature);
+    }
+  });
 }
 
 }  // namespace fedpkd::fl

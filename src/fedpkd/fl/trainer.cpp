@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "fedpkd/data/loader.hpp"
+#include "fedpkd/exec/thread_pool.hpp"
 #include "fedpkd/nn/optimizer.hpp"
 #include "fedpkd/tensor/ops.hpp"
 
@@ -76,6 +77,7 @@ TrainStats train_supervised(Classifier& model, const data::Dataset& dataset,
   if (dataset.empty()) {
     throw std::invalid_argument("train_supervised: empty dataset");
   }
+  exec::ScopedThreadLimit thread_limit(options.num_threads);
   nn::Adam optimizer(model.parameters(), {.lr = options.lr});
   const Tensor reference =
       options.proximal_mu ? model.flat_weights() : Tensor{};
@@ -137,6 +139,7 @@ TrainStats train_distill(Classifier& model, const DistillSet& set, float gamma,
   if (set.inputs.rows() == 0) {
     throw std::invalid_argument("train_distill: empty distill set");
   }
+  exec::ScopedThreadLimit thread_limit(options.num_threads);
   // Wrap the distill set as a Dataset so DataLoader handles shuffling; the
   // teacher rows are re-gathered per batch by index.
   data::Dataset wrapper(set.inputs, set.pseudo_labels,

@@ -5,9 +5,15 @@
 #include <limits>
 #include <stdexcept>
 
+#include "fedpkd/exec/thread_pool.hpp"
+
 namespace fedpkd::tensor {
 
 namespace {
+
+/// Row-parallel loops only pay off when each chunk amortizes the pool
+/// hand-off; below this many multiply-adds the serial loop wins.
+constexpr std::size_t kParallelFlopThreshold = 1 << 15;
 
 void check_same_shape(const Tensor& a, const Tensor& b, const char* what) {
   if (!a.same_shape(b)) {
@@ -113,16 +119,25 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   }
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   Tensor out({m, n});
-  // i-k-j ordering keeps both B and C accesses contiguous.
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* pa = a.data() + i * k;
-    float* po = out.data() + i * n;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float av = pa[kk];
-      if (av == 0.0f) continue;
-      const float* pb = b.data() + kk * n;
-      for (std::size_t j = 0; j < n; ++j) po[j] += av * pb[j];
+  // i-k-j ordering keeps both B and C accesses contiguous. Each output row
+  // is produced by exactly one lane with the identical inner loop, so the
+  // result is bitwise the same for every thread count.
+  auto rows = [&](std::size_t row_begin, std::size_t row_end) {
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      const float* pa = a.data() + i * k;
+      float* po = out.data() + i * n;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = pa[kk];
+        if (av == 0.0f) continue;
+        const float* pb = b.data() + kk * n;
+        for (std::size_t j = 0; j < n; ++j) po[j] += av * pb[j];
+      }
     }
+  };
+  if (m * k * n >= kParallelFlopThreshold) {
+    exec::parallel_for(m, rows);
+  } else {
+    rows(0, m);
   }
   return out;
 }
@@ -134,15 +149,23 @@ Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
   }
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   Tensor out({m, n});
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* pa = a.data() + kk * m;
-    const float* pb = b.data() + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = pa[i];
-      if (av == 0.0f) continue;
+  // Output-row parallel with kk ascending inside, so each out[i][j] sees the
+  // same float accumulation order as the serial kk-outer loop did.
+  auto rows = [&](std::size_t row_begin, std::size_t row_end) {
+    for (std::size_t i = row_begin; i < row_end; ++i) {
       float* po = out.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) po[j] += av * pb[j];
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = a.data()[kk * m + i];
+        if (av == 0.0f) continue;
+        const float* pb = b.data() + kk * n;
+        for (std::size_t j = 0; j < n; ++j) po[j] += av * pb[j];
+      }
     }
+  };
+  if (m * k * n >= kParallelFlopThreshold) {
+    exec::parallel_for(m, rows);
+  } else {
+    rows(0, m);
   }
   return out;
 }
@@ -155,15 +178,22 @@ Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
   }
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   Tensor out({m, n});
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* pa = a.data() + i * k;
-    float* po = out.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* pb = b.data() + j * k;
-      float acc = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += pa[kk] * pb[kk];
-      po[j] = acc;
+  auto rows = [&](std::size_t row_begin, std::size_t row_end) {
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      const float* pa = a.data() + i * k;
+      float* po = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* pb = b.data() + j * k;
+        float acc = 0.0f;
+        for (std::size_t kk = 0; kk < k; ++kk) acc += pa[kk] * pb[kk];
+        po[j] = acc;
+      }
     }
+  };
+  if (m * k * n >= kParallelFlopThreshold) {
+    exec::parallel_for(m, rows);
+  } else {
+    rows(0, m);
   }
   return out;
 }
