@@ -6,6 +6,7 @@
 // runtime. Epoch budgets keep the paper's relative ratios across algorithms.
 
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <map>
@@ -246,6 +247,83 @@ inline void print_banner(const std::string& what, const Scale& scale) {
             << "scale=" << scale.name << " clients=" << scale.clients
             << " rounds=" << scale.rounds << " public=" << scale.public_n
             << " (set FEDPKD_SCALE=smoke|bench|full)\n\n";
+}
+
+/// -- JSON bench emitter ------------------------------------------------------
+///
+/// The kernel microbenches (micro_tensor, micro_nn, micro_parallel) each
+/// append their measurements to one machine-readable JSON array so CI can
+/// archive per-commit kernel numbers. Records merge into the file named by
+/// FEDPKD_BENCH_JSON (default BENCH_kernels.json in the working directory).
+
+struct JsonBenchRecord {
+  std::string op;     // kernel or scenario name
+  std::string shape;  // problem shape, e.g. "128x128x128"
+  double ns_per_iter = 0.0;
+  double gflops = 0.0;           // 0 when throughput is not meaningful
+  double allocs_per_iter = 0.0;  // Tensor heap allocations per iteration
+};
+
+inline std::string bench_json_path() {
+  const char* env = std::getenv("FEDPKD_BENCH_JSON");
+  return env == nullptr ? "BENCH_kernels.json" : env;
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Appends `records` to the JSON array at bench_json_path(), creating the
+/// file on first use. Append-merge lets the bench binaries run in any order
+/// and still produce a single well-formed array.
+inline void append_bench_records(const std::vector<JsonBenchRecord>& records) {
+  if (records.empty()) return;
+  const std::string path = bench_json_path();
+  std::string existing;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      existing = buffer.str();
+    }
+  }
+  std::string body;
+  const std::size_t close = existing.rfind(']');
+  if (close != std::string::npos) {
+    body = existing.substr(0, close);
+    while (!body.empty() && (body.back() == '\n' || body.back() == '\r' ||
+                             body.back() == ' ')) {
+      body.pop_back();
+    }
+    if (!body.empty() && body.back() != '[') body.push_back(',');
+  } else {
+    body = "[";
+  }
+  std::ostringstream os;
+  os << body;
+  for (const JsonBenchRecord& r : records) {
+    os << "\n  {\"op\": \"" << json_escape(r.op) << "\", \"shape\": \""
+       << json_escape(r.shape) << "\", \"ns_per_iter\": " << std::fixed
+       << std::setprecision(1) << r.ns_per_iter;
+    // gflops stays out of records with no FLOP counter (e.g. RNG, rounds).
+    if (r.gflops > 0.0) {
+      os << ", \"gflops\": " << std::setprecision(3) << r.gflops;
+    }
+    os << ", \"allocs_per_iter\": " << std::setprecision(2)
+       << r.allocs_per_iter << "},";
+  }
+  std::string out = os.str();
+  if (!out.empty() && out.back() == ',') out.pop_back();
+  out += "\n]\n";
+  std::ofstream file(path, std::ios::trunc);
+  file << out;
 }
 
 }  // namespace fedpkd::bench

@@ -1,0 +1,63 @@
+#pragma once
+
+// Adapter between google-benchmark and the JSON bench emitter in common.hpp:
+// a reporter that prints the usual console table AND captures every run as a
+// JsonBenchRecord, plus the main() the microbench binaries share.
+//
+// Benchmarks opt into the extra fields through two conventional counters:
+//   state.counters["flops_per_iter"]  -> converted to GFLOP/s
+//   state.counters["allocs_per_iter"] -> copied through verbatim
+// and SetLabel("MxKxN") for the shape column.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+
+namespace fedpkd::bench {
+
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.iterations <= 0) continue;
+      JsonBenchRecord record;
+      record.op = run.benchmark_name();
+      record.shape = run.report_label;
+      record.ns_per_iter = run.real_accumulated_time /
+                           static_cast<double>(run.iterations) * 1e9;
+      const auto flops = run.counters.find("flops_per_iter");
+      if (flops != run.counters.end() && record.ns_per_iter > 0.0) {
+        // flops per nanosecond == GFLOP/s.
+        record.gflops = flops->second.value / record.ns_per_iter;
+      }
+      const auto allocs = run.counters.find("allocs_per_iter");
+      if (allocs != run.counters.end()) {
+        record.allocs_per_iter = allocs->second.value;
+      }
+      records_.push_back(std::move(record));
+    }
+  }
+
+  const std::vector<JsonBenchRecord>& records() const { return records_; }
+
+ private:
+  std::vector<JsonBenchRecord> records_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also appends every run to
+/// the shared JSON bench file.
+inline int run_benchmarks_with_json(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  append_bench_records(reporter.records());
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace fedpkd::bench

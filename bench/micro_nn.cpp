@@ -1,4 +1,5 @@
-// Microbenchmarks for model forward/backward and training steps.
+// Microbenchmarks for model forward/backward and training steps. Runs are
+// appended to BENCH_kernels.json via json_reporter.hpp.
 
 #include <benchmark/benchmark.h>
 
@@ -6,6 +7,7 @@
 #include "fedpkd/nn/loss.hpp"
 #include "fedpkd/nn/model_zoo.hpp"
 #include "fedpkd/nn/optimizer.hpp"
+#include "json_reporter.hpp"
 
 namespace {
 
@@ -33,6 +35,7 @@ void BM_TrainStepBatch32(benchmark::State& state) {
   const Tensor x = Tensor::randn({32, 32}, rng);
   std::vector<int> y(32);
   for (std::size_t i = 0; i < 32; ++i) y[i] = static_cast<int>(i % 10);
+  const auto allocs_before = Tensor::allocation_count();
   for (auto _ : state) {
     adam.zero_grad();
     Tensor logits = model.forward(x, /*train=*/true);
@@ -41,6 +44,10 @@ void BM_TrainStepBatch32(benchmark::State& state) {
     adam.step();
     benchmark::DoNotOptimize(loss);
   }
+  state.SetLabel("resmlp20,batch=32");
+  state.counters["allocs_per_iter"] =
+      static_cast<double>(Tensor::allocation_count() - allocs_before) /
+      static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_TrainStepBatch32);
 
@@ -69,4 +76,6 @@ BENCHMARK(BM_AdamStep);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return fedpkd::bench::run_benchmarks_with_json(argc, argv);
+}

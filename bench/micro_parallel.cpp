@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "common.hpp"
 #include "fedpkd/core/fedpkd.hpp"
 #include "fedpkd/exec/thread_pool.hpp"
 #include "fedpkd/fl/fedavg.hpp"
@@ -23,12 +24,13 @@ using Clock = std::chrono::steady_clock;
 struct Timing {
   std::size_t threads;
   double seconds;
+  double allocs;  // Tensor heap allocations during the run
 };
 
 /// Runs `rounds` rounds of `algorithm` on a fresh 8-client federation with
 /// the given lane count and returns elapsed seconds. Rebuilding per
 /// measurement keeps every run's work identical (same seed, same schedule).
-double time_run(const std::string& algorithm,
+Timing time_run(const std::string& algorithm,
                 const data::FederatedDataBundle& bundle, std::size_t threads,
                 std::size_t rounds) {
   fl::FederationConfig config;
@@ -59,25 +61,38 @@ double time_run(const std::string& algorithm,
 
   fl::RunOptions run;
   run.rounds = rounds;
+  const auto allocs_before = tensor::Tensor::allocation_count();
   const auto start = Clock::now();
   fl::run_federation(*algo, *fed, run);
   const auto stop = Clock::now();
   exec::set_num_threads(1);
-  return std::chrono::duration<double>(stop - start).count();
+  return Timing{
+      threads, std::chrono::duration<double>(stop - start).count(),
+      static_cast<double>(tensor::Tensor::allocation_count() - allocs_before)};
 }
 
 void report(const std::string& algorithm,
-            const data::FederatedDataBundle& bundle, std::size_t rounds) {
+            const data::FederatedDataBundle& bundle, std::size_t rounds,
+            const std::string& scale_name,
+            std::vector<bench::JsonBenchRecord>& records) {
   std::printf("%s, 8 clients, %zu round(s):\n", algorithm.c_str(), rounds);
-  std::printf("  %-8s %10s %9s\n", "threads", "seconds", "speedup");
+  std::printf("  %-8s %10s %9s %12s\n", "threads", "seconds", "speedup",
+              "allocs");
   std::vector<Timing> timings;
   for (std::size_t threads : {1, 2, 4, 8}) {
-    timings.push_back({threads, time_run(algorithm, bundle, threads, rounds)});
+    timings.push_back(time_run(algorithm, bundle, threads, rounds));
   }
   const double serial = timings.front().seconds;
   for (const Timing& t : timings) {
-    std::printf("  %-8zu %10.3f %8.2fx\n", t.threads, t.seconds,
-                serial / t.seconds);
+    std::printf("  %-8zu %10.3f %8.2fx %12.0f\n", t.threads, t.seconds,
+                serial / t.seconds, t.allocs);
+    bench::JsonBenchRecord record;
+    record.op = "round:" + algorithm;
+    record.shape = "clients=8,threads=" + std::to_string(t.threads) +
+                   ",scale=" + scale_name;
+    record.ns_per_iter = t.seconds / static_cast<double>(rounds) * 1e9;
+    record.allocs_per_iter = t.allocs / static_cast<double>(rounds);
+    records.push_back(std::move(record));
   }
   std::printf("\n");
 }
@@ -87,10 +102,18 @@ void report(const std::string& algorithm,
 int main() {
   std::printf("hardware threads: %zu\n\n", exec::hardware_threads());
 
+  // FEDPKD_SCALE sizes the data pools (smoke keeps the CI job short); one
+  // round regardless of scale, since this driver measures per-round cost.
+  const bench::Scale scale = bench::current_scale();
   data::SyntheticVision task(data::SyntheticVisionConfig::synth10(11));
-  const auto bundle = task.make_bundle(1600, 400, 400);
+  const auto bundle =
+      task.make_bundle(scale.name == "bench" ? 1600 : scale.train10,
+                       scale.name == "bench" ? 400 : scale.test_n,
+                       scale.name == "bench" ? 400 : scale.public_n);
 
-  report("FedAvg", bundle, 1);
-  report("FedPKD", bundle, 1);
+  std::vector<bench::JsonBenchRecord> records;
+  report("FedAvg", bundle, 1, scale.name, records);
+  report("FedPKD", bundle, 1, scale.name, records);
+  bench::append_bench_records(records);
   return 0;
 }

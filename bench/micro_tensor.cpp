@@ -1,27 +1,63 @@
 // Microbenchmarks for the tensor substrate hot loops (google-benchmark).
+// Every run lands in BENCH_kernels.json via json_reporter.hpp; the *Naive
+// variants time the retained reference kernels so the blocked/naive ratio is
+// visible in the same file.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "fedpkd/tensor/kernels.hpp"
 #include "fedpkd/tensor/ops.hpp"
 #include "fedpkd/tensor/rng.hpp"
+#include "json_reporter.hpp"
 
 namespace {
 
 using fedpkd::tensor::Rng;
 using fedpkd::tensor::Tensor;
+namespace kernels = fedpkd::tensor::kernels;
+
+std::string cube_label(std::size_t n) {
+  const std::string s = std::to_string(n);
+  return s + "x" + s + "x" + s;
+}
 
 void BM_Matmul(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(1);
   const Tensor a = Tensor::randn({n, n}, rng);
   const Tensor b = Tensor::randn({n, n}, rng);
+  const auto allocs_before = Tensor::allocation_count();
   for (auto _ : state) {
     benchmark::DoNotOptimize(fedpkd::tensor::matmul(a, b));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n * n * n));
+  state.SetLabel(cube_label(n));
+  state.counters["flops_per_iter"] = 2.0 * static_cast<double>(n * n * n);
+  state.counters["allocs_per_iter"] =
+      static_cast<double>(Tensor::allocation_count() - allocs_before) /
+      static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatmulNaive(benchmark::State& state) {
+  // The pre-blocking reference kernel on the same problem, for the speedup
+  // ratio in BENCH_kernels.json.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    kernels::matmul_rows_naive(a.data(), b.data(), c.data(), n, n, 0, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(cube_label(n));
+  state.counters["flops_per_iter"] = 2.0 * static_cast<double>(n * n * n);
+}
+BENCHMARK(BM_MatmulNaive)->Arg(32)->Arg(64)->Arg(128);
 
 void BM_MatmulTransposeA(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -31,17 +67,62 @@ void BM_MatmulTransposeA(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(fedpkd::tensor::matmul_transpose_a(a, b));
   }
+  state.SetLabel(cube_label(n));
+  state.counters["flops_per_iter"] = 2.0 * static_cast<double>(n * n * n);
 }
 BENCHMARK(BM_MatmulTransposeA)->Arg(64);
+
+void BM_MatmulTransposeB(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fedpkd::tensor::matmul_transpose_b(a, b));
+  }
+  state.SetLabel(cube_label(n));
+  state.counters["flops_per_iter"] = 2.0 * static_cast<double>(n * n * n);
+}
+BENCHMARK(BM_MatmulTransposeB)->Arg(64);
+
+void BM_Transpose(benchmark::State& state) {
+  Rng rng(8);
+  const Tensor a = Tensor::randn({512, 300}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fedpkd::tensor::transpose(a));
+  }
+  state.SetLabel("512x300");
+}
+BENCHMARK(BM_Transpose);
 
 void BM_SoftmaxRows(benchmark::State& state) {
   Rng rng(3);
   const Tensor logits = Tensor::randn({512, 100}, rng);
+  const auto allocs_before = Tensor::allocation_count();
   for (auto _ : state) {
     benchmark::DoNotOptimize(fedpkd::tensor::softmax_rows(logits));
   }
+  state.SetLabel("512x100");
+  state.counters["allocs_per_iter"] =
+      static_cast<double>(Tensor::allocation_count() - allocs_before) /
+      static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_SoftmaxRows);
+
+void BM_SoftmaxRowsInplace(benchmark::State& state) {
+  Rng rng(3);
+  Tensor logits = Tensor::randn({512, 100}, rng);
+  const auto allocs_before = Tensor::allocation_count();
+  for (auto _ : state) {
+    fedpkd::tensor::softmax_rows_inplace(logits, 2.0f);
+    benchmark::DoNotOptimize(logits.data());
+  }
+  state.SetLabel("512x100");
+  state.counters["allocs_per_iter"] =
+      static_cast<double>(Tensor::allocation_count() - allocs_before) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SoftmaxRowsInplace);
 
 void BM_VariancePerRow(benchmark::State& state) {
   Rng rng(4);
@@ -49,6 +130,7 @@ void BM_VariancePerRow(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(fedpkd::tensor::variance_per_row(logits));
   }
+  state.SetLabel("1024x100");
 }
 BENCHMARK(BM_VariancePerRow);
 
@@ -60,8 +142,23 @@ void BM_Axpy(benchmark::State& state) {
     fedpkd::tensor::axpy_inplace(a, 0.001f, b);
     benchmark::DoNotOptimize(a.data());
   }
+  state.SetLabel("100000");
+  state.counters["flops_per_iter"] = 2.0 * 100000.0;
 }
 BENCHMARK(BM_Axpy);
+
+void BM_ScaleAdd(benchmark::State& state) {
+  Rng rng(9);
+  Tensor a = Tensor::randn({100000}, rng);
+  const Tensor b = Tensor::randn({100000}, rng);
+  for (auto _ : state) {
+    fedpkd::tensor::scale_add_inplace(a, 0.999f, b, 0.001f);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetLabel("100000");
+  state.counters["flops_per_iter"] = 3.0 * 100000.0;
+}
+BENCHMARK(BM_ScaleAdd);
 
 void BM_RngNormal(benchmark::State& state) {
   Rng rng(6);
@@ -73,4 +170,6 @@ BENCHMARK(BM_RngNormal);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return fedpkd::bench::run_benchmarks_with_json(argc, argv);
+}

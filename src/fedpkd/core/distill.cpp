@@ -56,17 +56,22 @@ fl::TrainStats server_ensemble_distill(Classifier& server_model,
 
   fl::TrainStats stats;
   double loss_sum = 0.0;
+  // Batch, teacher-slice, and prototype-gradient buffers persist across steps
+  // so the hot loop reuses their capacity instead of reallocating.
+  data::Batch batch;
+  Tensor teacher;
+  Tensor grad_features;
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
     loader.reset();
-    while (auto batch = loader.next()) {
+    while (loader.next(batch)) {
       optimizer.zero_grad();
-      const Tensor teacher = teacher_probs.gather_rows(batch->indices);
-      Tensor logits = server_model.forward(batch->x, /*train=*/true);
+      teacher_probs.gather_rows_into(batch.indices, teacher);
+      Tensor logits = server_model.forward(batch.x, /*train=*/true);
 
       // L_kd (Eq. 11): KL(S || M_G) + CE(M_G, pseudo), both on this batch.
       auto [kl, grad_kl] =
           nn::kl_distillation(logits, teacher, options.temperature);
-      auto [ce, grad_ce] = nn::softmax_cross_entropy(logits, batch->y);
+      auto [ce, grad_ce] = nn::softmax_cross_entropy(logits, batch.y);
       float loss = options.delta * (kl + ce);
       Tensor grad_logits = std::move(grad_kl);
       tensor::add_inplace(grad_logits, grad_ce);
@@ -74,17 +79,17 @@ fl::TrainStats server_ensemble_distill(Classifier& server_model,
 
       if (options.confidence_weighted) {
         double mean_w = 0.0;
-        for (std::size_t r = 0; r < batch->size(); ++r) {
-          mean_w += confidence[batch->indices[r]];
+        for (std::size_t r = 0; r < batch.size(); ++r) {
+          mean_w += confidence[batch.indices[r]];
         }
-        mean_w /= static_cast<double>(batch->size());
+        mean_w /= static_cast<double>(batch.size());
         const std::size_t cols = grad_logits.cols();
         // Row-parallel: every row's scale depends only on its own index.
         exec::parallel_for(
-            batch->size(), [&](std::size_t row_begin, std::size_t row_end) {
+            batch.size(), [&](std::size_t row_begin, std::size_t row_end) {
               for (std::size_t r = row_begin; r < row_end; ++r) {
                 const float w = static_cast<float>(
-                    confidence[batch->indices[r]] / mean_w);
+                    confidence[batch.indices[r]] / mean_w);
                 float* g = grad_logits.data() + r * cols;
                 for (std::size_t c = 0; c < cols; ++c) g[c] *= w;
               }
@@ -95,7 +100,8 @@ fl::TrainStats server_ensemble_distill(Classifier& server_model,
       // prototype of its pseudo-label.
       if (options.use_prototype_loss && options.delta < 1.0f) {
         const Tensor& features = server_model.last_features();
-        Tensor grad_features(features.shape());
+        grad_features.ensure_shape(features.shape());
+        grad_features.zero();  // rows whose prototype class is absent stay 0
         const std::size_t b = features.rows();
         // Rows are independent: each lane writes its own gradient rows and a
         // per-row MSE partial; the partials reduce serially in row order so
@@ -104,7 +110,7 @@ fl::TrainStats server_ensemble_distill(Classifier& server_model,
         std::vector<std::size_t> row_counted(b, 0);
         exec::parallel_for(b, [&](std::size_t row_begin, std::size_t row_end) {
           for (std::size_t r = row_begin; r < row_end; ++r) {
-            const auto cls = static_cast<std::size_t>(batch->y[r]);
+            const auto cls = static_cast<std::size_t>(batch.y[r]);
             if (!global_prototypes.present[cls]) continue;
             row_counted[r] = feature_dim;
             double acc = 0.0;

@@ -29,20 +29,26 @@ void DataLoader::reset() {
 }
 
 std::optional<Batch> DataLoader::next() {
-  const std::size_t n = order_.size();
-  if (cursor_ >= n) return std::nullopt;
-  std::size_t take = std::min(batch_size_, n - cursor_);
-  if (take < batch_size_ && drop_last_) return std::nullopt;
-
   Batch batch;
+  if (!next(batch)) return std::nullopt;
+  return batch;
+}
+
+bool DataLoader::next(Batch& batch) {
+  const std::size_t n = order_.size();
+  if (cursor_ >= n) return false;
+  std::size_t take = std::min(batch_size_, n - cursor_);
+  if (take < batch_size_ && drop_last_) return false;
+
   batch.indices.assign(order_.begin() + static_cast<std::ptrdiff_t>(cursor_),
                        order_.begin() +
                            static_cast<std::ptrdiff_t>(cursor_ + take));
-  batch.x = dataset_->features.gather_rows(batch.indices);
+  dataset_->features.gather_rows_into(batch.indices, batch.x);
+  batch.y.clear();
   batch.y.reserve(take);
   for (std::size_t i : batch.indices) batch.y.push_back(dataset_->labels[i]);
   cursor_ += take;
-  return batch;
+  return true;
 }
 
 std::size_t DataLoader::batches_per_epoch() const {

@@ -34,6 +34,11 @@ class DataLoader {
   /// unless drop_last was set.
   std::optional<Batch> next();
 
+  /// Buffer-reusing variant: fills `batch` in place (batch.x keeps its
+  /// capacity across calls, so steady-state epochs allocate nothing) and
+  /// returns false at epoch end.
+  bool next(Batch& batch);
+
   /// Number of batches per epoch.
   std::size_t batches_per_epoch() const;
   std::size_t batch_size() const { return batch_size_; }

@@ -76,9 +76,9 @@ void FedDf::run_round(Federation& fed, std::size_t) {
     for (std::size_t i = begin; i < end; ++i) {
       nn::Classifier scratch = server_.clone();
       scratch.set_flat_weights(uploads[i].flat);
-      member_probs[i] = tensor::softmax_rows(
-          compute_logits(scratch, fed.public_data.features),
-          options_.distill_temperature);
+      member_probs[i] = compute_logits(scratch, fed.public_data.features);
+      tensor::softmax_rows_inplace(member_probs[i],
+                                   options_.distill_temperature);
     }
   });
   tensor::Tensor ensemble_probs({public_n, fed.num_classes});

@@ -63,8 +63,10 @@ void FedEt::run_round(Federation& fed, std::size_t) {
   exec::parallel_for(client_logits.size(),
                      [&](std::size_t begin, std::size_t end) {
                        for (std::size_t c = begin; c < end; ++c) {
-                         member_probs[c] =
-                             tensor::softmax_rows(client_logits[c]);
+                         // The logits buffer is dead after this point, so the
+                         // softmax runs in place on it.
+                         member_probs[c] = std::move(client_logits[c]);
+                         tensor::softmax_rows_inplace(member_probs[c]);
                          member_entropy[c] =
                              tensor::entropy_rows(member_probs[c]);
                        }
@@ -112,13 +114,16 @@ void FedEt::run_round(Federation& fed, std::size_t) {
                                  comm::LogitsPayload{ids, server_logits});
     delivered[i] = wire.has_value();
   }
+  // One shared read-only digest set for all clients instead of a per-client
+  // copy of the public features + probabilities.
+  const DistillSet digest_set{fed.public_data.features, server_probs,
+                              server_pseudo};
   exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       if (!delivered[i]) continue;
-      DistillSet set{fed.public_data.features, server_probs, server_pseudo};
       TrainOptions digest_opts;
       digest_opts.epochs = options_.client_digest_epochs;
-      active[i]->digest(set, /*gamma=*/1.0f, digest_opts);
+      active[i]->digest(digest_set, /*gamma=*/1.0f, digest_opts);
     }
   });
 }

@@ -19,17 +19,19 @@ struct PrototypeBatch {
   bool any = false;
 };
 
-PrototypeBatch gather_prototype_targets(const TrainOptions& options,
-                                        std::span<const int> labels,
-                                        std::size_t feature_dim) {
-  PrototypeBatch out;
+/// Fills `out` in place (targets keeps its capacity across batches, so the
+/// training loop allocates nothing here after warmup).
+void gather_prototype_targets(const TrainOptions& options,
+                              std::span<const int> labels,
+                              std::size_t feature_dim, PrototypeBatch& out) {
   const Tensor& protos = *options.prototype_matrix;
   if (protos.rank() != 2 || protos.cols() != feature_dim) {
     throw std::invalid_argument(
         "train: prototype matrix shape does not match feature dim");
   }
-  out.targets = Tensor({labels.size(), feature_dim});
+  out.targets.ensure_shape({labels.size(), feature_dim});
   out.valid.assign(labels.size(), false);
+  out.any = false;
   for (std::size_t i = 0; i < labels.size(); ++i) {
     const auto cls = static_cast<std::size_t>(labels[i]);
     if (cls >= protos.rows()) {
@@ -42,14 +44,14 @@ PrototypeBatch gather_prototype_targets(const TrainOptions& options,
     out.any = true;
     out.targets.set_row(i, protos.row(cls));
   }
-  return out;
 }
 
-/// MSE(features, targets) over valid rows only; returns loss and the gradient
-/// w.r.t. features (zero on invalid rows).
-std::pair<float, Tensor> masked_feature_mse(const Tensor& features,
-                                            const PrototypeBatch& proto) {
-  Tensor grad(features.shape());
+/// MSE(features, targets) over valid rows only; fills `grad` with the
+/// gradient w.r.t. features (zero on invalid rows) and returns the loss.
+float masked_feature_mse(const Tensor& features, const PrototypeBatch& proto,
+                         Tensor& grad) {
+  grad.ensure_shape(features.shape());
+  grad.zero();
   const std::size_t b = features.rows(), d = features.cols();
   double loss = 0.0;
   std::size_t valid_elems = 0;
@@ -57,7 +59,7 @@ std::pair<float, Tensor> masked_feature_mse(const Tensor& features,
     if (!proto.valid[r]) continue;
     valid_elems += d;
   }
-  if (valid_elems == 0) return {0.0f, std::move(grad)};
+  if (valid_elems == 0) return 0.0f;
   const float inv = 1.0f / static_cast<float>(valid_elems);
   for (std::size_t r = 0; r < b; ++r) {
     if (!proto.valid[r]) continue;
@@ -67,7 +69,7 @@ std::pair<float, Tensor> masked_feature_mse(const Tensor& features,
       grad[r * d + c] = 2.0f * diff * inv;
     }
   }
-  return {static_cast<float>(loss) * inv, std::move(grad)};
+  return static_cast<float>(loss) * inv;
 }
 
 }  // namespace
@@ -85,20 +87,24 @@ TrainStats train_supervised(Classifier& model, const data::Dataset& dataset,
   data::DataLoader loader(dataset, options.batch_size, rng.split(0x7261696e));
   TrainStats stats;
   double loss_sum = 0.0;
+  // Per-batch buffers hoisted out of the loop; all of them reuse their
+  // capacity from the second step on.
+  data::Batch batch;
+  PrototypeBatch proto;
+  Tensor grad_features;
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
     loader.reset();
-    while (auto batch = loader.next()) {
+    while (loader.next(batch)) {
       optimizer.zero_grad();
-      Tensor logits = model.forward(batch->x, /*train=*/true);
-      auto [ce, grad_logits] = nn::softmax_cross_entropy(logits, batch->y);
+      Tensor logits = model.forward(batch.x, /*train=*/true);
+      auto [ce, grad_logits] = nn::softmax_cross_entropy(logits, batch.y);
       float loss = ce;
 
       if (options.prototype_matrix != nullptr) {
-        const PrototypeBatch proto = gather_prototype_targets(
-            options, batch->y, model.feature_dim());
+        gather_prototype_targets(options, batch.y, model.feature_dim(), proto);
         if (proto.any) {
-          auto [mse_loss, grad_features] =
-              masked_feature_mse(model.last_features(), proto);
+          const float mse_loss =
+              masked_feature_mse(model.last_features(), proto, grad_features);
           loss += options.prototype_epsilon * mse_loss;
           tensor::scale_inplace(grad_features, options.prototype_epsilon);
           model.backward(grad_logits, &grad_features);
@@ -149,20 +155,25 @@ TrainStats train_distill(Classifier& model, const DistillSet& set, float gamma,
 
   TrainStats stats;
   double loss_sum = 0.0;
+  data::Batch batch;
+  Tensor teacher;
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
     loader.reset();
-    while (auto batch = loader.next()) {
+    while (loader.next(batch)) {
       optimizer.zero_grad();
-      Tensor teacher = set.teacher_probs.gather_rows(batch->indices);
-      Tensor logits = model.forward(batch->x, /*train=*/true);
+      set.teacher_probs.gather_rows_into(batch.indices, teacher);
+      Tensor logits = model.forward(batch.x, /*train=*/true);
 
       auto [kl, grad_kl] = nn::kl_distillation(logits, teacher, temperature);
       float loss = gamma * kl;
-      tensor::scale_inplace(grad_kl, gamma);
       if (gamma < 1.0f) {
-        auto [ce, grad_ce] = nn::softmax_cross_entropy(logits, batch->y);
+        auto [ce, grad_ce] = nn::softmax_cross_entropy(logits, batch.y);
         loss += (1.0f - gamma) * ce;
-        tensor::axpy_inplace(grad_kl, 1.0f - gamma, grad_ce);
+        // Fused: grad = gamma * grad_kl + (1 - gamma) * grad_ce, rounding
+        // exactly like the scale_inplace + axpy_inplace pair it replaces.
+        tensor::scale_add_inplace(grad_kl, gamma, grad_ce, 1.0f - gamma);
+      } else {
+        tensor::scale_inplace(grad_kl, gamma);
       }
       model.backward(grad_kl);
       optimizer.step();
@@ -191,11 +202,13 @@ Tensor batched_apply(const Tensor& inputs, std::size_t batch_size,
   const std::size_t n = inputs.rows();
   Tensor out({n, out_cols});
   std::vector<std::size_t> idx;
+  Tensor xbuf;
   for (std::size_t start = 0; start < n; start += batch_size) {
     const std::size_t take = std::min(batch_size, n - start);
     idx.resize(take);
     for (std::size_t i = 0; i < take; ++i) idx[i] = start + i;
-    Tensor block = forward(inputs.gather_rows(idx));
+    inputs.gather_rows_into(idx, xbuf);
+    Tensor block = forward(xbuf);
     for (std::size_t i = 0; i < take; ++i) {
       out.set_row(start + i, block.row(i));
     }

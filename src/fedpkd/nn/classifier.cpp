@@ -17,7 +17,7 @@ Classifier::Classifier(std::string arch_name, std::unique_ptr<Module> body,
   }
 }
 
-Tensor Classifier::features(const Tensor& x, bool train) {
+void Classifier::compute_features(const Tensor& x, bool train) {
   if (x.rank() != 2 || x.cols() != input_dim_) {
     throw std::invalid_argument("Classifier::features: expected [batch, " +
                                 std::to_string(input_dim_) + "], got " +
@@ -25,13 +25,19 @@ Tensor Classifier::features(const Tensor& x, bool train) {
   }
   last_features_ = body_->forward(x, train);
   forward_through_head_ = false;
+}
+
+Tensor Classifier::features(const Tensor& x, bool train) {
+  compute_features(x, train);
   return last_features_;
 }
 
 Tensor Classifier::forward(const Tensor& x, bool train) {
-  Tensor f = features(x, train);
+  // Feeds the cached features straight to the head instead of copying them
+  // through the features() return value.
+  compute_features(x, train);
   forward_through_head_ = true;
-  return head_->forward(f, train);
+  return head_->forward(last_features_, train);
 }
 
 void Classifier::backward(const Tensor& grad_logits,

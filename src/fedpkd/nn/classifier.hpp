@@ -73,6 +73,9 @@ class Classifier {
   Classifier clone() const;
 
  private:
+  /// Runs the body and refreshes last_features_ without copying it out.
+  void compute_features(const Tensor& x, bool train);
+
   std::string arch_;
   std::unique_ptr<Module> body_;
   std::unique_ptr<Linear> head_;

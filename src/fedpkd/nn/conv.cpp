@@ -126,16 +126,16 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   const std::size_t batch = x.rows();
   const std::size_t positions = output_.height * output_.width;
   Tensor y({batch, output_.numel()});
-  Tensor columns({positions, input_.channels * kernel_ * kernel_});
+  columns_.ensure_shape({positions, input_.channels * kernel_ * kernel_});
   for (std::size_t b = 0; b < batch; ++b) {
-    im2col(x.data() + b * input_.numel(), columns);
+    im2col(x.data() + b * input_.numel(), columns_);
     // [positions, patch] x [patch, out_ch] -> [positions, out_ch].
-    Tensor out = tensor::matmul(columns, weight_.value);
+    tensor::matmul_into(columns_, weight_.value, matmul_out_);
     // Transpose to channel-major C,H,W rows expected by downstream layers.
     float* dst = y.data() + b * output_.numel();
     for (std::size_t p = 0; p < positions; ++p) {
       for (std::size_t oc = 0; oc < output_.channels; ++oc) {
-        dst[oc * positions + p] = out[p * output_.channels + oc] +
+        dst[oc * positions + p] = matmul_out_[p * output_.channels + oc] +
                                   bias_.value[oc];
       }
     }
@@ -156,24 +156,23 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const std::size_t positions = output_.height * output_.width;
   const std::size_t patch = input_.channels * kernel_ * kernel_;
   Tensor grad_in({batch, input_.numel()});
-  Tensor columns({positions, patch});
-  Tensor gout_pm({positions, output_.channels});  // position-major view
+  columns_.ensure_shape({positions, patch});
+  gout_pm_.ensure_shape({positions, output_.channels});  // position-major view
   for (std::size_t b = 0; b < batch; ++b) {
     // Rebuild the patch matrix (recompute beats caching batch x positions x
     // patch floats for memory locality at these sizes).
-    im2col(cached_input_.data() + b * input_.numel(), columns);
+    im2col(cached_input_.data() + b * input_.numel(), columns_);
     const float* g = grad_out.data() + b * output_.numel();
     for (std::size_t p = 0; p < positions; ++p) {
       for (std::size_t oc = 0; oc < output_.channels; ++oc) {
-        gout_pm[p * output_.channels + oc] = g[oc * positions + p];
-        }
+        gout_pm_[p * output_.channels + oc] = g[oc * positions + p];
+      }
     }
     // dW += columns^T x gout; db += column sums; dx = gout x W^T -> col2im.
-    tensor::add_inplace(weight_.grad,
-                        tensor::matmul_transpose_a(columns, gout_pm));
-    tensor::add_inplace(bias_.grad, tensor::sum_rows(gout_pm));
-    Tensor dcolumns = tensor::matmul_transpose_b(gout_pm, weight_.value);
-    col2im(dcolumns, grad_in.data() + b * input_.numel());
+    tensor::matmul_transpose_a_accumulate(columns_, gout_pm_, weight_.grad);
+    tensor::sum_rows_accumulate(gout_pm_, bias_.grad);
+    tensor::matmul_transpose_b_into(gout_pm_, weight_.value, dcolumns_);
+    col2im(dcolumns_, grad_in.data() + b * input_.numel());
   }
   return grad_in;
 }

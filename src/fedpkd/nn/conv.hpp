@@ -52,6 +52,13 @@ class Conv2d final : public Module {
   Parameter weight_;
   Parameter bias_;
   Tensor cached_input_;
+  // Persistent im2col/col2im scratch, reused across forward/backward calls
+  // and across the whole batch (ensure_shape'd once per call, so steady-state
+  // training allocates nothing here).
+  Tensor columns_;     // [H_out*W_out, in_ch*k*k] patch matrix
+  Tensor matmul_out_;  // [H_out*W_out, out_ch] forward product
+  Tensor gout_pm_;     // [H_out*W_out, out_ch] position-major grad view
+  Tensor dcolumns_;    // [H_out*W_out, in_ch*k*k] patch-space input grad
 };
 
 /// Global average pooling: [batch, C*H*W] -> [batch, C].

@@ -28,9 +28,14 @@ Tensor LayerNorm::forward(const Tensor& x, bool train) {
                                 x.shape_string());
   }
   const std::size_t m = x.rows(), n = features_;
-  Tensor xhat(x.shape());
-  Tensor inv_std({m});
   Tensor y(x.shape());
+  // In train mode xhat / inv_std are written straight into the persistent
+  // caches (ensure_shape reuses their buffers across steps); in eval mode
+  // xhat only lives in a register.
+  if (train) {
+    cached_xhat_.ensure_shape(x.shape());
+    cached_inv_std_.ensure_shape({m});
+  }
   for (std::size_t r = 0; r < m; ++r) {
     const float* px = x.data() + r * n;
     double mu = 0.0;
@@ -43,17 +48,14 @@ Tensor LayerNorm::forward(const Tensor& x, bool train) {
     }
     var /= static_cast<double>(n);
     const float is = static_cast<float>(1.0 / std::sqrt(var + eps_));
-    inv_std[r] = is;
-    float* ph = xhat.data() + r * n;
+    if (train) cached_inv_std_[r] = is;
+    float* ph = train ? cached_xhat_.data() + r * n : nullptr;
     float* py = y.data() + r * n;
     for (std::size_t c = 0; c < n; ++c) {
-      ph[c] = (px[c] - static_cast<float>(mu)) * is;
-      py[c] = gamma_.value[c] * ph[c] + beta_.value[c];
+      const float h = (px[c] - static_cast<float>(mu)) * is;
+      if (ph != nullptr) ph[c] = h;
+      py[c] = gamma_.value[c] * h + beta_.value[c];
     }
-  }
-  if (train) {
-    cached_xhat_ = std::move(xhat);
-    cached_inv_std_ = std::move(inv_std);
   }
   return y;
 }

@@ -29,9 +29,8 @@ Tensor Linear::forward(const Tensor& x, bool train) {
                                 std::to_string(in_) + "], got " +
                                 x.shape_string());
   }
-  if (train) cached_input_ = x;
-  Tensor y = tensor::matmul(x, weight_.value);
-  return tensor::add_row_vector(y, bias_.value);
+  if (train) cached_input_ = x;  // capacity-reusing assign: no alloc after warmup
+  return tensor::matmul_bias(x, weight_.value, bias_.value);
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {
@@ -43,9 +42,8 @@ Tensor Linear::backward(const Tensor& grad_out) {
     throw std::invalid_argument("Linear::backward: grad shape " +
                                 grad_out.shape_string());
   }
-  tensor::add_inplace(weight_.grad,
-                      tensor::matmul_transpose_a(cached_input_, grad_out));
-  tensor::add_inplace(bias_.grad, tensor::sum_rows(grad_out));
+  tensor::matmul_transpose_a_accumulate(cached_input_, grad_out, weight_.grad);
+  tensor::sum_rows_accumulate(grad_out, bias_.grad);
   return tensor::matmul_transpose_b(grad_out, weight_.value);
 }
 

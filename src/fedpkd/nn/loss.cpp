@@ -3,7 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fedpkd/tensor/kernels.hpp"
 #include "fedpkd/tensor/ops.hpp"
+#include "fedpkd/tensor/workspace.hpp"
 
 namespace fedpkd::nn {
 
@@ -30,16 +32,18 @@ LossResult softmax_cross_entropy(const Tensor& logits,
                                  std::span<const int> labels) {
   check_logits_labels(logits, labels, "softmax_cross_entropy");
   const std::size_t m = logits.rows(), n = logits.cols();
-  Tensor probs = tensor::softmax_rows(logits);
+  // The softmax is written straight into grad; the label probability is read
+  // back out before the in-place (p - onehot) update.
+  Tensor grad;
+  tensor::softmax_rows_into(logits, grad);  // grad = p, then (p - onehot)/m
   double loss = 0.0;
-  Tensor grad = probs;  // grad = (p - onehot)/m
   const float inv_m = 1.0f / static_cast<float>(m);
   for (std::size_t r = 0; r < m; ++r) {
     const int y = labels[r];
     if (y < 0 || static_cast<std::size_t>(y) >= n) {
       throw std::invalid_argument("softmax_cross_entropy: label out of range");
     }
-    loss -= std::log(static_cast<double>(probs[r * n + y]) + kEps);
+    loss -= std::log(static_cast<double>(grad[r * n + y]) + kEps);
     grad[r * n + static_cast<std::size_t>(y)] -= 1.0f;
   }
   tensor::scale_inplace(grad, inv_m);
@@ -55,12 +59,16 @@ LossResult soft_cross_entropy(const Tensor& logits,
   }
   const std::size_t m = logits.rows(), n = logits.cols();
   if (m == 0) throw std::invalid_argument("soft_cross_entropy: empty batch");
-  Tensor logp = tensor::log_softmax_rows(logits);
+  // log-softmax goes to workspace scratch (only the scalar loss survives it).
+  tensor::Workspace::Scope scope(tensor::Workspace::per_thread());
+  std::span<float> logp = scope.take(m * n);
+  tensor::kernels::log_softmax_rows(logits.data(), logp.data(), m, n, 1.0f);
   double loss = 0.0;
   for (std::size_t i = 0; i < m * n; ++i) {
     loss -= static_cast<double>(target_probs[i]) * logp[i];
   }
-  Tensor grad = tensor::softmax_rows(logits);
+  Tensor grad;
+  tensor::softmax_rows_into(logits, grad);
   tensor::sub_inplace(grad, target_probs);
   tensor::scale_inplace(grad, 1.0f / static_cast<float>(m));
   return {static_cast<float>(loss / static_cast<double>(m)), std::move(grad)};

@@ -18,15 +18,21 @@ Sequential& Sequential::add(std::unique_ptr<Module> layer) {
 }
 
 Tensor Sequential::forward(const Tensor& x, bool train) {
-  Tensor h = x;
-  for (auto& l : layers_) h = l->forward(h, train);
+  // The first layer reads `x` directly; later hops move-assign each layer's
+  // fresh output, so the chain itself allocates nothing.
+  if (layers_.empty()) return x;
+  Tensor h = layers_.front()->forward(x, train);
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    h = layers_[i]->forward(h, train);
+  }
   return h;
 }
 
 Tensor Sequential::backward(const Tensor& grad_out) {
-  Tensor g = grad_out;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->backward(g);
+  if (layers_.empty()) return grad_out;
+  Tensor g = layers_.back()->backward(grad_out);
+  for (std::size_t i = layers_.size() - 1; i-- > 0;) {
+    g = layers_[i]->backward(g);
   }
   return g;
 }

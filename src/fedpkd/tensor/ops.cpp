@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "fedpkd/exec/thread_pool.hpp"
+#include "fedpkd/tensor/kernels.hpp"
+#include "fedpkd/tensor/workspace.hpp"
 
 namespace fedpkd::tensor {
 
@@ -82,6 +84,11 @@ void axpy_inplace(Tensor& a, float s, const Tensor& b) {
   for (std::size_t i = 0; i < a.numel(); ++i) a[i] += s * b[i];
 }
 
+void scale_add_inplace(Tensor& a, float sa, const Tensor& b, float sb) {
+  check_same_shape(a, b, "scale_add_inplace");
+  for (std::size_t i = 0; i < a.numel(); ++i) a[i] = a[i] * sa + sb * b[i];
+}
+
 Tensor add_row_vector(const Tensor& a, const Tensor& v) {
   if (a.rank() != 2 || v.rank() != 1 || v.dim(0) != a.cols()) {
     throw std::invalid_argument("add_row_vector: need [m,n] and [n], got " +
@@ -112,102 +119,136 @@ Tensor mul_row_vector(const Tensor& a, const Tensor& v) {
   return out;
 }
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+namespace {
+
+/// Runs `rows(row_begin, row_end)` over [0, m), parallel when the matmul is
+/// big enough to amortize the pool hand-off. Every kernel computes each
+/// output row independently with kk-ascending accumulation, so the result is
+/// bitwise identical for any chunking (see kernels.hpp).
+template <typename F>
+void dispatch_rows(std::size_t m, std::size_t k, std::size_t n, F&& rows) {
+  if (m * k * n >= kParallelFlopThreshold) {
+    exec::parallel_for(m, rows);
+  } else {
+    rows(0, m);
+  }
+}
+
+}  // namespace
+
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out) {
   if (a.rank() != 2 || b.rank() != 2 || a.cols() != b.rows()) {
     throw std::invalid_argument("matmul: incompatible shapes " +
                                 a.shape_string() + " x " + b.shape_string());
   }
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  Tensor out({m, n});
-  // i-k-j ordering keeps both B and C accesses contiguous. Each output row
-  // is produced by exactly one lane with the identical inner loop, so the
-  // result is bitwise the same for every thread count.
-  auto rows = [&](std::size_t row_begin, std::size_t row_end) {
-    for (std::size_t i = row_begin; i < row_end; ++i) {
-      const float* pa = a.data() + i * k;
-      float* po = out.data() + i * n;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const float av = pa[kk];
-        if (av == 0.0f) continue;
-        const float* pb = b.data() + kk * n;
-        for (std::size_t j = 0; j < n; ++j) po[j] += av * pb[j];
-      }
-    }
-  };
-  if (m * k * n >= kParallelFlopThreshold) {
-    exec::parallel_for(m, rows);
-  } else {
-    rows(0, m);
-  }
+  out.ensure_shape({m, n});
+  dispatch_rows(m, k, n, [&](std::size_t row_begin, std::size_t row_end) {
+    kernels::matmul_rows(a.data(), b.data(), out.data(), k, n, row_begin,
+                         row_end);
+  });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  matmul_into(a, b, out);
   return out;
 }
 
-Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
+void matmul_bias_into(const Tensor& a, const Tensor& b, const Tensor& bias,
+                      Tensor& out) {
+  if (a.rank() != 2 || b.rank() != 2 || a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul_bias: incompatible shapes " +
+                                a.shape_string() + " x " + b.shape_string());
+  }
+  if (bias.rank() != 1 || bias.dim(0) != b.cols()) {
+    throw std::invalid_argument("matmul_bias: bias shape " +
+                                bias.shape_string() + " does not match " +
+                                b.shape_string());
+  }
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  out.ensure_shape({m, n});
+  dispatch_rows(m, k, n, [&](std::size_t row_begin, std::size_t row_end) {
+    kernels::matmul_bias_rows(a.data(), b.data(), bias.data(), out.data(), k,
+                              n, row_begin, row_end);
+  });
+}
+
+Tensor matmul_bias(const Tensor& a, const Tensor& b, const Tensor& bias) {
+  Tensor out;
+  matmul_bias_into(a, b, bias, out);
+  return out;
+}
+
+namespace {
+
+void check_ta_shapes(const Tensor& a, const Tensor& b) {
   if (a.rank() != 2 || b.rank() != 2 || a.rows() != b.rows()) {
     throw std::invalid_argument("matmul_transpose_a: incompatible shapes " +
                                 a.shape_string() + "^T x " + b.shape_string());
   }
+}
+
+}  // namespace
+
+Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
+  check_ta_shapes(a, b);
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   Tensor out({m, n});
-  // Output-row parallel with kk ascending inside, so each out[i][j] sees the
-  // same float accumulation order as the serial kk-outer loop did.
-  auto rows = [&](std::size_t row_begin, std::size_t row_end) {
-    for (std::size_t i = row_begin; i < row_end; ++i) {
-      float* po = out.data() + i * n;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const float av = a.data()[kk * m + i];
-        if (av == 0.0f) continue;
-        const float* pb = b.data() + kk * n;
-        for (std::size_t j = 0; j < n; ++j) po[j] += av * pb[j];
-      }
-    }
-  };
-  if (m * k * n >= kParallelFlopThreshold) {
-    exec::parallel_for(m, rows);
-  } else {
-    rows(0, m);
-  }
+  dispatch_rows(m, k, n, [&](std::size_t row_begin, std::size_t row_end) {
+    kernels::matmul_ta_rows(a.data(), b.data(), out.data(), k, m, n, row_begin,
+                            row_end);
+  });
   return out;
 }
 
-Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
+void matmul_transpose_a_accumulate(const Tensor& a, const Tensor& b,
+                                   Tensor& out) {
+  check_ta_shapes(a, b);
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  if (out.rank() != 2 || out.rows() != m || out.cols() != n) {
+    throw std::invalid_argument(
+        "matmul_transpose_a_accumulate: output shape " + out.shape_string() +
+        " does not match result");
+  }
+  dispatch_rows(m, k, n, [&](std::size_t row_begin, std::size_t row_end) {
+    kernels::matmul_ta_acc_rows(a.data(), b.data(), out.data(), k, m, n,
+                                row_begin, row_end);
+  });
+}
+
+void matmul_transpose_b_into(const Tensor& a, const Tensor& b, Tensor& out) {
   if (a.rank() != 2 || b.rank() != 2 || a.cols() != b.cols()) {
     throw std::invalid_argument("matmul_transpose_b: incompatible shapes " +
                                 a.shape_string() + " x " + b.shape_string() +
                                 "^T");
   }
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  Tensor out({m, n});
-  auto rows = [&](std::size_t row_begin, std::size_t row_end) {
-    for (std::size_t i = row_begin; i < row_end; ++i) {
-      const float* pa = a.data() + i * k;
-      float* po = out.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const float* pb = b.data() + j * k;
-        float acc = 0.0f;
-        for (std::size_t kk = 0; kk < k; ++kk) acc += pa[kk] * pb[kk];
-        po[j] = acc;
-      }
-    }
-  };
-  if (m * k * n >= kParallelFlopThreshold) {
-    exec::parallel_for(m, rows);
-  } else {
-    rows(0, m);
-  }
+  out.ensure_shape({m, n});
+  dispatch_rows(m, k, n, [&](std::size_t row_begin, std::size_t row_end) {
+    kernels::matmul_tb_rows(a.data(), b.data(), out.data(), k, n, row_begin,
+                            row_end);
+  });
+}
+
+Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
+  Tensor out;
+  matmul_transpose_b_into(a, b, out);
   return out;
 }
 
-Tensor transpose(const Tensor& a) {
+void transpose_into(const Tensor& a, Tensor& out) {
   if (a.rank() != 2) {
     throw std::invalid_argument("transpose: need rank-2, got " +
                                 a.shape_string());
   }
-  const std::size_t m = a.rows(), n = a.cols();
-  Tensor out({n, m});
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) out[j * m + i] = a[i * n + j];
-  }
+  out.ensure_shape({a.cols(), a.rows()});
+  kernels::transpose_blocked(a.data(), out.data(), a.rows(), a.cols());
+}
+
+Tensor transpose(const Tensor& a) {
+  Tensor out;
+  transpose_into(a, out);
   return out;
 }
 
@@ -240,6 +281,25 @@ Tensor sum_rows(const Tensor& a) {
     for (std::size_t c = 0; c < n; ++c) out[c] += pa[c];
   }
   return out;
+}
+
+void sum_rows_accumulate(const Tensor& a, Tensor& out) {
+  const std::size_t m = a.rows(), n = a.cols();
+  if (out.rank() != 1 || out.dim(0) != n) {
+    throw std::invalid_argument("sum_rows_accumulate: output shape " +
+                                out.shape_string() + " does not match cols");
+  }
+  // Column sums are fully reduced into scratch first, then added to `out`
+  // once per element — accumulating into `out` directly would change the
+  // float op order vs. add_inplace(out, sum_rows(a)).
+  Workspace::Scope scope(Workspace::per_thread());
+  std::span<float> colsum = scope.take(n);
+  std::fill(colsum.begin(), colsum.end(), 0.0f);
+  for (std::size_t r = 0; r < m; ++r) {
+    const float* pa = a.data() + r * n;
+    for (std::size_t c = 0; c < n; ++c) colsum[c] += pa[c];
+  }
+  for (std::size_t c = 0; c < n; ++c) out[c] += colsum[c];
 }
 
 Tensor mean_rows(const Tensor& a) {
@@ -311,44 +371,38 @@ float row_l2_distance(const Tensor& a, std::size_t r, const Tensor& v) {
   return static_cast<float>(std::sqrt(acc));
 }
 
-Tensor softmax_rows(const Tensor& logits, float temperature) {
+void softmax_rows_into(const Tensor& logits, Tensor& out, float temperature) {
   if (temperature <= 0.0f) {
     throw std::invalid_argument("softmax_rows: temperature must be > 0");
   }
   const std::size_t m = logits.rows(), n = logits.cols();
-  Tensor out(logits.shape());
-  for (std::size_t r = 0; r < m; ++r) {
-    const float* pl = logits.data() + r * n;
-    float* po = out.data() + r * n;
-    float mx = -std::numeric_limits<float>::infinity();
-    for (std::size_t c = 0; c < n; ++c) mx = std::max(mx, pl[c] / temperature);
-    double z = 0.0;
-    for (std::size_t c = 0; c < n; ++c) {
-      po[c] = std::exp(pl[c] / temperature - mx);
-      z += po[c];
-    }
-    const float inv = static_cast<float>(1.0 / z);
-    for (std::size_t c = 0; c < n; ++c) po[c] *= inv;
-  }
+  if (&out != &logits) out.ensure_shape(logits.shape());
+  kernels::softmax_rows(logits.data(), out.data(), m, n, temperature);
+}
+
+Tensor softmax_rows(const Tensor& logits, float temperature) {
+  Tensor out;
+  softmax_rows_into(logits, out, temperature);
   return out;
 }
 
-Tensor log_softmax_rows(const Tensor& logits, float temperature) {
+void softmax_rows_inplace(Tensor& logits, float temperature) {
+  softmax_rows_into(logits, logits, temperature);
+}
+
+void log_softmax_rows_into(const Tensor& logits, Tensor& out,
+                           float temperature) {
   if (temperature <= 0.0f) {
     throw std::invalid_argument("log_softmax_rows: temperature must be > 0");
   }
   const std::size_t m = logits.rows(), n = logits.cols();
-  Tensor out(logits.shape());
-  for (std::size_t r = 0; r < m; ++r) {
-    const float* pl = logits.data() + r * n;
-    float* po = out.data() + r * n;
-    float mx = -std::numeric_limits<float>::infinity();
-    for (std::size_t c = 0; c < n; ++c) mx = std::max(mx, pl[c] / temperature);
-    double z = 0.0;
-    for (std::size_t c = 0; c < n; ++c) z += std::exp(pl[c] / temperature - mx);
-    const float logz = mx + static_cast<float>(std::log(z));
-    for (std::size_t c = 0; c < n; ++c) po[c] = pl[c] / temperature - logz;
-  }
+  if (&out != &logits) out.ensure_shape(logits.shape());
+  kernels::log_softmax_rows(logits.data(), out.data(), m, n, temperature);
+}
+
+Tensor log_softmax_rows(const Tensor& logits, float temperature) {
+  Tensor out;
+  log_softmax_rows_into(logits, out, temperature);
   return out;
 }
 

@@ -27,6 +27,10 @@ void sub_inplace(Tensor& a, const Tensor& b);
 void scale_inplace(Tensor& a, float s);
 /// a += s * b  (the axpy kernel every optimizer and aggregator relies on).
 void axpy_inplace(Tensor& a, float s, const Tensor& b);
+/// a = sa * a + sb * b, fused in one pass. Rounds exactly like
+/// scale_inplace(a, sa) followed by axpy_inplace(a, sb, b): both products are
+/// rounded to float before the single rounded add.
+void scale_add_inplace(Tensor& a, float sa, const Tensor& b, float sb);
 
 /// -- Broadcast over rows (rank-2 a, rank-1 v of length a.cols()) ------------
 
@@ -35,14 +39,31 @@ Tensor mul_row_vector(const Tensor& a, const Tensor& v);
 
 /// -- Linear algebra ----------------------------------------------------------
 
+/// All GEMM variants run the register-blocked kernels in kernels.hpp; the
+/// `_into` / `_accumulate` forms write into a caller-provided tensor
+/// (ensure_shape'd to fit) so hot loops reuse buffers instead of allocating.
+/// Bitwise, `X_into(a, b, out)` equals `out = X(a, b)` for every variant.
+
 /// C = A x B for rank-2 A [m,k] and B [k,n].
 Tensor matmul(const Tensor& a, const Tensor& b);
+void matmul_into(const Tensor& a, const Tensor& b, Tensor& out);
+/// C = A x B + bias broadcast over rows (fused Linear forward; bitwise equal
+/// to add_row_vector(matmul(a, b), bias)).
+Tensor matmul_bias(const Tensor& a, const Tensor& b, const Tensor& bias);
+void matmul_bias_into(const Tensor& a, const Tensor& b, const Tensor& bias,
+                      Tensor& out);
 /// C = A^T x B for rank-2 A [k,m] and B [k,n] (used for weight gradients).
 Tensor matmul_transpose_a(const Tensor& a, const Tensor& b);
+/// out += A^T x B (fused weight-gradient accumulation; bitwise equal to
+/// add_inplace(out, matmul_transpose_a(a, b))).
+void matmul_transpose_a_accumulate(const Tensor& a, const Tensor& b,
+                                   Tensor& out);
 /// C = A x B^T for rank-2 A [m,k] and B [n,k] (used for input gradients).
 Tensor matmul_transpose_b(const Tensor& a, const Tensor& b);
-/// Rank-2 transpose.
+void matmul_transpose_b_into(const Tensor& a, const Tensor& b, Tensor& out);
+/// Rank-2 transpose (tiled; see kernels.hpp).
 Tensor transpose(const Tensor& a);
+void transpose_into(const Tensor& a, Tensor& out);
 
 /// -- Reductions ---------------------------------------------------------------
 
@@ -52,6 +73,10 @@ float min(const Tensor& a);
 float max(const Tensor& a);
 /// Column sums of a rank-2 tensor -> rank-1 of length cols().
 Tensor sum_rows(const Tensor& a);
+/// out += column sums of `a` (rank-1 out of length cols()). The column sums
+/// are fully reduced into workspace scratch first and added to `out` once, so
+/// this rounds exactly like add_inplace(out, sum_rows(a)).
+void sum_rows_accumulate(const Tensor& a, Tensor& out);
 /// Column means of a rank-2 tensor -> rank-1 of length cols().
 Tensor mean_rows(const Tensor& a);
 /// Per-row argmax of a rank-2 tensor (ties -> lowest index).
@@ -74,8 +99,15 @@ float row_l2_distance(const Tensor& a, std::size_t r, const Tensor& v);
 /// Row-wise numerically stable softmax of a rank-2 logits tensor.
 /// `temperature` divides the logits first (T > 0).
 Tensor softmax_rows(const Tensor& logits, float temperature = 1.0f);
+/// softmax_rows into an existing tensor; `out` may alias `logits` (in-place).
+void softmax_rows_into(const Tensor& logits, Tensor& out,
+                       float temperature = 1.0f);
+/// In-place row-wise softmax of a rank-2 logits tensor.
+void softmax_rows_inplace(Tensor& logits, float temperature = 1.0f);
 /// Row-wise log-softmax (stable).
 Tensor log_softmax_rows(const Tensor& logits, float temperature = 1.0f);
+void log_softmax_rows_into(const Tensor& logits, Tensor& out,
+                           float temperature = 1.0f);
 /// Mean over rows of KL(p_row || q_row); both are row-stochastic rank-2.
 float kl_divergence_rows(const Tensor& p, const Tensor& q);
 /// Shannon entropy (nats) of each row of a row-stochastic tensor.

@@ -1,10 +1,23 @@
 #include "fedpkd/tensor/tensor.hpp"
 
+#include <atomic>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
 
 namespace fedpkd::tensor {
+
+namespace {
+std::atomic<std::uint64_t> g_tensor_allocations{0};
+}  // namespace
+
+std::uint64_t Tensor::allocation_count() {
+  return g_tensor_allocations.load(std::memory_order_relaxed);
+}
+
+void Tensor::note_allocation() {
+  g_tensor_allocations.fetch_add(1, std::memory_order_relaxed);
+}
 
 std::size_t shape_numel(const Shape& shape) {
   if (shape.empty()) return 0;
@@ -14,7 +27,9 @@ std::size_t shape_numel(const Shape& shape) {
 }
 
 Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {
+  if (!data_.empty()) note_allocation();
+}
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
     : shape_(std::move(shape)), data_(std::move(values)) {
@@ -23,6 +38,20 @@ Tensor::Tensor(Shape shape, std::vector<float> values)
                                 std::to_string(data_.size()) +
                                 " does not match shape " + shape_string());
   }
+  if (!data_.empty()) note_allocation();
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), data_(other.data_) {
+  if (!data_.empty()) note_allocation();
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  if (other.data_.size() > data_.capacity()) note_allocation();
+  data_.assign(other.data_.begin(), other.data_.end());
+  return *this;
 }
 
 Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
@@ -146,6 +175,13 @@ void Tensor::fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
 }
 
+void Tensor::ensure_shape(const Shape& shape) {
+  const std::size_t n = shape_numel(shape);
+  if (n > data_.capacity()) note_allocation();
+  data_.resize(n);
+  shape_ = shape;
+}
+
 Tensor Tensor::reshape(Shape new_shape) const {
   if (shape_numel(new_shape) != numel()) {
     throw std::invalid_argument("Tensor::reshape: cannot reshape " +
@@ -165,6 +201,19 @@ Tensor Tensor::gather_rows(std::span<const std::size_t> indices) const {
     std::copy(src, src + shape_[1], out.data_.data() + i * shape_[1]);
   }
   return out;
+}
+
+void Tensor::gather_rows_into(std::span<const std::size_t> indices,
+                              Tensor& out) const {
+  check_rank2("Tensor::gather_rows_into");
+  out.ensure_shape({indices.size(), shape_[1]});
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= shape_[0]) {
+      throw std::out_of_range("Tensor::gather_rows_into: row index");
+    }
+    const float* src = data_.data() + indices[i] * shape_[1];
+    std::copy(src, src + shape_[1], out.data_.data() + i * shape_[1]);
+  }
 }
 
 Tensor Tensor::row_copy(std::size_t r) const {

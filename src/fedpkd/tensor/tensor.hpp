@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <span>
 #include <string>
@@ -32,6 +33,14 @@ class Tensor {
   /// Tensor with the given shape and explicit contents (row-major).
   /// Throws if `values.size()` does not match the shape's element count.
   Tensor(Shape shape, std::vector<float> values);
+
+  /// Copies allocate; copy-*assignment* reuses existing capacity, which makes
+  /// `member_ = x` in cached-input layers allocation-free after warmup.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+  ~Tensor() = default;
 
   /// -- Factories -----------------------------------------------------------
 
@@ -92,10 +101,18 @@ class Tensor {
 
   void fill(float value);
   void zero() { fill(0.0f); }
+  /// Reshapes *this* tensor to `shape`, reusing the existing buffer when its
+  /// capacity suffices (no allocation in that case). Element values are
+  /// unspecified afterwards — callers overwrite or zero() as needed.
+  void ensure_shape(const Shape& shape);
   /// Reinterpret with a new shape of identical element count (metadata only).
   Tensor reshape(Shape new_shape) const;
   /// Copy of rows `indices` (rank-2 only); output has indices.size() rows.
   Tensor gather_rows(std::span<const std::size_t> indices) const;
+  /// gather_rows into `out`, which is ensure_shape'd to fit (allocation-free
+  /// once out has the capacity).
+  void gather_rows_into(std::span<const std::size_t> indices,
+                        Tensor& out) const;
   /// Copy of a single row as a rank-1 tensor (rank-2 only).
   Tensor row_copy(std::size_t r) const;
   /// Writes `values` (length cols()) into row r of a rank-2 tensor.
@@ -104,10 +121,20 @@ class Tensor {
   /// Human-readable shape, e.g. "[32, 10]".
   std::string shape_string() const;
 
+  /// -- Allocation accounting -------------------------------------------------
+
+  /// Process-wide monotonic count of Tensor buffer allocations (construction
+  /// with a non-empty shape, copies, and capacity growth in copy-assignment /
+  /// ensure_shape). Capacity-reusing operations do not count, which is what
+  /// makes workspace reuse in the training hot loop testable: measure the
+  /// counter delta across N steps and divide.
+  static std::uint64_t allocation_count();
+
  private:
   Shape shape_;
   std::vector<float> data_;
 
+  static void note_allocation();
   void check_rank2(const char* what) const;
 };
 

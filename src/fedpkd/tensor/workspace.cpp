@@ -1,0 +1,49 @@
+#include "fedpkd/tensor/workspace.hpp"
+
+#include <algorithm>
+
+namespace fedpkd::tensor {
+
+Workspace& Workspace::per_thread() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+std::span<float> Workspace::take(std::size_t n) {
+  if (n == 0) return {};
+  // Try the active block, then any later block with room (left over from a
+  // rewind); otherwise append a new block with geometric growth so the arena
+  // settles after a few steps.
+  for (std::size_t b = active_; b < blocks_.size(); ++b) {
+    Block& blk = blocks_[b];
+    if (blk.data.size() - blk.used >= n) {
+      active_ = b;
+      float* p = blk.data.data() + blk.used;
+      blk.used += n;
+      return {p, n};
+    }
+  }
+  const std::size_t last_cap = blocks_.empty() ? 0 : blocks_.back().data.size();
+  Block blk;
+  blk.data.resize(std::max({kMinBlockFloats, 2 * last_cap, n}));
+  blk.used = n;
+  blocks_.push_back(std::move(blk));
+  active_ = blocks_.size() - 1;
+  return {blocks_.back().data.data(), n};
+}
+
+void Workspace::rewind(Mark m) {
+  if (blocks_.empty()) return;
+  const std::size_t b = std::min(m.block, blocks_.size() - 1);
+  blocks_[b].used = std::min(m.used, blocks_[b].data.size());
+  for (std::size_t i = b + 1; i < blocks_.size(); ++i) blocks_[i].used = 0;
+  active_ = b;
+}
+
+std::size_t Workspace::capacity() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.data.size();
+  return total;
+}
+
+}  // namespace fedpkd::tensor

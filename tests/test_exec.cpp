@@ -15,6 +15,7 @@
 #include "fedpkd/core/fedpkd.hpp"
 #include "fedpkd/exec/thread_pool.hpp"
 #include "fedpkd/fl/fedavg.hpp"
+#include "fedpkd/fl/fedet.hpp"
 #include "fedpkd/nn/model_zoo.hpp"
 #include "fedpkd/tensor/ops.hpp"
 
@@ -309,6 +310,71 @@ TEST(SerialParallelEquivalence, MatmulIsBitwiseIdenticalAcrossThreads) {
               0.0f);
   }
   exec::set_num_threads(1);
+}
+
+TEST(SerialParallelEquivalence,
+     OddShapeAndFusedMatmulsAreBitwiseIdenticalAcrossThreads) {
+  // Shapes that are not multiples of the 4x16 (or 4x4) register tiles, plus
+  // the fused bias/accumulate forms, across thread counts. Large enough that
+  // the flop-threshold gate actually fans the work out.
+  struct Case {
+    std::size_t m, k, n;
+  };
+  for (const Case& s : {Case{33, 65, 17}, Case{61, 37, 130}, Case{5, 513, 9}}) {
+    Rng rng(911 + s.m);
+    const Tensor a = Tensor::randn({s.m, s.k}, rng);
+    const Tensor b = Tensor::randn({s.k, s.n}, rng);
+    const Tensor bias = Tensor::randn({s.n}, rng);
+    const Tensor at = tensor::transpose(a);
+    const Tensor bt = tensor::transpose(b);
+    const Tensor acc_init = Tensor::randn({s.m, s.n}, rng);
+
+    exec::set_num_threads(1);
+    const Tensor serial = tensor::matmul(a, b);
+    const Tensor serial_bias = tensor::matmul_bias(a, b, bias);
+    const Tensor serial_tb = tensor::matmul_transpose_b(a, bt);
+    Tensor serial_acc = acc_init;
+    tensor::matmul_transpose_a_accumulate(at, b, serial_acc);
+
+    for (std::size_t threads : {2u, 4u}) {
+      exec::set_num_threads(threads);
+      EXPECT_EQ(tensor::max_abs_difference(serial, tensor::matmul(a, b)), 0.0f)
+          << "threads=" << threads << " m=" << s.m;
+      EXPECT_EQ(tensor::max_abs_difference(serial_bias,
+                                           tensor::matmul_bias(a, b, bias)),
+                0.0f)
+          << "threads=" << threads << " m=" << s.m;
+      EXPECT_EQ(tensor::max_abs_difference(serial_tb,
+                                           tensor::matmul_transpose_b(a, bt)),
+                0.0f)
+          << "threads=" << threads << " m=" << s.m;
+      Tensor acc = acc_init;
+      tensor::matmul_transpose_a_accumulate(at, b, acc);
+      EXPECT_EQ(tensor::max_abs_difference(serial_acc, acc), 0.0f)
+          << "threads=" << threads << " m=" << s.m;
+    }
+    exec::set_num_threads(1);
+  }
+}
+
+TEST(SerialParallelEquivalence, FedEtRunIsBitwiseIdenticalAcrossThreads) {
+  // FedET's round mixes in-place softmax on moved logits buffers and a shared
+  // digest set across concurrently-digesting clients; none of it may depend
+  // on thread count.
+  auto make = [](fl::Federation& fed) {
+    fl::FedEt::Options options;
+    options.local_epochs = 1;
+    options.server_epochs = 1;
+    options.client_digest_epochs = 1;
+    options.server_arch = "resmlp11";
+    return std::make_unique<fl::FedEt>(fed, options);
+  };
+  const auto spec = fl::PartitionSpec::dirichlet(0.3);
+  const RunResult serial = run_with_threads(1, spec, make);
+  const RunResult two = run_with_threads(2, spec, make);
+  const RunResult four = run_with_threads(4, spec, make);
+  EXPECT_TRUE(identical(serial, two));
+  EXPECT_TRUE(identical(serial, four));
 }
 
 }  // namespace

@@ -1,0 +1,189 @@
+// Two memory-reuse guarantees: (1) the per-thread Workspace arena hands out
+// scratch without per-call heap traffic and rewinds cleanly, and (2) the
+// Tensor allocation counter makes buffer reuse observable — which the final
+// test uses to pin the Trainer hot loop's per-step allocation budget.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "fedpkd/data/synthetic_vision.hpp"
+#include "fedpkd/exec/thread_pool.hpp"
+#include "fedpkd/fl/trainer.hpp"
+#include "fedpkd/nn/model_zoo.hpp"
+#include "fedpkd/tensor/ops.hpp"
+#include "fedpkd/tensor/tensor.hpp"
+#include "fedpkd/tensor/workspace.hpp"
+
+namespace {
+
+using namespace fedpkd;
+using tensor::Rng;
+using tensor::Tensor;
+using tensor::Workspace;
+
+// --------------------------------------------------------------- Workspace ---
+
+TEST(Workspace, TakeReturnsDisjointSpansAndCapacityIsSticky) {
+  Workspace ws;
+  const auto mark = ws.mark();
+  auto a = ws.take(100);
+  auto b = ws.take(200);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(b.size(), 200u);
+  // Disjoint: writing one span never shows up in the other.
+  for (float& v : a) v = 1.0f;
+  for (float& v : b) v = 2.0f;
+  for (float v : a) EXPECT_EQ(v, 1.0f);
+
+  const std::size_t grown = ws.capacity();
+  EXPECT_GE(grown, 300u);
+  ws.rewind(mark);
+  // Rewinding releases the floats for reuse but keeps the capacity.
+  EXPECT_EQ(ws.capacity(), grown);
+  auto c = ws.take(100);
+  EXPECT_EQ(c.data(), a.data());  // same storage handed out again
+  EXPECT_EQ(ws.capacity(), grown);
+}
+
+TEST(Workspace, LargeRequestGetsItsOwnBlockWithoutInvalidatingOldSpans) {
+  Workspace ws;
+  auto small = ws.take(16);
+  small[0] = 42.0f;
+  // Far larger than any existing block: forces a new block; the earlier span
+  // must stay valid because blocks never reallocate.
+  auto big = ws.take(1 << 20);
+  EXPECT_EQ(big.size(), std::size_t{1} << 20);
+  EXPECT_EQ(small[0], 42.0f);
+}
+
+TEST(Workspace, ScopeRewindsOnDestruction) {
+  Workspace ws;
+  ws.take(64);
+  const std::size_t before = ws.capacity();
+  float* first_scratch = nullptr;
+  {
+    Workspace::Scope scope(ws);
+    auto s = scope.take(1000);
+    first_scratch = s.data();
+    scope.take(500);
+  }
+  {
+    Workspace::Scope scope(ws);
+    auto s = scope.take(1000);
+    // The scope's scratch was released, so the same storage comes back.
+    EXPECT_EQ(s.data(), first_scratch);
+  }
+  EXPECT_GE(ws.capacity(), before);
+}
+
+TEST(Workspace, PerThreadInstancesAreIndependent) {
+  Workspace* main_ws = &Workspace::per_thread();
+  EXPECT_EQ(main_ws, &Workspace::per_thread());  // stable within a thread
+  Workspace* other_ws = nullptr;
+  std::thread t([&] { other_ws = &Workspace::per_thread(); });
+  t.join();
+  EXPECT_NE(other_ws, nullptr);
+  EXPECT_NE(other_ws, main_ws);
+}
+
+// ---------------------------------------------------- Allocation counter ----
+
+TEST(AllocationCounter, CountsFreshBuffersButNotCapacityReuse) {
+  const auto base = Tensor::allocation_count();
+  Tensor a({4, 8});
+  EXPECT_EQ(Tensor::allocation_count(), base + 1);
+
+  Tensor b = a;  // copy construction buys a new buffer
+  EXPECT_EQ(Tensor::allocation_count(), base + 2);
+
+  Tensor c = std::move(a);  // moves steal, never allocate
+  EXPECT_EQ(Tensor::allocation_count(), base + 2);
+
+  b = c;  // copy-assign into an equally-sized buffer reuses capacity
+  EXPECT_EQ(Tensor::allocation_count(), base + 2);
+
+  b.ensure_shape({2, 4});  // shrink: capacity suffices
+  EXPECT_EQ(Tensor::allocation_count(), base + 2);
+  b.ensure_shape({16, 16});  // growth beyond capacity is a real allocation
+  EXPECT_EQ(Tensor::allocation_count(), base + 3);
+
+  Tensor empty;  // shapeless default construction owns no buffer
+  EXPECT_EQ(Tensor::allocation_count(), base + 3);
+}
+
+// -------------------------------------------- Trainer per-step allocations ---
+
+/// Per-step Tensor allocations of `run`, measured by differencing a short and
+/// a long run so one-time setup (model caches warming up, optimizer state)
+/// cancels out and only the steady-state per-step cost remains.
+template <typename Run>
+double steady_state_allocs_per_step(Run&& run) {
+  const auto before_short = Tensor::allocation_count();
+  const std::size_t steps_short = run(2);
+  const auto before_long = Tensor::allocation_count();
+  const std::size_t steps_long = run(6);
+  const auto after = Tensor::allocation_count();
+  const double extra_allocs =
+      static_cast<double>(after - before_long) -
+      static_cast<double>(before_long - before_short);
+  const double extra_steps =
+      static_cast<double>(steps_long) - static_cast<double>(steps_short);
+  return extra_allocs / extra_steps;
+}
+
+// The pre-optimization trainer measured 67–69 allocations per step on this
+// exact workload (resmlp11, batch 32). The reuse work brought it to ≤30; the
+// bound asserts the ≥50% reduction with a little slack so unrelated churn
+// does not flake the suite.
+constexpr double kPerStepBudget = 33.0;
+
+TEST(TrainerAllocations, SupervisedStepStaysWithinBudget) {
+  exec::set_num_threads(1);
+  Rng data_rng(7);
+  data::SyntheticVision task(data::SyntheticVisionConfig::synth10(7));
+  const data::Dataset dataset = task.sample(256, data_rng);
+  Rng model_rng(8);
+  nn::Classifier model =
+      nn::make_classifier("resmlp11", dataset.dim(), 10, model_rng);
+
+  Rng train_rng(9);
+  const double per_step = steady_state_allocs_per_step([&](std::size_t epochs) {
+    fl::TrainOptions options;
+    options.epochs = epochs;
+    options.batch_size = 32;
+    return fl::train_supervised(model, dataset, options, train_rng).steps;
+  });
+  EXPECT_LE(per_step, kPerStepBudget) << "per-step allocs: " << per_step;
+}
+
+TEST(TrainerAllocations, DistillStepStaysWithinBudget) {
+  exec::set_num_threads(1);
+  Rng data_rng(17);
+  data::SyntheticVision task(data::SyntheticVisionConfig::synth10(17));
+  const data::Dataset dataset = task.sample(256, data_rng);
+  Rng model_rng(18);
+  nn::Classifier model =
+      nn::make_classifier("resmlp11", dataset.dim(), 10, model_rng);
+
+  Rng teacher_rng(19);
+  fl::DistillSet set;
+  set.inputs = dataset.features;
+  set.teacher_probs =
+      tensor::softmax_rows(Tensor::randn({dataset.size(), 10}, teacher_rng));
+  set.pseudo_labels = tensor::argmax_rows(set.teacher_probs);
+
+  Rng train_rng(20);
+  const double per_step = steady_state_allocs_per_step([&](std::size_t epochs) {
+    fl::TrainOptions options;
+    options.epochs = epochs;
+    options.batch_size = 32;
+    return fl::train_distill(model, set, /*gamma=*/0.7f, options, train_rng,
+                             /*temperature=*/2.0f)
+        .steps;
+  });
+  EXPECT_LE(per_step, kPerStepBudget) << "per-step allocs: " << per_step;
+}
+
+}  // namespace
