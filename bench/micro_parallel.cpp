@@ -15,6 +15,7 @@
 #include "fedpkd/core/fedpkd.hpp"
 #include "fedpkd/exec/thread_pool.hpp"
 #include "fedpkd/fl/fedavg.hpp"
+#include "fedpkd/fl/round_pipeline.hpp"
 
 namespace {
 
@@ -25,6 +26,7 @@ struct Timing {
   std::size_t threads;
   double seconds;
   double allocs;  // Tensor heap allocations during the run
+  fl::StageTimes stages;  // summed over the run's rounds
 };
 
 /// Runs `rounds` rounds of `algorithm` on a fresh 8-client federation with
@@ -66,9 +68,14 @@ Timing time_run(const std::string& algorithm,
   fl::run_federation(*algo, *fed, run);
   const auto stop = Clock::now();
   exec::set_num_threads(1);
-  return Timing{
+  Timing timing{
       threads, std::chrono::duration<double>(stop - start).count(),
-      static_cast<double>(tensor::Tensor::allocation_count() - allocs_before)};
+      static_cast<double>(tensor::Tensor::allocation_count() - allocs_before),
+      {}};
+  if (const auto* staged = dynamic_cast<const fl::StagedAlgorithm*>(algo.get())) {
+    timing.stages = staged->total_stage_times();
+  }
+  return timing;
 }
 
 void report(const std::string& algorithm,
@@ -93,7 +100,32 @@ void report(const std::string& algorithm,
     record.ns_per_iter = t.seconds / static_cast<double>(rounds) * 1e9;
     record.allocs_per_iter = t.allocs / static_cast<double>(rounds);
     records.push_back(std::move(record));
+
+    // Per-stage breakdown from the pipeline's instrumentation: where the
+    // round's wall-clock goes, and which stages actually scale with lanes.
+    const std::pair<const char*, double> stage_rows[] = {
+        {"local_update", t.stages.local_update_seconds},
+        {"upload", t.stages.upload_seconds},
+        {"server_step", t.stages.server_step_seconds},
+        {"download", t.stages.download_seconds},
+        {"apply", t.stages.apply_seconds},
+    };
+    for (const auto& [stage, seconds] : stage_rows) {
+      bench::JsonBenchRecord stage_record;
+      stage_record.op = "stage:" + algorithm + ":" + stage;
+      stage_record.shape = record.shape;
+      stage_record.ns_per_iter = seconds / static_cast<double>(rounds) * 1e9;
+      stage_record.allocs_per_iter = 0.0;
+      records.push_back(std::move(stage_record));
+    }
   }
+  const Timing& last = timings.back();
+  std::printf(
+      "  stages@%zut: train=%.3fs up=%.3fs server=%.3fs down=%.3fs "
+      "apply=%.3fs\n",
+      last.threads, last.stages.local_update_seconds,
+      last.stages.upload_seconds, last.stages.server_step_seconds,
+      last.stages.download_seconds, last.stages.apply_seconds);
   std::printf("\n");
 }
 

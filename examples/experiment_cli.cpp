@@ -32,6 +32,7 @@
 #include "fedpkd/fl/fedet.hpp"
 #include "fedpkd/fl/fedmd.hpp"
 #include "fedpkd/fl/fedprox.hpp"
+#include "fedpkd/fl/round_pipeline.hpp"
 
 namespace {
 
@@ -173,6 +174,16 @@ int main(int argc, char** argv) try {
   std::cout << "C_acc=" << history.best_client_accuracy() << " traffic="
             << comm::Meter::to_mb(history.final_round().cumulative_bytes)
             << "MB\n";
+
+  if (const auto* staged = dynamic_cast<const fl::StagedAlgorithm*>(algo.get())) {
+    const fl::StageTimes total = staged->total_stage_times();
+    std::cout << "stage totals over " << args.rounds
+              << " round(s): train=" << total.local_update_seconds
+              << "s upload=" << total.upload_seconds
+              << "s server=" << total.server_step_seconds
+              << "s download=" << total.download_seconds
+              << "s apply=" << total.apply_seconds << "s\n";
+  }
 
   if (!args.csv.empty()) {
     fl::export_history_csv(history, args.csv);

@@ -1,5 +1,6 @@
 #include "fedpkd/comm/channel.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace fedpkd::comm {
@@ -15,6 +16,19 @@ void Channel::set_drop_probability(double p, tensor::Rng rng) {
 bool Channel::should_drop() {
   if (drop_probability_ <= 0.0) return false;
   return drop_rng_.uniform() < drop_probability_;
+}
+
+void Channel::set_node_offline(NodeId node, bool offline) {
+  const auto it = std::find(offline_.begin(), offline_.end(), node);
+  if (offline && it == offline_.end()) {
+    offline_.push_back(node);
+  } else if (!offline && it != offline_.end()) {
+    offline_.erase(it);
+  }
+}
+
+bool Channel::is_node_offline(NodeId node) const {
+  return std::find(offline_.begin(), offline_.end(), node) != offline_.end();
 }
 
 }  // namespace fedpkd::comm

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "fedpkd/comm/meter.hpp"
 #include "fedpkd/tensor/rng.hpp"
@@ -22,12 +23,23 @@ class Channel {
   /// Simulate an unreliable link. p in [0, 1]; default 0 (reliable).
   void set_drop_probability(double p, tensor::Rng rng);
 
+  /// Takes a node's link down (or back up): while offline, every message
+  /// from or to it is dropped — and, like any dropped message, not charged.
+  /// Deterministic dead-link injection for straggler/blackout tests; the
+  /// probabilistic drop dice are not consumed for these messages, so other
+  /// links' drop sequences are unaffected.
+  void set_node_offline(NodeId node, bool offline);
+
+  bool is_node_offline(NodeId node) const;
+
   /// Transmits encoded bytes; returns nullopt if the message was dropped.
   template <typename Payload>
   std::optional<std::vector<std::byte>> send(NodeId from, NodeId to,
                                              const Payload& payload) {
     std::vector<std::byte> bytes = encode(payload);
-    if (should_drop()) return std::nullopt;
+    if (is_node_offline(from) || is_node_offline(to) || should_drop()) {
+      return std::nullopt;
+    }
     meter_->record({meter_->current_round(), from, to, peek_kind(bytes),
                     bytes.size()});
     return bytes;
@@ -41,6 +53,7 @@ class Channel {
   Meter* meter_;
   double drop_probability_ = 0.0;
   tensor::Rng drop_rng_{0};
+  std::vector<NodeId> offline_;
 };
 
 }  // namespace fedpkd::comm

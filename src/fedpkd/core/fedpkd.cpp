@@ -1,10 +1,8 @@
 #include "fedpkd/core/fedpkd.hpp"
 
 #include <numeric>
-#include <optional>
 #include <stdexcept>
 
-#include "fedpkd/exec/thread_pool.hpp"
 #include "fedpkd/nn/model_zoo.hpp"
 #include "fedpkd/tensor/ops.hpp"
 
@@ -48,71 +46,62 @@ std::string FedPkd::name() const {
   return n;
 }
 
-void FedPkd::run_round(fl::Federation& fed, std::size_t round) {
-  const std::size_t public_n = fed.public_data.size();
-  std::vector<std::uint32_t> all_ids(public_n);
-  std::iota(all_ids.begin(), all_ids.end(), 0u);
+void FedPkd::on_round_start(fl::RoundContext& ctx) {
+  if (all_ids_.size() != ctx.fed.public_data.size()) {
+    all_ids_.resize(ctx.fed.public_data.size());
+    std::iota(all_ids_.begin(), all_ids_.end(), 0u);
+  }
+  if (received_.size() != ctx.fed.num_clients()) {
+    received_.resize(ctx.fed.num_clients());
+  }
+}
 
-  const std::vector<fl::Client*> active = fed.active_clients();
+// ---- 1. ClientPriTrain (Eq. 4 in round 0, Eq. 16 afterwards) ---------------
+void FedPkd::local_update(fl::RoundContext&, std::size_t, fl::Client& client) {
+  const auto& prototypes = received_[static_cast<std::size_t>(client.id)];
+  fl::TrainOptions opts;
+  opts.epochs = options_.local_epochs;
+  if (options_.use_prototypes && prototypes) {
+    opts.prototype_matrix = &prototypes->matrix;
+    opts.prototype_class_present = &prototypes->present;
+    opts.prototype_epsilon = options_.epsilon;
+  }
+  client.train_local(opts);
+}
 
-  // ---- 1. ClientPriTrain (Eq. 4 in round 0, Eq. 16 afterwards) ------------
-  // Clients train concurrently; the global prototype set is shared read-only.
-  const bool have_prototypes =
-      options_.use_prototypes && global_prototypes_.has_value();
-  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      fl::TrainOptions opts;
-      opts.epochs = options_.local_epochs;
-      if (have_prototypes) {
-        opts.prototype_matrix = &global_prototypes_->matrix;
-        opts.prototype_class_present = &global_prototypes_->present;
-        opts.prototype_epsilon = options_.epsilon;
-      }
-      active[i]->train_local(opts);
-    }
-  });
+// ---- 2. Dual knowledge transfer: logits + prototypes to the server ---------
+// Clients ship their *softened* outputs (softmax at the configured
+// temperature). Aggregating in probability space is essential: raw logit
+// magnitudes let a specialist that is confidently wrong off-distribution
+// dominate Eq. (6)'s weighting, whereas probability vectors bound every
+// client's vote and make Var(.) a proper confidence signal (this matches how
+// FedDF/DS-FL exchange "logits" and is ablated in abl_aggregation). The
+// two-part bundle is all-or-nothing on the pipeline: a client whose upload
+// partially failed is skipped this round, exactly like a straggler drop-out.
+fl::PayloadBundle FedPkd::make_upload(fl::RoundContext& ctx, std::size_t,
+                                      fl::Client& client) {
+  fl::PayloadBundle bundle;
+  bundle.parts.push_back(comm::LogitsPayload{
+      all_ids_,
+      tensor::softmax_rows(client.logits_on(ctx.fed.public_data.features),
+                           options_.temperature)});
+  bundle.parts.push_back(
+      to_payload(compute_local_prototypes(client.model, client.train_data)));
+  return bundle;
+}
 
-  // ---- 2. Dual knowledge transfer: logits + prototypes to the server ------
-  // Clients ship their *softened* outputs (softmax at the configured
-  // temperature). Aggregating in probability space is essential: raw logit
-  // magnitudes let a specialist that is confidently wrong off-distribution
-  // dominate Eq. (6)'s weighting, whereas probability vectors bound every
-  // client's vote and make Var(.) a proper confidence signal (this matches
-  // how FedDF/DS-FL exchange "logits" and is ablated in abl_aggregation).
-  // Local knowledge (softened public-set outputs + prototypes) is computed
-  // concurrently per client; uploads then run serially in client-index order
-  // so the channel's meter and drop dice see the same sequence as a serial
-  // round.
-  std::vector<tensor::Tensor> local_probs(active.size());
-  std::vector<std::optional<PrototypeSet>> local_protos(active.size());
-  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      local_probs[i] = tensor::softmax_rows(
-          active[i]->logits_on(fed.public_data.features),
-          options_.temperature);
-      local_protos[i] =
-          compute_local_prototypes(active[i]->model, active[i]->train_data);
-    }
-  });
+void FedPkd::server_step(fl::RoundContext& ctx,
+                         std::vector<fl::Contribution>& contributions) {
+  const std::size_t public_n = ctx.fed.public_data.size();
   std::vector<tensor::Tensor> client_logits;
   std::vector<PrototypeSet> client_prototypes;
-  client_logits.reserve(active.size());
-  client_prototypes.reserve(active.size());
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    auto logits_wire = fed.channel.send(
-        active[i]->id, comm::kServerId,
-        comm::LogitsPayload{all_ids, std::move(local_probs[i])});
-    auto proto_wire = fed.channel.send(active[i]->id, comm::kServerId,
-                                       to_payload(*local_protos[i]));
-    // Dual knowledge is all-or-nothing: a client whose upload partially
-    // failed is skipped this round, exactly like a straggler drop-out.
-    if (!logits_wire || !proto_wire) continue;
-    client_logits.push_back(comm::decode_logits(*logits_wire).logits);
-    client_prototypes.push_back(
-        from_payload(comm::decode_prototypes(*proto_wire), fed.num_classes,
-                     server_.feature_dim()));
+  client_logits.reserve(contributions.size());
+  client_prototypes.reserve(contributions.size());
+  for (const fl::Contribution& c : contributions) {
+    client_logits.push_back(c.bundle.logits(0).logits);
+    client_prototypes.push_back(from_payload(
+        c.bundle.prototypes(1), ctx.fed.num_classes, server_.feature_dim()));
   }
-  if (client_logits.empty()) return;
 
   // ---- 3a. Aggregate knowledge (Eq. 6-7) and prototypes (Eq. 8) -----------
   // A convex combination of probability rows is itself a distribution, so
@@ -130,7 +119,7 @@ void FedPkd::run_round(fl::Federation& fed, std::size_t round) {
       options_.filter_strategy == FilterStrategy::kMargin;
   if (options_.use_filter &&
       (options_.use_prototypes || prototype_free_strategy)) {
-    filter = filter_public_data_ext(server_, fed.public_data.features,
+    filter = filter_public_data_ext(server_, ctx.fed.public_data.features,
                                     aggregated, global, options_.select_ratio,
                                     options_.filter_strategy);
   } else {
@@ -146,8 +135,7 @@ void FedPkd::run_round(fl::Federation& fed, std::size_t round) {
                                   static_cast<float>(public_n);
 
   // ---- 3c. Prototype-based ensemble distillation (Eq. 11-13) --------------
-  const tensor::Tensor selected_inputs =
-      fed.public_data.features.gather_rows(filter.selected);
+  selected_inputs_ = ctx.fed.public_data.features.gather_rows(filter.selected);
   tensor::Tensor selected_teacher = aggregated.gather_rows(filter.selected);
   std::vector<int> selected_pseudo;
   selected_pseudo.reserve(filter.selected.size());
@@ -157,61 +145,57 @@ void FedPkd::run_round(fl::Federation& fed, std::size_t round) {
   ServerDistillOptions distill_opts;
   distill_opts.epochs = options_.server_epochs;
   distill_opts.batch_size = options_.distill_batch;
-  distill_opts.lr = fed.clients.front().config.lr;
+  distill_opts.lr = ctx.fed.clients.front().config.lr;
   distill_opts.delta = options_.use_prototypes ? options_.delta : 1.0f;
   distill_opts.temperature = options_.temperature;
   distill_opts.use_prototype_loss = options_.use_prototypes;
   distill_opts.confidence_weighted = options_.confidence_weighted_distill;
-  server_ensemble_distill(server_, selected_inputs, selected_teacher,
+  server_ensemble_distill(server_, selected_inputs_, selected_teacher,
                           selected_pseudo, global, distill_opts, server_rng_);
 
-  // ---- 4. Server knowledge transfer (Eq. 14-15) ---------------------------
-  // Only the filtered subset's logits travel downlink (Section IV-C), which
-  // is where FedPKD's communication savings come from.
-  std::vector<std::uint32_t> selected_ids;
-  selected_ids.reserve(filter.selected.size());
+  selected_ids_.clear();
+  selected_ids_.reserve(filter.selected.size());
   for (std::size_t i : filter.selected) {
-    selected_ids.push_back(static_cast<std::uint32_t>(i));
+    selected_ids_.push_back(static_cast<std::uint32_t>(i));
   }
-  tensor::Tensor server_probs = tensor::softmax_rows(
-      fl::compute_logits(server_, selected_inputs), options_.temperature);
-  const comm::PrototypesPayload proto_payload = to_payload(global);
-
-  // Serial downlink sends, then concurrent client digests of the decoded
-  // payloads.
-  std::vector<std::optional<comm::LogitsPayload>> downlink(active.size());
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    auto logits_wire =
-        fed.channel.send(comm::kServerId, active[i]->id,
-                         comm::LogitsPayload{selected_ids, server_probs});
-    auto proto_wire =
-        fed.channel.send(comm::kServerId, active[i]->id, proto_payload);
-    if (!logits_wire || !proto_wire) continue;
-    downlink[i] = comm::decode_logits(*logits_wire);
-  }
-  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t c = begin; c < end; ++c) {
-      if (!downlink[c]) continue;
-      const comm::LogitsPayload& payload = *downlink[c];
-
-      // Eq. (14): pseudo-labels from the *server* logits; Eq. (15): digest.
-      fl::DistillSet set;
-      std::vector<std::size_t> rows(payload.sample_ids.size());
-      for (std::size_t i = 0; i < payload.sample_ids.size(); ++i) {
-        rows[i] = payload.sample_ids[i];
-      }
-      set.inputs = fed.public_data.features.gather_rows(rows);
-      set.teacher_probs = payload.logits;  // already probability rows
-      set.pseudo_labels = tensor::argmax_rows(payload.logits);
-      fl::TrainOptions digest_opts;
-      digest_opts.epochs = options_.public_epochs;
-      active[c]->digest(set, options_.gamma, digest_opts,
-                        options_.temperature);
-    }
-  });
-
   global_prototypes_ = std::move(global);
-  (void)round;
+}
+
+// ---- 4. Server knowledge transfer (Eq. 14-15) ------------------------------
+// Only the filtered subset's logits travel downlink (Section IV-C), which is
+// where FedPKD's communication savings come from; the global prototypes ride
+// in the same all-or-nothing bundle.
+std::optional<fl::PayloadBundle> FedPkd::make_download(fl::RoundContext& ctx) {
+  tensor::Tensor server_probs = tensor::softmax_rows(
+      fl::compute_logits(server_, selected_inputs_), options_.temperature);
+  fl::PayloadBundle bundle;
+  bundle.parts.push_back(
+      comm::LogitsPayload{selected_ids_, std::move(server_probs)});
+  bundle.parts.push_back(to_payload(*global_prototypes_));
+  (void)ctx;
+  return bundle;
+}
+
+void FedPkd::apply_download(fl::RoundContext& ctx, std::size_t,
+                            fl::Client& client, const fl::WireBundle& bundle) {
+  const comm::LogitsPayload payload = bundle.logits(0);
+
+  // Eq. (14): pseudo-labels from the *server* logits; Eq. (15): digest.
+  fl::DistillSet set;
+  std::vector<std::size_t> rows(payload.sample_ids.size());
+  for (std::size_t i = 0; i < payload.sample_ids.size(); ++i) {
+    rows[i] = payload.sample_ids[i];
+  }
+  set.inputs = ctx.fed.public_data.features.gather_rows(rows);
+  set.teacher_probs = payload.logits;  // already probability rows
+  set.pseudo_labels = tensor::argmax_rows(payload.logits);
+  fl::TrainOptions digest_opts;
+  digest_opts.epochs = options_.public_epochs;
+  client.digest(set, options_.gamma, digest_opts, options_.temperature);
+
+  // Eq. (16)'s regularizer target for the next round comes off the wire too.
+  received_[static_cast<std::size_t>(client.id)] = from_payload(
+      bundle.prototypes(1), ctx.fed.num_classes, client.model.feature_dim());
 }
 
 }  // namespace fedpkd::core

@@ -1,30 +1,34 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "fedpkd/core/aggregation.hpp"
 #include "fedpkd/core/distill.hpp"
 #include "fedpkd/core/filter_ext.hpp"
-#include "fedpkd/fl/federation.hpp"
+#include "fedpkd/fl/round_pipeline.hpp"
 
 namespace fedpkd::core {
 
 /// FedPKD — the paper's prototype-based knowledge distillation framework
-/// (Algorithm 2), with every component switchable for the ablation studies:
+/// (Algorithm 2) on the staged round pipeline, with every component
+/// switchable for the ablation studies:
 ///
 ///  round t:
-///   1. ClientPriTrain: supervised local training; from round 1 onward the
-///      prototype regularizer of Eq. (16) pulls client features toward the
-///      global prototypes of the previous round.
-///   2. Dual knowledge transfer: each client uploads its public-set logits
-///      and its local prototypes (Eq. 5).
-///   3. Server aggregates logits (Eq. 6-7) and prototypes (Eq. 8), filters
-///      the public set (Algorithm 1), and trains the server model with
+///   1. local_update = ClientPriTrain: supervised local training; from round
+///      1 onward the prototype regularizer of Eq. (16) pulls client features
+///      toward the global prototypes the client received last round.
+///   2. make_upload = dual knowledge transfer: each client uploads its
+///      public-set logits and its local prototypes (Eq. 5) as one
+///      all-or-nothing bundle.
+///   3. server_step: aggregate logits (Eq. 6-7) and prototypes (Eq. 8),
+///      filter the public set (Algorithm 1), and train the server model with
 ///      prototype-based ensemble distillation (Eq. 11-13).
-///   4. Server knowledge transfer: server logits for the *filtered* subset
-///      plus the global prototypes go back to every client, which digests
-///      them via Eq. (14)-(15).
-class FedPkd : public fl::Algorithm {
+///   4. make_download/apply_download = server knowledge transfer: server
+///      logits for the *filtered* subset plus the global prototypes go back
+///      to every client, which digests them via Eq. (14)-(15).
+class FedPkd : public fl::StagedAlgorithm {
  public:
   struct Options {
     std::size_t local_epochs = 15;   // e_{c,tr}
@@ -54,8 +58,18 @@ class FedPkd : public fl::Algorithm {
   FedPkd(fl::Federation& fed, Options options);
 
   std::string name() const override;
-  void run_round(fl::Federation& fed, std::size_t round) override;
   nn::Classifier* server_model() override { return &server_; }
+
+  void on_round_start(fl::RoundContext& ctx) override;
+  void local_update(fl::RoundContext& ctx, std::size_t i,
+                    fl::Client& client) override;
+  fl::PayloadBundle make_upload(fl::RoundContext& ctx, std::size_t i,
+                                fl::Client& client) override;
+  void server_step(fl::RoundContext& ctx,
+                   std::vector<fl::Contribution>& contributions) override;
+  std::optional<fl::PayloadBundle> make_download(fl::RoundContext& ctx) override;
+  void apply_download(fl::RoundContext& ctx, std::size_t i, fl::Client& client,
+                      const fl::WireBundle& bundle) override;
 
   /// Global prototypes after the most recent round (empty before round 0).
   const std::optional<PrototypeSet>& global_prototypes() const {
@@ -71,6 +85,13 @@ class FedPkd : public fl::Algorithm {
   tensor::Rng server_rng_;
   std::optional<PrototypeSet> global_prototypes_;
   float last_keep_fraction_ = 1.0f;
+  std::vector<std::uint32_t> all_ids_;  // 0..public_n-1, filled on first use
+  /// What each client actually received over the wire (Eq. 16 regularizer
+  /// target), by client id; stale or absent after a dropped downlink.
+  std::vector<std::optional<PrototypeSet>> received_;
+  /// The filtered subset server_step selected, kept for make_download.
+  tensor::Tensor selected_inputs_;
+  std::vector<std::uint32_t> selected_ids_;
 };
 
 }  // namespace fedpkd::core

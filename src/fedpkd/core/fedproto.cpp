@@ -1,58 +1,55 @@
 #include "fedpkd/core/fedproto.hpp"
 
-#include <optional>
-
-#include "fedpkd/exec/thread_pool.hpp"
-
 namespace fedpkd::core {
 
-void FedProto::run_round(fl::Federation& fed, std::size_t) {
-  const std::size_t feature_dim =
-      fed.clients.front().model.feature_dim();
-  const std::vector<fl::Client*> active = fed.active_clients();
+void FedProto::on_round_start(fl::RoundContext& ctx) {
+  if (received_.size() != ctx.fed.num_clients()) {
+    received_.resize(ctx.fed.num_clients());
+  }
+}
 
-  // 1. Concurrent local training with the prototype regularizer once
-  //    prototypes exist (shared read-only).
-  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      fl::TrainOptions opts;
-      opts.epochs = options_.local_epochs;
-      if (global_prototypes_) {
-        opts.prototype_matrix = &global_prototypes_->matrix;
-        opts.prototype_class_present = &global_prototypes_->present;
-        opts.prototype_epsilon = options_.prototype_weight;
-      }
-      active[i]->train_local(opts);
-    }
-  });
+void FedProto::local_update(fl::RoundContext&, std::size_t,
+                            fl::Client& client) {
+  // Prototype-regularized local training (Eq. 16) once this client has
+  // received global prototypes; plain supervised training before that.
+  const auto& prototypes = received_[static_cast<std::size_t>(client.id)];
+  fl::TrainOptions opts;
+  opts.epochs = options_.local_epochs;
+  if (prototypes) {
+    opts.prototype_matrix = &prototypes->matrix;
+    opts.prototype_class_present = &prototypes->present;
+    opts.prototype_epsilon = options_.prototype_weight;
+  }
+  client.train_local(opts);
+}
 
-  // 2. Upload prototypes only (computed concurrently, sent in client-index
-  //    order); 3. aggregate; 4. broadcast.
-  std::vector<std::optional<PrototypeSet>> locals(active.size());
-  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      locals[i] =
-          compute_local_prototypes(active[i]->model, active[i]->train_data);
-    }
-  });
+fl::PayloadBundle FedProto::make_upload(fl::RoundContext&, std::size_t,
+                                        fl::Client& client) {
+  return fl::PayloadBundle(
+      to_payload(compute_local_prototypes(client.model, client.train_data)));
+}
+
+void FedProto::server_step(fl::RoundContext& ctx,
+                           std::vector<fl::Contribution>& contributions) {
+  const std::size_t feature_dim = ctx.fed.clients.front().model.feature_dim();
   std::vector<PrototypeSet> client_sets;
-  client_sets.reserve(active.size());
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    auto wire = fed.channel.send(active[i]->id, comm::kServerId,
-                                 to_payload(*locals[i]));
-    if (!wire) continue;
-    client_sets.push_back(from_payload(comm::decode_prototypes(*wire),
-                                       fed.num_classes, feature_dim));
+  client_sets.reserve(contributions.size());
+  for (const fl::Contribution& c : contributions) {
+    client_sets.push_back(
+        from_payload(c.bundle.prototypes(), ctx.fed.num_classes, feature_dim));
   }
-  if (client_sets.empty()) return;
-  PrototypeSet global = aggregate_prototypes(client_sets);
+  global_prototypes_ = aggregate_prototypes(client_sets);
+}
 
-  const comm::PrototypesPayload payload = to_payload(global);
-  for (fl::Client& client : fed.active()) {
-    // The broadcast is charged per client; clients use it next round.
-    fed.channel.send(comm::kServerId, client.id, payload);
-  }
-  global_prototypes_ = std::move(global);
+std::optional<fl::PayloadBundle> FedProto::make_download(fl::RoundContext&) {
+  return fl::PayloadBundle(to_payload(*global_prototypes_));
+}
+
+void FedProto::apply_download(fl::RoundContext& ctx, std::size_t,
+                              fl::Client& client,
+                              const fl::WireBundle& bundle) {
+  received_[static_cast<std::size_t>(client.id)] = from_payload(
+      bundle.prototypes(), ctx.fed.num_classes, client.model.feature_dim());
 }
 
 }  // namespace fedpkd::core

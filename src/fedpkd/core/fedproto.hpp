@@ -1,23 +1,25 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "fedpkd/core/prototype.hpp"
-#include "fedpkd/fl/federation.hpp"
+#include "fedpkd/fl/round_pipeline.hpp"
 
 namespace fedpkd::core {
 
 /// FedProto (Tan et al. 2021) — the prototype-only baseline from the paper's
 /// related work (Section VI-B).
 ///
-/// Clients never exchange weights or logits: each round they train locally
-/// with a prototype regularizer against the previous global prototypes
-/// (exactly FedPKD's Eq. 16) and upload only their per-class prototypes; the
-/// server aggregates them (support-weighted mean, Eq. 8) and broadcasts the
-/// result. There is no server model and no public dataset involved — the
+/// Clients never exchange weights or logits: each round local_update trains
+/// with a prototype regularizer against the last global prototypes the
+/// client received (exactly FedPKD's Eq. 16), make_upload ships only the
+/// per-class local prototypes, server_step aggregates them (support-weighted
+/// mean, Eq. 8), and make_download broadcasts the aggregate for the next
+/// round. There is no server model and no public dataset involved — the
 /// limitation FedPKD's dual knowledge transfer addresses — which also makes
 /// FedProto the lightest-traffic baseline in the suite.
-class FedProto : public fl::Algorithm {
+class FedProto : public fl::StagedAlgorithm {
  public:
   struct Options {
     std::size_t local_epochs = 10;
@@ -27,8 +29,19 @@ class FedProto : public fl::Algorithm {
   explicit FedProto(Options options) : options_(options) {}
 
   std::string name() const override { return "FedProto"; }
-  void run_round(fl::Federation& fed, std::size_t round) override;
 
+  void on_round_start(fl::RoundContext& ctx) override;
+  void local_update(fl::RoundContext& ctx, std::size_t i,
+                    fl::Client& client) override;
+  fl::PayloadBundle make_upload(fl::RoundContext& ctx, std::size_t i,
+                                fl::Client& client) override;
+  void server_step(fl::RoundContext& ctx,
+                   std::vector<fl::Contribution>& contributions) override;
+  std::optional<fl::PayloadBundle> make_download(fl::RoundContext& ctx) override;
+  void apply_download(fl::RoundContext& ctx, std::size_t i, fl::Client& client,
+                      const fl::WireBundle& bundle) override;
+
+  /// The server-side aggregate after the most recent round (Eq. 8).
   const std::optional<PrototypeSet>& global_prototypes() const {
     return global_prototypes_;
   }
@@ -36,6 +49,9 @@ class FedProto : public fl::Algorithm {
  private:
   Options options_;
   std::optional<PrototypeSet> global_prototypes_;
+  /// What each client actually received over the wire, by client id. A
+  /// client whose downlink dropped keeps its previous prototypes (or none).
+  std::vector<std::optional<PrototypeSet>> received_;
 };
 
 }  // namespace fedpkd::core

@@ -2,10 +2,8 @@
 
 #include <cmath>
 #include <numeric>
-#include <optional>
 #include <stdexcept>
 
-#include "fedpkd/exec/thread_pool.hpp"
 #include "fedpkd/fl/trainer.hpp"
 #include "fedpkd/tensor/ops.hpp"
 
@@ -41,65 +39,53 @@ tensor::Tensor sharpen_rows(const tensor::Tensor& probs, float temperature) {
 
 }  // namespace
 
-void DsFl::run_round(Federation& fed, std::size_t) {
-  const std::size_t public_n = fed.public_data.size();
-  std::vector<std::uint32_t> ids(public_n);
-  std::iota(ids.begin(), ids.end(), 0u);
-  const std::vector<Client*> active = fed.active_clients();
+void DsFl::on_round_start(RoundContext& ctx) {
+  if (ids_.size() != ctx.fed.public_data.size()) {
+    ids_.resize(ctx.fed.public_data.size());
+    std::iota(ids_.begin(), ids_.end(), 0u);
+  }
+}
 
-  // 1. Local supervised training, concurrent across clients.
+void DsFl::local_update(RoundContext&, std::size_t, Client& client) {
   TrainOptions local_opts;
   local_opts.epochs = options_.local_epochs;
-  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      active[i]->train_local(local_opts);
-    }
-  });
+  client.train_local(local_opts);
+}
 
-  // 2. Clients compute softmaxed logits concurrently and upload; the server
-  //    averages probabilities serially in client-index order. (DS-FL ships
-  //    probability vectors; same wire size as logits.)
-  std::vector<tensor::Tensor> probs(active.size());
-  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      probs[i] =
-          tensor::softmax_rows(active[i]->logits_on(fed.public_data.features));
-    }
-  });
-  tensor::Tensor mean_probs({public_n, fed.num_classes});
-  std::size_t received = 0;
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    auto wire =
-        fed.channel.send(active[i]->id, comm::kServerId,
-                         comm::LogitsPayload{ids, std::move(probs[i])});
-    if (!wire) continue;
-    tensor::add_inplace(mean_probs, comm::decode_logits(*wire).logits);
-    ++received;
-  }
-  if (received == 0) return;
-  tensor::scale_inplace(mean_probs, 1.0f / static_cast<float>(received));
+PayloadBundle DsFl::make_upload(RoundContext& ctx, std::size_t,
+                                Client& client) {
+  // DS-FL ships probability vectors; same wire size as logits.
+  return PayloadBundle(comm::LogitsPayload{
+      ids_,
+      tensor::softmax_rows(client.logits_on(ctx.fed.public_data.features))});
+}
 
-  // 3. Entropy-reduction aggregation, then broadcast (serial sends) and
-  //    concurrent digests.
-  const tensor::Tensor sharpened =
-      sharpen_rows(mean_probs, options_.sharpen_temperature);
-  const std::vector<int> pseudo = tensor::argmax_rows(sharpened);
-  std::vector<std::optional<tensor::Tensor>> broadcast(active.size());
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    auto wire = fed.channel.send(comm::kServerId, active[i]->id,
-                                 comm::LogitsPayload{ids, sharpened});
-    if (wire) broadcast[i] = comm::decode_logits(*wire).logits;
+void DsFl::server_step(RoundContext& ctx,
+                       std::vector<Contribution>& contributions) {
+  // Mean of the surviving clients' probabilities (slot order), then
+  // entropy-reduction aggregation.
+  tensor::Tensor mean_probs(
+      {ctx.fed.public_data.size(), ctx.fed.num_classes});
+  for (const Contribution& c : contributions) {
+    tensor::add_inplace(mean_probs, c.bundle.logits().logits);
   }
-  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      if (!broadcast[i]) continue;
-      DistillSet set{fed.public_data.features, std::move(*broadcast[i]),
-                     pseudo};
-      TrainOptions digest_opts;
-      digest_opts.epochs = options_.digest_epochs;
-      active[i]->digest(set, /*gamma=*/1.0f, digest_opts);
-    }
-  });
+  tensor::scale_inplace(mean_probs,
+                        1.0f / static_cast<float>(contributions.size()));
+  sharpened_ = sharpen_rows(mean_probs, options_.sharpen_temperature);
+}
+
+std::optional<PayloadBundle> DsFl::make_download(RoundContext&) {
+  return PayloadBundle(comm::LogitsPayload{ids_, sharpened_});
+}
+
+void DsFl::apply_download(RoundContext& ctx, std::size_t, Client& client,
+                          const WireBundle& bundle) {
+  tensor::Tensor received = bundle.logits().logits;
+  DistillSet set{ctx.fed.public_data.features, received,
+                 tensor::argmax_rows(received)};
+  TrainOptions digest_opts;
+  digest_opts.epochs = options_.digest_epochs;
+  client.digest(set, /*gamma=*/1.0f, digest_opts);
 }
 
 }  // namespace fedpkd::fl

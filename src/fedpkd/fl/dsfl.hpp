@@ -1,19 +1,24 @@
 #pragma once
 
-#include "fedpkd/fl/federation.hpp"
+#include <cstdint>
+#include <vector>
+
+#include "fedpkd/fl/round_pipeline.hpp"
+#include "fedpkd/tensor/tensor.hpp"
 
 namespace fedpkd::fl {
 
 /// DS-FL (Itahara et al. 2020): federated distillation with entropy-reduction
 /// aggregation.
 ///
-/// Protocol matches FedMD (clients upload public-set logits, the server
-/// broadcasts an aggregate, clients distill), but the aggregate is the mean
-/// of the client *probability* vectors sharpened with a low temperature:
+/// Protocol matches FedMD on the staged pipeline (clients upload public-set
+/// knowledge, the server broadcasts an aggregate, clients distill), but the
+/// aggregate is the mean of the client *probability* vectors sharpened with a
+/// low temperature:
 ///   p_agg = normalize(mean_c softmax(z_c)^(1/T)),  T < 1.
 /// Sharpening counteracts the entropy inflation that plain averaging causes
 /// under non-IID data, which is DS-FL's core contribution.
-class DsFl : public Algorithm {
+class DsFl : public StagedAlgorithm {
  public:
   struct Options {
     std::size_t local_epochs = 10;
@@ -24,10 +29,21 @@ class DsFl : public Algorithm {
   explicit DsFl(Options options);
 
   std::string name() const override { return "DS-FL"; }
-  void run_round(Federation& fed, std::size_t round) override;
+
+  void on_round_start(RoundContext& ctx) override;
+  void local_update(RoundContext& ctx, std::size_t i, Client& client) override;
+  PayloadBundle make_upload(RoundContext& ctx, std::size_t i,
+                            Client& client) override;
+  void server_step(RoundContext& ctx,
+                   std::vector<Contribution>& contributions) override;
+  std::optional<PayloadBundle> make_download(RoundContext& ctx) override;
+  void apply_download(RoundContext& ctx, std::size_t i, Client& client,
+                      const WireBundle& bundle) override;
 
  private:
   Options options_;
+  std::vector<std::uint32_t> ids_;  // 0..public_n-1, filled on first use
+  tensor::Tensor sharpened_;        // this round's ERA aggregate
 };
 
 }  // namespace fedpkd::fl

@@ -1,9 +1,7 @@
 #include "fedpkd/fl/fedavg.hpp"
 
-#include <optional>
 #include <stdexcept>
 
-#include "fedpkd/exec/thread_pool.hpp"
 #include "fedpkd/fl/trainer.hpp"
 #include "fedpkd/tensor/ops.hpp"
 
@@ -11,7 +9,8 @@ namespace fedpkd::fl {
 
 FedAvg::FedAvg(Federation& fed, Options options)
     : options_(options), global_(fed.clients.at(0).model.clone()) {
-  for (Client& client : fed.clients) {
+  for (std::size_t c = 0; c < fed.clients.size(); ++c) {
+    Client& client = fed.clients[c];
     if (client.model.parameter_count() != global_.parameter_count() ||
         client.model.arch() != global_.arch()) {
       throw std::invalid_argument(
@@ -21,50 +20,41 @@ FedAvg::FedAvg(Federation& fed, Options options)
   }
 }
 
-void FedAvg::run_round(Federation& fed, std::size_t) {
-  const std::vector<Client*> active = fed.active_clients();
+std::optional<PayloadBundle> FedAvg::make_broadcast(RoundContext&) {
+  return PayloadBundle(comm::WeightsPayload{global_.flat_weights()});
+}
 
-  // 1. Broadcast the global weights. Serial: the channel meters traffic and
-  //    rolls drop dice, so sends always happen in client-index order.
-  const comm::WeightsPayload broadcast{global_.flat_weights()};
-  std::vector<std::optional<comm::WeightsPayload>> received(active.size());
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    auto wire = fed.channel.send(comm::kServerId, active[i]->id, broadcast);
-    if (!wire) continue;  // dropped: client trains from its stale weights
-    received[i] = comm::decode_weights(*wire);
+void FedAvg::local_update(RoundContext& ctx, std::size_t i, Client& client) {
+  // A missing bundle = dropped broadcast: the client trains from its stale
+  // weights (Eq. 4), optionally with the FedProx proximal term against the
+  // weights the round started from.
+  if (const WireBundle* wire = ctx.broadcast(i)) {
+    client.model.set_flat_weights(wire->weights().flat);
   }
+  TrainOptions opts;
+  opts.epochs = options_.local_epochs;
+  opts.proximal_mu = options_.proximal_mu;
+  client.train_local(opts);
+}
 
-  // 2. Local supervised training (Eq. 4), optionally with the FedProx
-  //    proximal term against the weights the round started from. Clients are
-  //    independent devices — each touches only its own model and RNG stream —
-  //    so they train concurrently.
-  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      Client& client = *active[i];
-      if (received[i]) client.model.set_flat_weights(received[i]->flat);
-      TrainOptions opts;
-      opts.epochs = options_.local_epochs;
-      opts.proximal_mu = options_.proximal_mu;
-      client.train_local(opts);
-    }
-  });
+PayloadBundle FedAvg::make_upload(RoundContext&, std::size_t, Client& client) {
+  return PayloadBundle(comm::WeightsPayload{client.model.flat_weights()});
+}
 
-  // 3. Upload weights and 4. aggregate: w_G = sum_c |D_c| w_c / sum |D_c|.
-  //    Serial, in client-index order — the float accumulation order (and so
-  //    the global model) is identical for every thread count.
+void FedAvg::server_step(RoundContext&,
+                         std::vector<Contribution>& contributions) {
+  // w_G = sum_c |D_c| w_c / sum |D_c| over the contributions that survived
+  // the uplink, accumulated in slot order so the result is thread-count
+  // independent.
   tensor::Tensor accum({global_.parameter_count()});
   std::size_t received_weight = 0;
-  for (Client* client : active) {
-    const comm::WeightsPayload upload{client->model.flat_weights()};
-    auto wire = fed.channel.send(client->id, comm::kServerId, upload);
-    if (!wire) continue;  // dropped uploads are excluded from the average
-    const auto payload = comm::decode_weights(*wire);
+  for (const Contribution& c : contributions) {
     tensor::axpy_inplace(accum,
-                         static_cast<float>(client->train_data.size()),
-                         payload.flat);
-    received_weight += client->train_data.size();
+                         static_cast<float>(c.client->train_data.size()),
+                         c.bundle.weights().flat);
+    received_weight += c.client->train_data.size();
   }
-  if (received_weight == 0) return;  // every upload dropped: keep old global
+  if (received_weight == 0) return;
   tensor::scale_inplace(accum, 1.0f / static_cast<float>(received_weight));
   global_.set_flat_weights(accum);
 }

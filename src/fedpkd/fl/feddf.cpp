@@ -1,7 +1,5 @@
 #include "fedpkd/fl/feddf.hpp"
 
-#include <numeric>
-#include <optional>
 #include <stdexcept>
 
 #include "fedpkd/exec/thread_pool.hpp"
@@ -14,88 +12,79 @@ FedDf::FedDf(Federation& fed, Options options)
     : options_(options),
       server_(fed.clients.at(0).model.clone()),
       server_rng_(fed.rng.split(0xdf)) {
-  for (Client& client : fed.clients) {
-    if (client.model.arch() != server_.arch()) {
+  for (std::size_t c = 0; c < fed.clients.size(); ++c) {
+    if (fed.clients[c].model.arch() != server_.arch()) {
       throw std::invalid_argument(
           "FedDF: weight-space fusion requires homogeneous architectures");
     }
   }
 }
 
-void FedDf::run_round(Federation& fed, std::size_t) {
-  const std::size_t public_n = fed.public_data.size();
-  std::vector<std::uint32_t> ids(public_n);
-  std::iota(ids.begin(), ids.end(), 0u);
+std::optional<PayloadBundle> FedDf::make_broadcast(RoundContext&) {
+  return PayloadBundle(comm::WeightsPayload{server_.flat_weights()});
+}
 
-  const std::vector<Client*> active = fed.active_clients();
-
-  // 1. Broadcast fused weights (serial sends); 2. concurrent local training.
-  const comm::WeightsPayload broadcast{server_.flat_weights()};
-  std::vector<std::optional<comm::WeightsPayload>> received_weights(
-      active.size());
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    auto wire = fed.channel.send(comm::kServerId, active[i]->id, broadcast);
-    if (wire) received_weights[i] = comm::decode_weights(*wire);
+void FedDf::local_update(RoundContext& ctx, std::size_t i, Client& client) {
+  if (const WireBundle* wire = ctx.broadcast(i)) {
+    client.model.set_flat_weights(wire->weights().flat);
   }
   TrainOptions local_opts;
   local_opts.epochs = options_.local_epochs;
-  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      if (received_weights[i]) {
-        active[i]->model.set_flat_weights(received_weights[i]->flat);
-      }
-      active[i]->train_local(local_opts);
-    }
-  });
+  client.train_local(local_opts);
+}
 
-  // 3. Upload weights (serial sends, index-ordered FedAvg accumulation); the
-  //    server reconstructs each client model (this is what makes FedDF's
-  //    ensemble possible without shipping logits) and evaluates the ensemble
-  //    members concurrently, each on its own scratch clone. The ensemble
-  //    mean reduces serially in upload order.
+PayloadBundle FedDf::make_upload(RoundContext&, std::size_t, Client& client) {
+  return PayloadBundle(comm::WeightsPayload{client.model.flat_weights()});
+}
+
+void FedDf::server_step(RoundContext& ctx,
+                        std::vector<Contribution>& contributions) {
+  // FedAvg accumulation (slot order) plus the reconstructed client models:
+  // weight-space uploads are what make FedDF's ensemble possible without
+  // shipping logits.
   tensor::Tensor accum({server_.parameter_count()});
   std::vector<comm::WeightsPayload> uploads;
-  uploads.reserve(active.size());
+  uploads.reserve(contributions.size());
   std::size_t received_weight = 0;
-  for (Client* client : active) {
-    auto wire =
-        fed.channel.send(client->id, comm::kServerId,
-                         comm::WeightsPayload{client->model.flat_weights()});
-    if (!wire) continue;
-    auto payload = comm::decode_weights(*wire);
-    tensor::axpy_inplace(accum, static_cast<float>(client->train_data.size()),
+  for (const Contribution& c : contributions) {
+    comm::WeightsPayload payload = c.bundle.weights();
+    tensor::axpy_inplace(accum,
+                         static_cast<float>(c.client->train_data.size()),
                          payload.flat);
-    received_weight += client->train_data.size();
+    received_weight += c.client->train_data.size();
     uploads.push_back(std::move(payload));
   }
   const std::size_t received = uploads.size();
-  if (received == 0) return;
 
+  // Ensemble members evaluate concurrently, each on its own scratch clone;
+  // the ensemble mean reduces serially in upload order.
   std::vector<tensor::Tensor> member_probs(received);
   exec::parallel_for(received, [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       nn::Classifier scratch = server_.clone();
       scratch.set_flat_weights(uploads[i].flat);
-      member_probs[i] = compute_logits(scratch, fed.public_data.features);
+      member_probs[i] =
+          compute_logits(scratch, ctx.fed.public_data.features);
       tensor::softmax_rows_inplace(member_probs[i],
                                    options_.distill_temperature);
     }
   });
-  tensor::Tensor ensemble_probs({public_n, fed.num_classes});
+  tensor::Tensor ensemble_probs(
+      {ctx.fed.public_data.size(), ctx.fed.num_classes});
   for (const tensor::Tensor& probs : member_probs) {
     tensor::add_inplace(ensemble_probs, probs);
   }
   tensor::scale_inplace(accum, 1.0f / static_cast<float>(received_weight));
   tensor::scale_inplace(ensemble_probs, 1.0f / static_cast<float>(received));
 
-  // 4. Initialize from the parameter average, then distill the ensemble.
+  // Initialize from the parameter average, then distill the ensemble.
   server_.set_flat_weights(accum);
-  DistillSet set{fed.public_data.features, ensemble_probs,
+  DistillSet set{ctx.fed.public_data.features, ensemble_probs,
                  tensor::argmax_rows(ensemble_probs)};
   TrainOptions opts;
   opts.epochs = options_.server_epochs;
   opts.batch_size = options_.distill_batch;
-  opts.lr = fed.clients.front().config.lr;
+  opts.lr = ctx.fed.clients.front().config.lr;
   train_distill(server_, set, /*gamma=*/1.0f, opts, server_rng_,
                 options_.distill_temperature);
 }

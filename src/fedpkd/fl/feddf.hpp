@@ -1,19 +1,19 @@
 #pragma once
 
-#include "fedpkd/fl/federation.hpp"
+#include "fedpkd/fl/round_pipeline.hpp"
 
 namespace fedpkd::fl {
 
 /// FedDF (Lin et al. 2020): robust model fusion via ensemble distillation.
 ///
-/// Each round follows FedAvg's broadcast/local-train/upload protocol, but
-/// instead of using the parameter average directly, the server initializes
+/// Each round follows FedAvg's broadcast/local-train/upload stages, but
+/// instead of using the parameter average directly, server_step initializes
 /// from the average and then distills the *ensemble* of uploaded client
 /// models into the server model on the unlabeled public dataset (teacher =
 /// mean of client softmax outputs). Because fusion happens in weight space,
 /// the server architecture is pinned to the clients' — the restriction the
 /// paper calls out in Section I.
-class FedDf : public Algorithm {
+class FedDf : public StagedAlgorithm {
  public:
   struct Options {
     std::size_t local_epochs = 30;   // paper: e_{c,tr}=30 for FedDF
@@ -25,8 +25,14 @@ class FedDf : public Algorithm {
   FedDf(Federation& fed, Options options);
 
   std::string name() const override { return "FedDF"; }
-  void run_round(Federation& fed, std::size_t round) override;
   nn::Classifier* server_model() override { return &server_; }
+
+  std::optional<PayloadBundle> make_broadcast(RoundContext& ctx) override;
+  void local_update(RoundContext& ctx, std::size_t i, Client& client) override;
+  PayloadBundle make_upload(RoundContext& ctx, std::size_t i,
+                            Client& client) override;
+  void server_step(RoundContext& ctx,
+                   std::vector<Contribution>& contributions) override;
 
  private:
   Options options_;

@@ -118,13 +118,15 @@ data::Dataset make_local_test(const data::Dataset& test_pool,
 
 void Federation::begin_round(std::size_t round) {
   meter.begin_round(round);
-  sampled_once_ = true;
-  active_indices_.clear();
-  if (participation_fraction >= 1.0) return;  // empty = everyone
+  if (sampled_once_ && begun_round_ == round) return;  // keep this round's set
   if (participation_fraction <= 0.0) {
     throw std::invalid_argument(
         "Federation: participation_fraction must be in (0, 1]");
   }
+  sampled_once_ = true;
+  begun_round_ = round;
+  active_indices_.clear();
+  if (participation_fraction >= 1.0) return;  // empty = everyone
   const auto want = std::max<std::size_t>(
       1, static_cast<std::size_t>(participation_fraction *
                                   static_cast<double>(clients.size()) + 0.5));
@@ -144,7 +146,7 @@ std::vector<Client*> Federation::active_clients() {
   // list means full participation (requested or pre-first-round).
   if (!sampled_once_ || active_indices_.empty()) {
     out.reserve(clients.size());
-    for (Client& client : clients) out.push_back(&client);
+    for (std::size_t i = 0; i < clients.size(); ++i) out.push_back(&clients[i]);
     return out;
   }
   out.reserve(active_indices_.size());
@@ -244,13 +246,25 @@ RunHistory run_federation(Algorithm& algorithm, Federation& fed,
     fed.begin_round(t);
     algorithm.run_round(fed, t);
     RoundMetrics metrics = evaluate_round(algorithm, fed, t, options.eval_batch);
+    if (const StageTimes* stages = algorithm.last_stage_times()) {
+      metrics.stage_seconds = *stages;
+    }
     if (options.log != nullptr) {
       *options.log << history.algorithm << " round " << t;
       if (metrics.server_accuracy) {
         *options.log << " S_acc=" << *metrics.server_accuracy;
       }
       *options.log << " C_acc=" << metrics.mean_client_accuracy << " comm="
-                   << comm::Meter::to_mb(metrics.cumulative_bytes) << "MB\n";
+                   << comm::Meter::to_mb(metrics.cumulative_bytes) << "MB";
+      if (metrics.stage_seconds) {
+        const StageTimes& s = *metrics.stage_seconds;
+        *options.log << " stages[train=" << s.local_update_seconds
+                     << "s up=" << s.upload_seconds
+                     << "s server=" << s.server_step_seconds
+                     << "s down=" << s.download_seconds
+                     << "s apply=" << s.apply_seconds << "s]";
+      }
+      *options.log << "\n";
       options.log->flush();
     }
     history.rounds.push_back(std::move(metrics));

@@ -52,35 +52,6 @@ struct FederationConfig {
   std::size_t num_threads = 1;
 };
 
-/// Iterable view over a set of clients, yielding Client& (so algorithm round
-/// loops read the same whether they visit everyone or a sampled subset).
-class ClientView {
- public:
-  explicit ClientView(std::vector<Client*> ptrs) : ptrs_(std::move(ptrs)) {}
-
-  class iterator {
-   public:
-    explicit iterator(Client* const* p) : p_(p) {}
-    Client& operator*() const { return **p_; }
-    iterator& operator++() {
-      ++p_;
-      return *this;
-    }
-    bool operator!=(const iterator& other) const { return p_ != other.p_; }
-
-   private:
-    Client* const* p_;
-  };
-
-  iterator begin() const { return iterator(ptrs_.data()); }
-  iterator end() const { return iterator(ptrs_.data() + ptrs_.size()); }
-  std::size_t size() const { return ptrs_.size(); }
-  bool empty() const { return ptrs_.empty(); }
-
- private:
-  std::vector<Client*> ptrs_;
-};
-
 /// The shared world of one federated run: datasets, clients, and the metered
 /// star network. Non-copyable and non-movable (Channel aliases Meter);
 /// construct with build_federation.
@@ -106,16 +77,15 @@ struct Federation {
   std::size_t num_clients() const { return clients.size(); }
 
   /// Stamps the traffic meter with the round number and samples this round's
-  /// participants. run_federation calls this before every
-  /// Algorithm::run_round; drive it manually when stepping rounds yourself.
+  /// participants. Idempotent per round number: the RoundPipeline calls it
+  /// at the top of every round, and a caller stepping rounds manually (or
+  /// run_federation) may have called it already — the second call for the
+  /// same round keeps the sampled participant set instead of resampling.
   void begin_round(std::size_t round);
 
   /// The clients participating in the current round. All clients until
   /// begin_round is first called or while participation_fraction == 1.
   std::vector<Client*> active_clients();
-
-  /// Reference view over active_clients() for range-for loops.
-  ClientView active() { return ClientView(active_clients()); }
 
   /// Reseeds the participation sampler (build_federation derives it from the
   /// federation seed so runs stay reproducible).
@@ -125,6 +95,7 @@ struct Federation {
   std::vector<std::size_t> active_indices_;
   tensor::Rng participation_rng_{0x9a47};
   bool sampled_once_ = false;
+  std::size_t begun_round_ = 0;
 };
 
 /// Builds a federation from a data bundle: partitions the train pool,
@@ -145,6 +116,9 @@ class Algorithm {
   virtual void run_round(Federation& fed, std::size_t round) = 0;
   /// The server model, if the algorithm trains one (nullptr otherwise).
   virtual nn::Classifier* server_model() { return nullptr; }
+  /// Per-stage wall-clock spans of the most recent round, when the algorithm
+  /// runs on the staged pipeline (nullptr otherwise).
+  virtual const StageTimes* last_stage_times() const { return nullptr; }
 };
 
 struct RunOptions {

@@ -2,7 +2,6 @@
 
 #include <cmath>
 #include <numeric>
-#include <optional>
 
 #include "fedpkd/exec/thread_pool.hpp"
 #include "fedpkd/fl/trainer.hpp"
@@ -24,54 +23,49 @@ FedEt::FedEt(Federation& fed, Options options)
       server_(make_server_model(options.server_arch, fed, 0xe7)),
       server_rng_(fed.rng.split(0xe8)) {}
 
-void FedEt::run_round(Federation& fed, std::size_t) {
-  const std::size_t public_n = fed.public_data.size();
-  std::vector<std::uint32_t> ids(public_n);
-  std::iota(ids.begin(), ids.end(), 0u);
-  const float max_entropy =
-      std::log(static_cast<float>(fed.num_classes));
+void FedEt::on_round_start(RoundContext& ctx) {
+  if (ids_.size() != ctx.fed.public_data.size()) {
+    ids_.resize(ctx.fed.public_data.size());
+    std::iota(ids_.begin(), ids_.end(), 0u);
+  }
+}
 
-  const std::vector<Client*> active = fed.active_clients();
-
-  // 1. Concurrent local training and public-set inference, then serial
-  //    index-ordered uploads.
-  std::vector<tensor::Tensor> local_logits(active.size());
+void FedEt::local_update(RoundContext&, std::size_t, Client& client) {
   TrainOptions local_opts;
   local_opts.epochs = options_.local_epochs;
-  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      active[i]->train_local(local_opts);
-      local_logits[i] = active[i]->logits_on(fed.public_data.features);
-    }
-  });
-  std::vector<tensor::Tensor> client_logits;
-  client_logits.reserve(active.size());
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    auto wire =
-        fed.channel.send(active[i]->id, comm::kServerId,
-                         comm::LogitsPayload{ids, std::move(local_logits[i])});
-    if (wire) client_logits.push_back(comm::decode_logits(*wire).logits);
-  }
-  if (client_logits.empty()) return;
+  client.train_local(local_opts);
+}
 
-  // 2. Confidence-weighted ensemble: per sample, weight each client's
-  //    distribution by (1 - H/H_max), its normalized prediction confidence.
-  //    Row-parallel: every row's accumulation still walks the clients in
-  //    upload order, so each teacher element sees the serial float-op order.
-  std::vector<tensor::Tensor> member_probs(client_logits.size());
-  std::vector<tensor::Tensor> member_entropy(client_logits.size());
-  exec::parallel_for(client_logits.size(),
+PayloadBundle FedEt::make_upload(RoundContext& ctx, std::size_t,
+                                 Client& client) {
+  return PayloadBundle(comm::LogitsPayload{
+      ids_, client.logits_on(ctx.fed.public_data.features)});
+}
+
+void FedEt::server_step(RoundContext& ctx,
+                        std::vector<Contribution>& contributions) {
+  const std::size_t public_n = ctx.fed.public_data.size();
+  const std::size_t num_classes = ctx.fed.num_classes;
+  const float max_entropy = std::log(static_cast<float>(num_classes));
+
+  // Confidence-weighted ensemble: per sample, weight each contributor's
+  // distribution by (1 - H/H_max), its normalized prediction confidence.
+  // Row-parallel: every row's accumulation still walks the contributors in
+  // slot order, so each teacher element sees the serial float-op order.
+  std::vector<tensor::Tensor> member_probs(contributions.size());
+  std::vector<tensor::Tensor> member_entropy(contributions.size());
+  exec::parallel_for(contributions.size(),
                      [&](std::size_t begin, std::size_t end) {
                        for (std::size_t c = begin; c < end; ++c) {
-                         // The logits buffer is dead after this point, so the
-                         // softmax runs in place on it.
-                         member_probs[c] = std::move(client_logits[c]);
+                         // The decoded logits buffer is dead after this
+                         // point, so the softmax runs in place on it.
+                         member_probs[c] = contributions[c].bundle.logits().logits;
                          tensor::softmax_rows_inplace(member_probs[c]);
                          member_entropy[c] =
                              tensor::entropy_rows(member_probs[c]);
                        }
                      });
-  tensor::Tensor teacher({public_n, fed.num_classes});
+  tensor::Tensor teacher({public_n, num_classes});
   exec::parallel_for(public_n, [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       double weight_sum = 0.0;
@@ -80,52 +74,42 @@ void FedEt::run_round(Federation& fed, std::size_t) {
             1e-6,
             1.0 - static_cast<double>(member_entropy[c][i]) / max_entropy);
         weight_sum += w;
-        for (std::size_t j = 0; j < fed.num_classes; ++j) {
-          teacher[i * fed.num_classes + j] +=
-              static_cast<float>(w) *
-              member_probs[c][i * fed.num_classes + j];
+        for (std::size_t j = 0; j < num_classes; ++j) {
+          teacher[i * num_classes + j] +=
+              static_cast<float>(w) * member_probs[c][i * num_classes + j];
         }
       }
       const float inv = static_cast<float>(1.0 / weight_sum);
-      for (std::size_t j = 0; j < fed.num_classes; ++j) {
-        teacher[i * fed.num_classes + j] *= inv;
+      for (std::size_t j = 0; j < num_classes; ++j) {
+        teacher[i * num_classes + j] *= inv;
       }
     }
   });
 
-  // 3. Distill the weighted ensemble into the (larger) server model.
-  DistillSet server_set{fed.public_data.features, teacher,
+  // Distill the weighted ensemble into the (larger) server model.
+  DistillSet server_set{ctx.fed.public_data.features, teacher,
                         tensor::argmax_rows(teacher)};
   TrainOptions server_opts;
   server_opts.epochs = options_.server_epochs;
   server_opts.batch_size = options_.distill_batch;
-  server_opts.lr = fed.clients.front().config.lr;
+  server_opts.lr = ctx.fed.clients.front().config.lr;
   train_distill(server_, server_set, /*gamma=*/1.0f, server_opts, server_rng_);
+}
 
-  // 4. Server broadcasts its own public-set logits (serial sends); clients
-  //    digest them concurrently.
-  tensor::Tensor server_logits =
-      compute_logits(server_, fed.public_data.features);
-  const tensor::Tensor server_probs = tensor::softmax_rows(server_logits);
-  const std::vector<int> server_pseudo = tensor::argmax_rows(server_logits);
-  std::vector<bool> delivered(active.size(), false);
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    auto wire = fed.channel.send(comm::kServerId, active[i]->id,
-                                 comm::LogitsPayload{ids, server_logits});
-    delivered[i] = wire.has_value();
-  }
-  // One shared read-only digest set for all clients instead of a per-client
-  // copy of the public features + probabilities.
-  const DistillSet digest_set{fed.public_data.features, server_probs,
-                              server_pseudo};
-  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      if (!delivered[i]) continue;
-      TrainOptions digest_opts;
-      digest_opts.epochs = options_.client_digest_epochs;
-      active[i]->digest(digest_set, /*gamma=*/1.0f, digest_opts);
-    }
-  });
+std::optional<PayloadBundle> FedEt::make_download(RoundContext& ctx) {
+  return PayloadBundle(comm::LogitsPayload{
+      ids_, compute_logits(server_, ctx.fed.public_data.features)});
+}
+
+void FedEt::apply_download(RoundContext& ctx, std::size_t, Client& client,
+                           const WireBundle& bundle) {
+  tensor::Tensor received = bundle.logits().logits;
+  const std::vector<int> pseudo = tensor::argmax_rows(received);
+  tensor::softmax_rows_inplace(received);
+  const DistillSet digest_set{ctx.fed.public_data.features, received, pseudo};
+  TrainOptions digest_opts;
+  digest_opts.epochs = options_.client_digest_epochs;
+  client.digest(digest_set, /*gamma=*/1.0f, digest_opts);
 }
 
 }  // namespace fedpkd::fl

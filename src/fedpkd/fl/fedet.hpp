@@ -1,21 +1,25 @@
 #pragma once
 
-#include "fedpkd/fl/federation.hpp"
+#include <cstdint>
+#include <vector>
+
+#include "fedpkd/fl/round_pipeline.hpp"
 
 namespace fedpkd::fl {
 
 /// FedET (Cho et al. 2022): heterogeneous ensemble knowledge transfer for
 /// training a large server model from small client models.
 ///
-/// Clients train locally and upload public-set logits; the server aggregates
-/// them with per-sample confidence weights (1 - normalized entropy of each
-/// client's predictive distribution, the ensemble-transfer weighting) and
-/// distills into a larger server model. The server then broadcasts its own
-/// public-set logits and clients distill from them. Mirrors the reference
+/// On the staged pipeline: local_update trains each client, make_upload
+/// ships its public-set logits, server_step aggregates them with per-sample
+/// confidence weights (1 - normalized entropy of each client's predictive
+/// distribution, the ensemble-transfer weighting) and distills into a larger
+/// server model, make_download broadcasts the server's own public-set logits,
+/// and apply_download distills them into each client. Mirrors the reference
 /// design's coupling of representation layers: all models in our zoo share
 /// the feature dimension (nn::kFeatureDim), matching the restriction the
 /// paper criticizes FedET for.
-class FedEt : public Algorithm {
+class FedEt : public StagedAlgorithm {
  public:
   struct Options {
     std::size_t local_epochs = 10;  // paper: e_{c,tr}=10 for FedET
@@ -28,13 +32,23 @@ class FedEt : public Algorithm {
   FedEt(Federation& fed, Options options);
 
   std::string name() const override { return "FedET"; }
-  void run_round(Federation& fed, std::size_t round) override;
   nn::Classifier* server_model() override { return &server_; }
+
+  void on_round_start(RoundContext& ctx) override;
+  void local_update(RoundContext& ctx, std::size_t i, Client& client) override;
+  PayloadBundle make_upload(RoundContext& ctx, std::size_t i,
+                            Client& client) override;
+  void server_step(RoundContext& ctx,
+                   std::vector<Contribution>& contributions) override;
+  std::optional<PayloadBundle> make_download(RoundContext& ctx) override;
+  void apply_download(RoundContext& ctx, std::size_t i, Client& client,
+                      const WireBundle& bundle) override;
 
  private:
   Options options_;
   nn::Classifier server_;
   tensor::Rng server_rng_;
+  std::vector<std::uint32_t> ids_;  // 0..public_n-1, filled on first use
 };
 
 }  // namespace fedpkd::fl

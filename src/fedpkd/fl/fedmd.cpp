@@ -1,84 +1,61 @@
 #include "fedpkd/fl/fedmd.hpp"
 
 #include <numeric>
-#include <optional>
 
-#include "fedpkd/exec/thread_pool.hpp"
 #include "fedpkd/fl/trainer.hpp"
 #include "fedpkd/tensor/ops.hpp"
 
 namespace fedpkd::fl {
 
-namespace {
-
-std::vector<std::uint32_t> all_sample_ids(std::size_t n) {
-  std::vector<std::uint32_t> ids(n);
-  std::iota(ids.begin(), ids.end(), 0u);
-  return ids;
+void FedMd::on_round_start(RoundContext& ctx) {
+  if (ids_.size() != ctx.fed.public_data.size()) {
+    ids_.resize(ctx.fed.public_data.size());
+    std::iota(ids_.begin(), ids_.end(), 0u);
+  }
 }
 
-}  // namespace
-
-void FedMd::run_round(Federation& fed, std::size_t) {
-  const std::size_t public_n = fed.public_data.size();
-  const auto ids = all_sample_ids(public_n);
-  const std::vector<Client*> active = fed.active_clients();
-
-  // 1. Local supervised training, concurrent across clients.
+void FedMd::local_update(RoundContext&, std::size_t, Client& client) {
   TrainOptions local_opts;
   local_opts.epochs = options_.local_epochs;
-  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      active[i]->train_local(local_opts);
-    }
-  });
+  client.train_local(local_opts);
+}
 
-  // 2. Communicate: each client computes its public-set logits (concurrent,
-  //    read-only on the shared public set) and uploads them; the server
-  //    accumulates the consensus serially in client-index order.
-  std::vector<tensor::Tensor> logits(active.size());
-  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      logits[i] = active[i]->logits_on(fed.public_data.features);
-    }
-  });
-  tensor::Tensor consensus({public_n, fed.num_classes});
-  std::size_t received = 0;
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    auto wire =
-        fed.channel.send(active[i]->id, comm::kServerId,
-                         comm::LogitsPayload{ids, std::move(logits[i])});
-    if (!wire) continue;
-    tensor::add_inplace(consensus, comm::decode_logits(*wire).logits);
-    ++received;
-  }
-  if (received == 0) return;
-  tensor::scale_inplace(consensus, 1.0f / static_cast<float>(received));
+PayloadBundle FedMd::make_upload(RoundContext& ctx, std::size_t,
+                                 Client& client) {
+  return PayloadBundle(comm::LogitsPayload{
+      ids_, client.logits_on(ctx.fed.public_data.features)});
+}
 
-  // 3. Aggregate consensus is broadcast (serial sends) and each client
-  //    digests its received copy concurrently.
-  const std::vector<int> pseudo = tensor::argmax_rows(consensus);
-  std::vector<std::optional<tensor::Tensor>> broadcast(active.size());
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    auto wire = fed.channel.send(comm::kServerId, active[i]->id,
-                                 comm::LogitsPayload{ids, consensus});
-    if (wire) broadcast[i] = comm::decode_logits(*wire).logits;
+void FedMd::server_step(RoundContext& ctx,
+                        std::vector<Contribution>& contributions) {
+  // Consensus = per-sample mean of the surviving clients' logits,
+  // accumulated in slot order.
+  consensus_ =
+      tensor::Tensor({ctx.fed.public_data.size(), ctx.fed.num_classes});
+  for (const Contribution& c : contributions) {
+    tensor::add_inplace(consensus_, c.bundle.logits().logits);
   }
-  exec::parallel_for(active.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      if (!broadcast[i]) continue;
-      DistillSet set{fed.public_data.features,
-                     tensor::softmax_rows(*broadcast[i],
-                                          options_.distill_temperature),
-                     pseudo};
-      // FedMD digests with pure distillation (gamma = 1): the public set is
-      // unlabeled, so the consensus is the only supervision.
-      TrainOptions digest_opts;
-      digest_opts.epochs = options_.digest_epochs;
-      active[i]->digest(set, /*gamma=*/1.0f, digest_opts,
-                        options_.distill_temperature);
-    }
-  });
+  tensor::scale_inplace(consensus_,
+                        1.0f / static_cast<float>(contributions.size()));
+}
+
+std::optional<PayloadBundle> FedMd::make_download(RoundContext&) {
+  return PayloadBundle(comm::LogitsPayload{ids_, consensus_});
+}
+
+void FedMd::apply_download(RoundContext& ctx, std::size_t, Client& client,
+                           const WireBundle& bundle) {
+  const tensor::Tensor received = bundle.logits().logits;
+  DistillSet set{
+      ctx.fed.public_data.features,
+      tensor::softmax_rows(received, options_.distill_temperature),
+      tensor::argmax_rows(received)};
+  // FedMD digests with pure distillation (gamma = 1): the public set is
+  // unlabeled, so the consensus is the only supervision.
+  TrainOptions digest_opts;
+  digest_opts.epochs = options_.digest_epochs;
+  client.digest(set, /*gamma=*/1.0f, digest_opts,
+                options_.distill_temperature);
 }
 
 }  // namespace fedpkd::fl

@@ -1,19 +1,24 @@
 #pragma once
 
-#include "fedpkd/fl/federation.hpp"
+#include <cstdint>
+#include <vector>
+
+#include "fedpkd/fl/round_pipeline.hpp"
+#include "fedpkd/tensor/tensor.hpp"
 
 namespace fedpkd::fl {
 
 /// FedMD (Li & Wang 2019): logit-consensus federated distillation with no
 /// server model.
 ///
-/// Each round: clients train locally, compute logits over the shared public
-/// dataset and upload them; the server averages the logits per sample and
-/// broadcasts the consensus; each client then "digests" the consensus (soft
-/// cross-entropy distillation on the public set) before the next round.
-/// Supports heterogeneous client architectures — the only coupling between
-/// clients is the logit interface over the public dataset.
-class FedMd : public Algorithm {
+/// Each round on the staged pipeline: local_update trains locally,
+/// make_upload ships each client's logits over the shared public dataset,
+/// server_step averages them per sample into the consensus, make_download
+/// broadcasts the consensus, and apply_download "digests" it (soft
+/// cross-entropy distillation on the public set). Supports heterogeneous
+/// client architectures — the only coupling between clients is the logit
+/// interface over the public dataset.
+class FedMd : public StagedAlgorithm {
  public:
   struct Options {
     std::size_t local_epochs = 10;   // e_{c,tr}
@@ -24,10 +29,21 @@ class FedMd : public Algorithm {
   explicit FedMd(Options options) : options_(options) {}
 
   std::string name() const override { return "FedMD"; }
-  void run_round(Federation& fed, std::size_t round) override;
+
+  void on_round_start(RoundContext& ctx) override;
+  void local_update(RoundContext& ctx, std::size_t i, Client& client) override;
+  PayloadBundle make_upload(RoundContext& ctx, std::size_t i,
+                            Client& client) override;
+  void server_step(RoundContext& ctx,
+                   std::vector<Contribution>& contributions) override;
+  std::optional<PayloadBundle> make_download(RoundContext& ctx) override;
+  void apply_download(RoundContext& ctx, std::size_t i, Client& client,
+                      const WireBundle& bundle) override;
 
  private:
   Options options_;
+  std::vector<std::uint32_t> ids_;   // 0..public_n-1, filled on first use
+  tensor::Tensor consensus_;         // this round's mean logits
 };
 
 }  // namespace fedpkd::fl

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "fedpkd/fl/timing.hpp"
+
 namespace fedpkd::fl {
 
 /// Metrics captured after each communication round.
@@ -17,6 +19,10 @@ struct RoundMetrics {
   std::vector<float> client_accuracy;
   /// Cumulative network traffic after this round (bytes).
   std::size_t cumulative_bytes = 0;
+  /// Per-stage wall-clock spans of this round, when the algorithm runs on
+  /// the staged pipeline (absent for hand-rolled drivers). Not serialized by
+  /// the history CSV.
+  std::optional<StageTimes> stage_seconds;
 };
 
 /// Full trajectory of one federated run.

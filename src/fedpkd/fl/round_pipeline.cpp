@@ -1,0 +1,152 @@
+#include "fedpkd/fl/round_pipeline.hpp"
+
+#include "fedpkd/exec/thread_pool.hpp"
+
+namespace fedpkd::fl {
+
+comm::WeightsPayload WireBundle::weights(std::size_t part) const {
+  return comm::decode_weights(parts.at(part));
+}
+
+comm::LogitsPayload WireBundle::logits(std::size_t part) const {
+  return comm::decode_logits(parts.at(part));
+}
+
+comm::PrototypesPayload WireBundle::prototypes(std::size_t part) const {
+  return comm::decode_prototypes(parts.at(part));
+}
+
+namespace {
+
+/// Transmits every part of `bundle` from `from` to `to` through the channel.
+/// All parts are sent even after one drops, so the channel's drop-dice
+/// sequence — and thus every other link's fate — is independent of delivery
+/// outcomes; delivered parts stay charged on the meter like a real network.
+/// Returns the wire bytes only if the whole bundle made it (all-or-nothing).
+std::optional<WireBundle> send_bundle(comm::Channel& channel,
+                                      comm::NodeId from, comm::NodeId to,
+                                      const PayloadBundle& bundle) {
+  WireBundle wire;
+  wire.parts.reserve(bundle.parts.size());
+  bool delivered = true;
+  for (const StagePayload& part : bundle.parts) {
+    auto bytes = std::visit(
+        [&](const auto& payload) { return channel.send(from, to, payload); },
+        part);
+    if (bytes) {
+      wire.parts.push_back(std::move(*bytes));
+    } else {
+      delivered = false;
+    }
+  }
+  if (!delivered) return std::nullopt;
+  return wire;
+}
+
+}  // namespace
+
+StageTimes RoundPipeline::run(RoundStages& stages, Federation& fed,
+                              std::size_t round) {
+  StageTimes times;
+  fed.begin_round(round);  // idempotent: keeps a caller-sampled participant set
+  RoundContext ctx(fed, round, fed.active_clients());
+  const std::size_t n = ctx.num_active();
+  stages.on_round_start(ctx);
+
+  // Downlink slot 1: pre-training broadcast (weight-broadcast family).
+  // Serial per-client sends in slot order keep the drop-dice and meter
+  // sequences thread-count independent.
+  {
+    StageSpan span(times.download_seconds);
+    if (std::optional<PayloadBundle> bundle = stages.make_broadcast(ctx)) {
+      ctx.broadcast_rx.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ctx.broadcast_rx[i] = send_bundle(fed.channel, comm::kServerId,
+                                          ctx.active[i]->id, *bundle);
+      }
+    }
+  }
+
+  // Stage 1: local update, client-parallel. Each slot touches only its own
+  // client (model + RNG stream), so chunking is bitwise-invisible.
+  {
+    StageSpan span(times.local_update_seconds);
+    exec::parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        stages.local_update(ctx, i, *ctx.active[i]);
+      }
+    });
+  }
+
+  // Stage 2: upload. Payload construction fans out per client; the sends run
+  // serially in slot order. A client whose bundle drops (any part) simply
+  // does not contribute this round.
+  std::vector<Contribution> contributions;
+  {
+    StageSpan span(times.upload_seconds);
+    std::vector<PayloadBundle> bundles(n);
+    exec::parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        bundles[i] = stages.make_upload(ctx, i, *ctx.active[i]);
+      }
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::optional<WireBundle> wire = send_bundle(
+              fed.channel, ctx.active[i]->id, comm::kServerId, bundles[i])) {
+        contributions.push_back(
+            Contribution{i, ctx.active[i], std::move(*wire)});
+      }
+    }
+  }
+
+  // Graceful degradation, one rule for every algorithm: no surviving
+  // contribution means the server learns nothing this round — skip the
+  // remaining stages and leave all state untouched.
+  if (contributions.empty()) return times;
+
+  // Stage 3: server aggregation/distillation over surviving contributions.
+  {
+    StageSpan span(times.server_step_seconds);
+    stages.server_step(ctx, contributions);
+  }
+
+  // Downlink slot 2: post-server download (distillation family).
+  std::vector<std::optional<WireBundle>> downlink(n);
+  bool have_downlink = false;
+  {
+    StageSpan span(times.download_seconds);
+    if (std::optional<PayloadBundle> bundle = stages.make_download(ctx)) {
+      have_downlink = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        downlink[i] = send_bundle(fed.channel, comm::kServerId,
+                                  ctx.active[i]->id, *bundle);
+      }
+    }
+  }
+
+  // Stage 5: apply/digest, client-parallel. Clients whose downlink dropped
+  // keep their stale state (same rule as a missed broadcast).
+  if (have_downlink) {
+    StageSpan span(times.apply_seconds);
+    exec::parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        if (downlink[i]) {
+          stages.apply_download(ctx, i, *ctx.active[i], *downlink[i]);
+        }
+      }
+    });
+  }
+  return times;
+}
+
+void StagedAlgorithm::run_round(Federation& fed, std::size_t round) {
+  times_.push_back(pipeline_.run(*this, fed, round));
+}
+
+StageTimes StagedAlgorithm::total_stage_times() const {
+  StageTimes total;
+  for (const StageTimes& t : times_) total += t;
+  return total;
+}
+
+}  // namespace fedpkd::fl

@@ -1,0 +1,189 @@
+#pragma once
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "fedpkd/fl/federation.hpp"
+
+namespace fedpkd::fl {
+
+/// The staged round pipeline: one instrumented
+///
+///   download(broadcast) -> local_update -> upload -> server_step
+///     -> download -> apply
+///
+/// skeleton shared by every algorithm in the suite. An algorithm implements
+/// RoundStages — its per-stage payloads and server logic — and RoundPipeline
+/// owns everything the eight bespoke drivers used to duplicate:
+///
+///  * participation: the pipeline begins the round (sampling this round's
+///    participants) and threads one active-client list through every stage;
+///  * transport: every client<->server transfer goes through comm::Channel,
+///    so every byte is encoded for real, metered, and subject to drop
+///    injection — a stage implementation never touches the channel;
+///  * graceful degradation, one rule for all algorithms: a dropped downlink
+///    bundle leaves that client on its stale state, a dropped uplink bundle
+///    excludes that client from server_step, and a round with zero surviving
+///    contributions ends after the upload stage with the server untouched;
+///  * determinism: compute-heavy stages fan out per client on the exec
+///    thread pool while all channel sends and server reductions run serially
+///    in client-index order, preserving the bitwise serial==parallel
+///    contract (tests/test_exec.cpp, tests/test_pipeline.cpp);
+///  * instrumentation: per-stage wall-clock spans (fl::StageTimes) recorded
+///    for every round and surfaced through RoundMetrics.
+///
+/// The two downlink slots cover both round shapes in the literature: the
+/// weight-broadcast family (FedAvg/FedProx/FedDF) downloads *before* local
+/// training (make_broadcast), the distillation family (FedMD, DS-FL, FedET,
+/// FedProto, FedPKD) downloads *after* the server step (make_download). Both
+/// slots share one transport path and one timing span.
+
+/// One typed message; the pipeline visits the variant to route it through
+/// comm::Channel::send.
+using StagePayload = std::variant<comm::WeightsPayload, comm::LogitsPayload,
+                                  comm::PrototypesPayload>;
+
+/// What one endpoint transmits to one peer as a unit. Multi-part bundles
+/// (FedPKD's logits + prototypes) are all-or-nothing on the receive side: if
+/// any part is dropped the whole bundle counts as missing, exactly like a
+/// straggler drop-out — delivered parts are still charged to the meter, as a
+/// real network would.
+struct PayloadBundle {
+  std::vector<StagePayload> parts;
+
+  PayloadBundle() = default;
+  PayloadBundle(StagePayload part) { parts.push_back(std::move(part)); }
+};
+
+/// A delivered bundle as raw wire bytes. Receivers decode with the typed
+/// accessors (comm::decode_* round-trip) — the pipeline never lets a payload
+/// skip serialization, so an algorithm that "cheats" by sharing pointers
+/// fails its round-trip.
+struct WireBundle {
+  std::vector<std::vector<std::byte>> parts;
+
+  comm::WeightsPayload weights(std::size_t part = 0) const;
+  comm::LogitsPayload logits(std::size_t part = 0) const;
+  comm::PrototypesPayload prototypes(std::size_t part = 0) const;
+};
+
+/// Shared state of one pipeline round, threaded through every stage hook.
+struct RoundContext {
+  Federation& fed;
+  std::size_t round = 0;
+  /// This round's participants in client-index order. Stage hooks receive
+  /// slot indices into this vector; `active[slot]->id` is the global id.
+  std::vector<Client*> active;
+
+  RoundContext(Federation& federation, std::size_t round_index,
+               std::vector<Client*> participants)
+      : fed(federation), round(round_index), active(std::move(participants)) {}
+
+  std::size_t num_active() const { return active.size(); }
+
+  /// The pre-training downlink bundle delivered to slot `i` (nullptr when the
+  /// algorithm broadcasts nothing or a part to this client was dropped).
+  const WireBundle* broadcast(std::size_t i) const {
+    return i < broadcast_rx.size() && broadcast_rx[i] ? &*broadcast_rx[i]
+                                                      : nullptr;
+  }
+
+  // Filled by RoundPipeline; stages read through broadcast().
+  std::vector<std::optional<WireBundle>> broadcast_rx;
+};
+
+/// One surviving uplink contribution, as the server sees it.
+struct Contribution {
+  std::size_t slot = 0;        // index into RoundContext::active
+  Client* client = nullptr;    // sender (for |D_c| weighting etc.)
+  WireBundle bundle;           // delivered wire bytes, ready to decode
+};
+
+/// Per-stage hooks an algorithm supplies to the pipeline. Hooks marked
+/// "concurrent" run inside exec::parallel_for and must touch only state owned
+/// by their slot (the client's model/RNG plus read-only shared state);
+/// everything else runs serially in client-index order.
+class RoundStages {
+ public:
+  virtual ~RoundStages() = default;
+
+  /// Serial hook at the top of every round, before any transfer. Use it to
+  /// size shared read-only state the concurrent stages will read — lazy
+  /// initialization inside a concurrent hook would race.
+  virtual void on_round_start(RoundContext& ctx) { (void)ctx; }
+
+  /// Downlink slot before local training (weight-broadcast family). The same
+  /// bundle is sent to every participant. nullopt = no pre-training downlink.
+  virtual std::optional<PayloadBundle> make_broadcast(RoundContext& ctx) {
+    (void)ctx;
+    return std::nullopt;
+  }
+
+  /// Stage 1 — local training for slot `i` (concurrent). Read the delivered
+  /// broadcast through ctx.broadcast(i); a missing bundle means "train from
+  /// stale state".
+  virtual void local_update(RoundContext& ctx, std::size_t i,
+                            Client& client) = 0;
+
+  /// Stage 2 — slot `i`'s uplink bundle (concurrent compute; the pipeline
+  /// then sends all bundles serially in slot order).
+  virtual PayloadBundle make_upload(RoundContext& ctx, std::size_t i,
+                                    Client& client) = 0;
+
+  /// Stage 3 — aggregation/distillation over the surviving contributions
+  /// (slot order). Never called with an empty list: a fully-dropped round
+  /// skips stages 3-5 and leaves the server untouched.
+  virtual void server_step(RoundContext& ctx,
+                           std::vector<Contribution>& contributions) = 0;
+
+  /// Stage 4 — downlink slot after the server step (distillation family).
+  /// nullopt = nothing to send down, which also skips stage 5.
+  virtual std::optional<PayloadBundle> make_download(RoundContext& ctx) {
+    (void)ctx;
+    return std::nullopt;
+  }
+
+  /// Stage 5 — digest the delivered downlink bundle on slot `i`
+  /// (concurrent). Not called for clients whose bundle was dropped.
+  virtual void apply_download(RoundContext& ctx, std::size_t i, Client& client,
+                              const WireBundle& bundle) {
+    (void)ctx;
+    (void)i;
+    (void)client;
+    (void)bundle;
+  }
+};
+
+/// The staged round executor. Stateless today; it exists as an object so the
+/// planned async/straggler execution modes can be configured per run without
+/// touching the stage contract.
+class RoundPipeline {
+ public:
+  /// Executes one full round of `stages` against `fed` (begins the round,
+  /// sampling participants, if the caller has not already) and returns the
+  /// per-stage wall-clock spans.
+  StageTimes run(RoundStages& stages, Federation& fed, std::size_t round);
+};
+
+/// Base for algorithms expressed as RoundStages: run_round delegates to the
+/// shared RoundPipeline and records per-round stage times.
+class StagedAlgorithm : public Algorithm, public RoundStages {
+ public:
+  void run_round(Federation& fed, std::size_t round) final;
+
+  /// Wall-clock spans of every round executed so far, in order.
+  const std::vector<StageTimes>& stage_times() const { return times_; }
+  /// Sum over all executed rounds.
+  StageTimes total_stage_times() const;
+
+  const StageTimes* last_stage_times() const override {
+    return times_.empty() ? nullptr : &times_.back();
+  }
+
+ private:
+  RoundPipeline pipeline_;
+  std::vector<StageTimes> times_;
+};
+
+}  // namespace fedpkd::fl

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <span>
 #include <vector>
 
@@ -7,6 +8,51 @@
 #include "fedpkd/nn/classifier.hpp"
 
 namespace fedpkd::fl {
+
+/// Measured wall-clock spans of one pipeline round, one field per stage of
+/// the staged executor (fl::RoundPipeline). `download_seconds` covers both
+/// downlink slots — the pre-training broadcast and the post-server download —
+/// since they share one transport path.
+struct StageTimes {
+  double local_update_seconds = 0.0;
+  double upload_seconds = 0.0;
+  double server_step_seconds = 0.0;
+  double download_seconds = 0.0;
+  double apply_seconds = 0.0;
+
+  double total_seconds() const {
+    return local_update_seconds + upload_seconds + server_step_seconds +
+           download_seconds + apply_seconds;
+  }
+
+  StageTimes& operator+=(const StageTimes& other) {
+    local_update_seconds += other.local_update_seconds;
+    upload_seconds += other.upload_seconds;
+    server_step_seconds += other.server_step_seconds;
+    download_seconds += other.download_seconds;
+    apply_seconds += other.apply_seconds;
+    return *this;
+  }
+};
+
+/// RAII span: accumulates elapsed wall-clock into a StageTimes field on
+/// destruction, so a stage's cost is recorded even on early exit.
+class StageSpan {
+ public:
+  explicit StageSpan(double& sink)
+      : sink_(&sink), start_(std::chrono::steady_clock::now()) {}
+  ~StageSpan() {
+    *sink_ += std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+  }
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+ private:
+  double* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Analytic wall-clock model for synchronous federated rounds.
 ///

@@ -5,6 +5,8 @@
 
 #include <sstream>
 
+#include "fedpkd/core/fedpkd.hpp"
+#include "fedpkd/core/fedproto.hpp"
 #include "fedpkd/data/stats.hpp"
 #include "fedpkd/fl/dsfl.hpp"
 #include "fedpkd/fl/fedavg.hpp"
@@ -380,25 +382,90 @@ TEST(RunFederation, ProducesHistoryAndLogs) {
   EXPECT_NE(log.str().find("FedAvg round 0"), std::string::npos);
 }
 
-TEST(RunFederation, DroppedMessagesDontCrashFedAvg) {
-  auto fed = small_federation();
-  fed->channel.set_drop_probability(0.5, Rng(99));
-  FedAvg algo(*fed, {.local_epochs = 1, .proximal_mu = {}});
-  RunOptions opts;
-  opts.rounds = 2;
-  EXPECT_NO_THROW(run_federation(algo, *fed, opts));
+/// One-epoch configuration of every pipeline algorithm, for the unified drop
+/// semantics tests: the same degradation rules must hold for all eight.
+std::unique_ptr<Algorithm> any_algorithm(const std::string& name,
+                                         Federation& fed) {
+  if (name == "FedAvg") {
+    return std::make_unique<FedAvg>(
+        fed, FedAvg::Options{.local_epochs = 1, .proximal_mu = {}});
+  }
+  if (name == "FedProx") {
+    return std::make_unique<FedProx>(
+        fed, FedProx::Options{.local_epochs = 1, .mu = 0.01f});
+  }
+  if (name == "FedMD") {
+    return std::make_unique<FedMd>(FedMd::Options{.local_epochs = 1,
+                                                  .digest_epochs = 1,
+                                                  .distill_temperature = 1.0f});
+  }
+  if (name == "DS-FL") {
+    return std::make_unique<DsFl>(DsFl::Options{.local_epochs = 1,
+                                                .digest_epochs = 1,
+                                                .sharpen_temperature = 0.5f});
+  }
+  if (name == "FedDF") {
+    return std::make_unique<FedDf>(fed,
+                                   FedDf::Options{.local_epochs = 1,
+                                                  .server_epochs = 1,
+                                                  .distill_batch = 32,
+                                                  .distill_temperature = 1.0f});
+  }
+  if (name == "FedET") {
+    FedEt::Options o;
+    o.local_epochs = 1;
+    o.server_epochs = 1;
+    o.client_digest_epochs = 1;
+    o.server_arch = "resmlp11";
+    return std::make_unique<FedEt>(fed, o);
+  }
+  if (name == "FedProto") {
+    return std::make_unique<core::FedProto>(
+        core::FedProto::Options{.local_epochs = 1, .prototype_weight = 0.5f});
+  }
+  if (name == "FedPKD") {
+    core::FedPkd::Options o;
+    o.local_epochs = 1;
+    o.public_epochs = 1;
+    o.server_epochs = 1;
+    o.server_arch = "resmlp11";
+    return std::make_unique<core::FedPkd>(fed, o);
+  }
+  throw std::logic_error("unknown algorithm: " + name);
+}
+
+const std::vector<std::string> kDropAlgorithms = {
+    "FedAvg", "FedProx", "FedMD", "DS-FL",
+    "FedDF",  "FedET",   "FedProto", "FedPKD"};
+
+TEST(RunFederation, DroppedMessagesDontCrashAnyAlgorithm) {
+  for (const std::string& name : kDropAlgorithms) {
+    auto fed = small_federation();
+    fed->channel.set_drop_probability(0.5, Rng(99));
+    auto algo = any_algorithm(name, *fed);
+    RunOptions opts;
+    opts.rounds = 2;
+    EXPECT_NO_THROW(run_federation(*algo, *fed, opts)) << name;
+  }
 }
 
 TEST(RunFederation, TotalDropBlackoutKeepsModelsFinite) {
-  auto fed = small_federation();
-  fed->channel.set_drop_probability(1.0, Rng(100));
-  FedAvg algo(*fed, {.local_epochs = 1, .proximal_mu = {}});
-  RunOptions opts;
-  opts.rounds = 1;
-  const RunHistory history = run_federation(algo, *fed, opts);
-  EXPECT_EQ(history.final_round().cumulative_bytes, 0u);
-  EXPECT_FALSE(
-      tensor::has_non_finite(algo.server_model()->flat_weights()));
+  for (const std::string& name : kDropAlgorithms) {
+    auto fed = small_federation();
+    fed->channel.set_drop_probability(1.0, Rng(100));
+    auto algo = any_algorithm(name, *fed);
+    RunOptions opts;
+    opts.rounds = 1;
+    const RunHistory history = run_federation(*algo, *fed, opts);
+    EXPECT_EQ(history.final_round().cumulative_bytes, 0u) << name;
+    for (Client& client : fed->clients) {
+      EXPECT_FALSE(tensor::has_non_finite(client.model.flat_weights()))
+          << name << " client " << client.id;
+    }
+    if (nn::Classifier* server = algo->server_model()) {
+      EXPECT_FALSE(tensor::has_non_finite(server->flat_weights())) << name;
+    }
+  }
 }
 
 }  // namespace
