@@ -262,6 +262,10 @@ struct JsonBenchRecord {
   double ns_per_iter = 0.0;
   double gflops = 0.0;           // 0 when throughput is not meaningful
   double allocs_per_iter = 0.0;  // Tensor heap allocations per iteration
+  // Counter-style records (e.g. fault statistics) carry a plain value with a
+  // unit instead of a timing; a non-empty unit switches the emitted fields.
+  double value = 0.0;
+  std::string unit;
 };
 
 inline std::string bench_json_path() {
@@ -310,8 +314,14 @@ inline void append_bench_records(const std::vector<JsonBenchRecord>& records) {
   os << body;
   for (const JsonBenchRecord& r : records) {
     os << "\n  {\"op\": \"" << json_escape(r.op) << "\", \"shape\": \""
-       << json_escape(r.shape) << "\", \"ns_per_iter\": " << std::fixed
-       << std::setprecision(1) << r.ns_per_iter;
+       << json_escape(r.shape) << "\", ";
+    if (!r.unit.empty()) {
+      os << "\"value\": " << std::fixed << std::setprecision(2) << r.value
+         << ", \"unit\": \"" << json_escape(r.unit) << "\"},";
+      continue;
+    }
+    os << "\"ns_per_iter\": " << std::fixed << std::setprecision(1)
+       << r.ns_per_iter;
     // gflops stays out of records with no FLOP counter (e.g. RNG, rounds).
     if (r.gflops > 0.0) {
       os << ", \"gflops\": " << std::setprecision(3) << r.gflops;

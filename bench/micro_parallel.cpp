@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "fedpkd/comm/fault.hpp"
 #include "fedpkd/core/fedpkd.hpp"
 #include "fedpkd/exec/thread_pool.hpp"
 #include "fedpkd/fl/fedavg.hpp"
@@ -27,6 +28,7 @@ struct Timing {
   double seconds;
   double allocs;  // Tensor heap allocations during the run
   fl::StageTimes stages;  // summed over the run's rounds
+  fl::RoundFaultStats faults;  // summed over the run's rounds
 };
 
 /// Runs `rounds` rounds of `algorithm` on a fresh 8-client federation with
@@ -34,7 +36,8 @@ struct Timing {
 /// measurement keeps every run's work identical (same seed, same schedule).
 Timing time_run(const std::string& algorithm,
                 const data::FederatedDataBundle& bundle, std::size_t threads,
-                std::size_t rounds) {
+                std::size_t rounds,
+                const comm::FaultPlan* plan = nullptr) {
   fl::FederationConfig config;
   config.num_clients = 8;
   // FedAvg aggregates weights and needs one architecture; FedPKD showcases
@@ -47,6 +50,7 @@ Timing time_run(const std::string& algorithm,
   config.num_threads = threads;
   auto fed =
       fl::build_federation(bundle, fl::PartitionSpec::dirichlet(0.3), config);
+  if (plan != nullptr) fed->channel.set_fault_plan(*plan);
 
   std::unique_ptr<fl::Algorithm> algo;
   if (algorithm == "FedPKD") {
@@ -71,9 +75,11 @@ Timing time_run(const std::string& algorithm,
   Timing timing{
       threads, std::chrono::duration<double>(stop - start).count(),
       static_cast<double>(tensor::Tensor::allocation_count() - allocs_before),
+      {},
       {}};
   if (const auto* staged = dynamic_cast<const fl::StagedAlgorithm*>(algo.get())) {
     timing.stages = staged->total_stage_times();
+    timing.faults = staged->total_fault_stats();
   }
   return timing;
 }
@@ -129,6 +135,60 @@ void report(const std::string& algorithm,
   std::printf("\n");
 }
 
+/// Reruns one round under the seeded fault matrix from the robustness tests
+/// (20% loss, 5% corruption, latency + jitter, two stragglers) and publishes
+/// the resulting fault counters as `fault:<algo>:<counter>` records so CI
+/// archives the per-commit robustness overhead next to the kernel timings.
+void report_faults(const std::string& algorithm,
+                   const data::FederatedDataBundle& bundle, std::size_t rounds,
+                   const std::string& scale_name,
+                   std::vector<bench::JsonBenchRecord>& records) {
+  comm::FaultPlan plan;
+  plan.seed = 0xfa01701;
+  plan.drop_probability = 0.2;
+  plan.corrupt_probability = 0.05;
+  plan.latency_ms = 1.0;
+  plan.jitter_ms = 0.5;
+  plan.max_retries = 3;
+  plan.stragglers = {{1, 3.0}, {2, 5.0}};
+
+  const Timing t = time_run(algorithm, bundle, 4, rounds, &plan);
+  const fl::RoundFaultStats& f = t.faults;
+  std::printf(
+      "%s under faults (drop=0.2 corrupt=0.05), %zu round(s): "
+      "%.3fs attempts=%zu retries=%zu dropped=%zu corrupt=%zu lost=%zu\n\n",
+      algorithm.c_str(), rounds, t.seconds, f.send_attempts, f.retries,
+      f.frames_dropped, f.corrupt_frames, f.bundles_lost);
+
+  const std::string shape = "clients=8,threads=4,scale=" + scale_name;
+  const std::pair<const char*, double> counters[] = {
+      {"send_attempts", static_cast<double>(f.send_attempts)},
+      {"retries", static_cast<double>(f.retries)},
+      {"frames_dropped", static_cast<double>(f.frames_dropped)},
+      {"corrupt_frames", static_cast<double>(f.corrupt_frames)},
+      {"bundles_lost", static_cast<double>(f.bundles_lost)},
+      {"stragglers_excluded", static_cast<double>(f.stragglers_excluded)},
+      {"rejected_contributions",
+       static_cast<double>(f.rejected_contributions)},
+      {"quorum_misses", static_cast<double>(f.quorum_misses)},
+      {"clients_crashed", static_cast<double>(f.clients_crashed)},
+  };
+  for (const auto& [counter, value] : counters) {
+    bench::JsonBenchRecord record;
+    record.op = "fault:" + algorithm + ":" + counter;
+    record.shape = shape;
+    record.value = value;
+    record.unit = "count";
+    records.push_back(std::move(record));
+  }
+  bench::JsonBenchRecord latency;
+  latency.op = "fault:" + algorithm + ":max_upload_latency";
+  latency.shape = shape;
+  latency.value = f.max_upload_latency_ms;
+  latency.unit = "ms";
+  records.push_back(std::move(latency));
+}
+
 }  // namespace
 
 int main() {
@@ -146,6 +206,8 @@ int main() {
   std::vector<bench::JsonBenchRecord> records;
   report("FedAvg", bundle, 1, scale.name, records);
   report("FedPKD", bundle, 1, scale.name, records);
+  report_faults("FedAvg", bundle, 1, scale.name, records);
+  report_faults("FedPKD", bundle, 1, scale.name, records);
   bench::append_bench_records(records);
   return 0;
 }

@@ -1,22 +1,39 @@
 /// A small command-line experiment runner over the public API: pick a
 /// dataset, algorithm, partition, and round budget; optionally export the
-/// per-round metrics as CSV and checkpoint the trained server model.
+/// per-round metrics as CSV and checkpoint the trained server model. The
+/// fault flags drive the comm::FaultPlan, so any experiment can be rerun
+/// under seeded packet loss, corruption, latency, stragglers, and scripted
+/// mid-round crashes; --save-state/--resume exercise federation-level
+/// crash-resume.
 ///
 /// Usage:
 ///   experiment_cli [--dataset synth10|synth100] [--algorithm NAME]
 ///                  [--partition iid|dirichlet|shards] [--alpha A] [--k K]
 ///                  [--clients N] [--rounds R] [--hetero] [--threads T]
 ///                  [--csv out.csv] [--checkpoint out.bin] [--seed S]
+///                  [--drop P] [--corrupt P] [--latency-ms L] [--jitter-ms J]
+///                  [--straggler ID:FACTOR]... [--crash ROUND:STAGE:ID]...
+///                  [--retries N] [--deadline-ms D] [--quorum F]
+///                  [--max-weight-norm X] [--fault-seed S]
+///                  [--save-state run.ckpt] [--state-every N]
+///                  [--resume run.ckpt]
 ///
 /// --threads T runs the round engine on T lanes (0 = one per hardware
 /// thread). Results are bitwise identical for every T; only wall-clock
-/// changes.
+/// changes. STAGE is one of broadcast|upload|download.
 ///
 /// Algorithms: FedAvg FedProx FedMD DS-FL FedDF FedET FedPKD
 ///
 /// Examples:
 ///   ./build/examples/experiment_cli --algorithm FedPKD --partition dirichlet
 ///       --alpha 0.1 --rounds 8 --csv fedpkd.csv --checkpoint server.bin
+///   ./build/examples/experiment_cli --algorithm FedPKD --rounds 8
+///       --drop 0.2 --corrupt 0.05 --straggler 0:8 --crash 3:upload:2
+///       --deadline-ms 500 --quorum 0.5
+///   ./build/examples/experiment_cli --algorithm FedAvg --rounds 10
+///       --save-state run.ckpt --state-every 5   # then, after a crash:
+///   ./build/examples/experiment_cli --algorithm FedAvg --rounds 10
+///       --resume run.ckpt
 
 #include <cstring>
 #include <iostream>
@@ -51,7 +68,25 @@ struct Args {
   std::string csv;
   std::string checkpoint;
   std::uint64_t seed = 7;
+  // Fault / robustness knobs.
+  comm::FaultPlan faults;
+  bool have_faults = false;
+  double deadline_ms = 0.0;  // 0 = no deadline
+  double quorum = 0.0;
+  double max_weight_norm = 0.0;
+  // Crash-resume.
+  std::string save_state;
+  std::size_t state_every = 1;
+  std::string resume;
 };
+
+comm::RoundStage parse_stage(const std::string& s) {
+  if (s == "broadcast") return comm::RoundStage::kBroadcast;
+  if (s == "upload") return comm::RoundStage::kUpload;
+  if (s == "download") return comm::RoundStage::kDownload;
+  throw std::invalid_argument("unknown crash stage '" + s +
+                              "' (broadcast|upload|download)");
+}
 
 Args parse(int argc, char** argv) {
   Args args;
@@ -75,7 +110,59 @@ Args parse(int argc, char** argv) {
     else if (a == "--csv") args.csv = need(i, "--csv");
     else if (a == "--checkpoint") args.checkpoint = need(i, "--checkpoint");
     else if (a == "--seed") args.seed = std::stoull(need(i, "--seed"));
-    else if (a == "--help" || a == "-h") {
+    else if (a == "--drop") {
+      args.faults.drop_probability = std::stod(need(i, "--drop"));
+      args.have_faults = true;
+    } else if (a == "--corrupt") {
+      args.faults.corrupt_probability = std::stod(need(i, "--corrupt"));
+      args.have_faults = true;
+    } else if (a == "--latency-ms") {
+      args.faults.latency_ms = std::stod(need(i, "--latency-ms"));
+      args.have_faults = true;
+    } else if (a == "--jitter-ms") {
+      args.faults.jitter_ms = std::stod(need(i, "--jitter-ms"));
+      args.have_faults = true;
+    } else if (a == "--retries") {
+      args.faults.max_retries = std::stoul(need(i, "--retries"));
+      args.have_faults = true;
+    } else if (a == "--fault-seed") {
+      args.faults.seed = std::stoull(need(i, "--fault-seed"));
+      args.have_faults = true;
+    } else if (a == "--straggler") {
+      const std::string v = need(i, "--straggler");
+      const auto colon = v.find(':');
+      if (colon == std::string::npos) {
+        throw std::invalid_argument("--straggler wants ID:FACTOR, got " + v);
+      }
+      args.faults.stragglers.emplace_back(
+          static_cast<comm::NodeId>(std::stol(v.substr(0, colon))),
+          std::stod(v.substr(colon + 1)));
+      args.have_faults = true;
+    } else if (a == "--crash") {
+      const std::string v = need(i, "--crash");
+      const auto c1 = v.find(':');
+      const auto c2 = v.find(':', c1 == std::string::npos ? 0 : c1 + 1);
+      if (c1 == std::string::npos || c2 == std::string::npos) {
+        throw std::invalid_argument("--crash wants ROUND:STAGE:ID, got " + v);
+      }
+      args.faults.crashes.push_back(comm::CrashEvent{
+          std::stoul(v.substr(0, c1)),
+          parse_stage(v.substr(c1 + 1, c2 - c1 - 1)),
+          static_cast<comm::NodeId>(std::stol(v.substr(c2 + 1)))});
+      args.have_faults = true;
+    } else if (a == "--deadline-ms") {
+      args.deadline_ms = std::stod(need(i, "--deadline-ms"));
+    } else if (a == "--quorum") {
+      args.quorum = std::stod(need(i, "--quorum"));
+    } else if (a == "--max-weight-norm") {
+      args.max_weight_norm = std::stod(need(i, "--max-weight-norm"));
+    } else if (a == "--save-state") {
+      args.save_state = need(i, "--save-state");
+    } else if (a == "--state-every") {
+      args.state_every = std::stoul(need(i, "--state-every"));
+    } else if (a == "--resume") {
+      args.resume = need(i, "--resume");
+    } else if (a == "--help" || a == "-h") {
       std::cout << "see the header comment of examples/experiment_cli.cpp\n";
       std::exit(0);
     } else {
@@ -161,11 +248,37 @@ int main(int argc, char** argv) try {
   fed_config.num_threads = args.threads;
   auto fed = fl::build_federation(bundle, spec, fed_config);
 
+  // Fault plan and round policy are run *configuration*: a resumed run must
+  // re-apply them identically before restoring checkpointed state.
+  if (args.have_faults) fed->channel.set_fault_plan(args.faults);
+  if (args.deadline_ms > 0.0) fed->policy.upload_deadline_ms = args.deadline_ms;
+  fed->policy.quorum_fraction = args.quorum;
+  fed->policy.validation.max_weights_norm = args.max_weight_norm;
+
   auto algo = make_algo(args.algorithm, *fed);
   fl::RunOptions run;
   run.rounds = args.rounds;
   run.log = &std::cout;
-  const fl::RunHistory history = fl::run_federation(*algo, *fed, run);
+  if (!args.save_state.empty()) {
+    run.checkpoint_path = args.save_state;
+    run.checkpoint_every = args.state_every;
+  }
+
+  fl::RunHistory history;
+  if (!args.resume.empty()) {
+    const fl::FederationResume resumed =
+        fl::load_federation_checkpoint(args.resume, *algo, *fed);
+    run.start_round = resumed.next_round;
+    std::cout << "resumed " << args.resume << " at round "
+              << resumed.next_round << "\n";
+    history = fl::run_federation(*algo, *fed, run);
+    // Stitch the interrupted run's rounds in front for the CSV/summary.
+    history.rounds.insert(history.rounds.begin(),
+                          resumed.history.rounds.begin(),
+                          resumed.history.rounds.end());
+  } else {
+    history = fl::run_federation(*algo, *fed, run);
+  }
 
   std::cout << "\nbest: ";
   if (algo->server_model() != nullptr) {
@@ -183,6 +296,19 @@ int main(int argc, char** argv) try {
               << "s server=" << total.server_step_seconds
               << "s download=" << total.download_seconds
               << "s apply=" << total.apply_seconds << "s\n";
+    const fl::RoundFaultStats faults = staged->total_fault_stats();
+    if (faults.any() || args.have_faults) {
+      std::cout << "fault totals: attempts=" << faults.send_attempts
+                << " retries=" << faults.retries
+                << " dropped=" << faults.frames_dropped
+                << " corrupt=" << faults.corrupt_frames
+                << " lost=" << faults.bundles_lost
+                << " stragglers=" << faults.stragglers_excluded
+                << " rejected=" << faults.rejected_contributions
+                << " crashed=" << faults.clients_crashed
+                << " quorum_misses=" << faults.quorum_misses
+                << " max_latency=" << faults.max_upload_latency_ms << "ms\n";
+    }
   }
 
   if (!args.csv.empty()) {

@@ -1,7 +1,8 @@
 #include "fedpkd/comm/channel.hpp"
 
-#include <algorithm>
 #include <stdexcept>
+
+#include "fedpkd/comm/frame.hpp"
 
 namespace fedpkd::comm {
 
@@ -9,26 +10,56 @@ void Channel::set_drop_probability(double p, tensor::Rng rng) {
   if (p < 0.0 || p > 1.0) {
     throw std::invalid_argument("Channel: drop probability must be in [0,1]");
   }
-  drop_probability_ = p;
-  drop_rng_ = rng;
-}
-
-bool Channel::should_drop() {
-  if (drop_probability_ <= 0.0) return false;
-  return drop_rng_.uniform() < drop_probability_;
+  faults_.set_drop(p, rng);
 }
 
 void Channel::set_node_offline(NodeId node, bool offline) {
-  const auto it = std::find(offline_.begin(), offline_.end(), node);
-  if (offline && it == offline_.end()) {
-    offline_.push_back(node);
-  } else if (!offline && it != offline_.end()) {
-    offline_.erase(it);
-  }
+  faults_.set_node_offline(node, offline);
 }
 
 bool Channel::is_node_offline(NodeId node) const {
-  return std::find(offline_.begin(), offline_.end(), node) != offline_.end();
+  return faults_.is_node_offline(node);
+}
+
+SendReport Channel::send_framed(NodeId from, NodeId to,
+                                std::vector<std::byte> payload,
+                                PayloadKind kind) {
+  SendReport report;
+  // Dead link: detected before transmitting — no attempts, no dice, no
+  // charge, exactly like the raw send path.
+  if (faults_.is_node_offline(from) || faults_.is_node_offline(to)) {
+    return report;
+  }
+  const FaultPlan& plan = faults_.plan();
+  const std::vector<std::byte> frame = make_frame(payload);
+  const std::size_t budget = plan.max_retries + 1;
+  for (std::size_t attempt = 0; attempt < budget; ++attempt) {
+    ++report.attempts;
+    report.latency_ms += faults_.draw_latency_ms(from, to);
+    if (faults_.roll_drop()) {
+      ++report.drops;  // lost in transit: never charged
+    } else {
+      // The frame crossed the wire: charge it (with the *payload's* kind —
+      // the frame header must not misattribute traffic), then verify.
+      meter_->record(
+          {meter_->current_round(), from, to, kind, frame.size()});
+      std::vector<std::byte> received = frame;
+      faults_.maybe_corrupt(received);
+      if (std::optional<std::vector<std::byte>> verified =
+              open_frame(received)) {
+        report.payload = std::move(*verified);
+        report.retries = report.attempts - 1;
+        return report;
+      }
+      ++report.corrupt_detected;  // CRC caught it; retry below
+    }
+    if (attempt + 1 < budget) {
+      report.latency_ms +=
+          plan.retry_backoff_ms * static_cast<double>(1ull << attempt);
+    }
+  }
+  report.retries = report.attempts - 1;  // budget exhausted, message lost
+  return report;
 }
 
 }  // namespace fedpkd::comm

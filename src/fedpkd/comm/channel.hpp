@@ -3,22 +3,53 @@
 #include <optional>
 #include <vector>
 
+#include "fedpkd/comm/fault.hpp"
 #include "fedpkd/comm/meter.hpp"
 #include "fedpkd/tensor/rng.hpp"
 
 namespace fedpkd::comm {
+
+/// Outcome of one reliable transmission (send_reliable): the verified
+/// payload bytes (nullopt = lost after the retry budget, or the link was
+/// offline), plus per-message robustness counters the pipeline accumulates
+/// into RoundMetrics.
+struct SendReport {
+  std::optional<std::vector<std::byte>> payload;
+  std::size_t attempts = 0;         // frames put on the wire (or rolled away)
+  std::size_t retries = 0;          // retransmissions after a loss/corruption
+  std::size_t drops = 0;            // attempts lost to the drop dice
+  std::size_t corrupt_detected = 0; // CRC failures caught on delivery
+  double latency_ms = 0.0;          // simulated time incl. backoff
+
+  bool delivered() const { return payload.has_value(); }
+};
 
 /// In-process star-topology network between the server and its clients.
 ///
 /// send() serializes the payload (for real — the receiving side decodes the
 /// bytes, so any algorithm that "cheats" by sharing pointers fails its
 /// round-trip), charges the Meter, and returns the wire bytes for the
-/// receiver to decode. An optional per-message drop probability supports
-/// failure-injection tests; a dropped message is *not* charged, matching a
-/// sender that detects a dead link before transmitting.
+/// receiver to decode. All fault state (drop dice, offline set, corruption,
+/// latency, scripted crashes) lives in the FaultInjector; a dropped message
+/// is *not* charged, matching a sender that detects a dead link before
+/// transmitting.
+///
+/// Two transports:
+///  * send — the raw datagram path: one attempt, no integrity frame. Kept
+///    for unit tests and byte-exact accounting of a bare payload.
+///  * send_reliable — the pipeline's transport: the payload rides in a
+///    CRC32 frame (comm::frame.hpp, 8 bytes overhead), a lost or corrupted
+///    frame is retried up to the plan's budget with deterministic
+///    exponential backoff, and every frame that actually crosses the wire
+///    (delivered or corrupted) is charged; dropped attempts are not.
 class Channel {
  public:
   explicit Channel(Meter& meter) : meter_(&meter) {}
+
+  /// Installs a full fault schedule (replaces the drop/offline knobs below).
+  void set_fault_plan(const FaultPlan& plan) { faults_.set_plan(plan); }
+  FaultInjector& faults() { return faults_; }
+  const FaultInjector& faults() const { return faults_; }
 
   /// Simulate an unreliable link. p in [0, 1]; default 0 (reliable).
   void set_drop_probability(double p, tensor::Rng rng);
@@ -37,7 +68,7 @@ class Channel {
   std::optional<std::vector<std::byte>> send(NodeId from, NodeId to,
                                              const Payload& payload) {
     std::vector<std::byte> bytes = encode(payload);
-    if (is_node_offline(from) || is_node_offline(to) || should_drop()) {
+    if (is_node_offline(from) || is_node_offline(to) || faults_.roll_drop()) {
       return std::nullopt;
     }
     meter_->record({meter_->current_round(), from, to, peek_kind(bytes),
@@ -45,15 +76,23 @@ class Channel {
     return bytes;
   }
 
+  /// Reliable transmission: CRC32-framed, retried, backoff-paced. The
+  /// returned payload (when delivered) is integrity-verified and identical
+  /// to encode(payload).
+  template <typename Payload>
+  SendReport send_reliable(NodeId from, NodeId to, const Payload& payload) {
+    return send_framed(from, to, encode(payload), kind_of(payload));
+  }
+
+  /// Non-template core of send_reliable, also usable with pre-encoded bytes.
+  SendReport send_framed(NodeId from, NodeId to,
+                         std::vector<std::byte> payload, PayloadKind kind);
+
   Meter& meter() { return *meter_; }
 
  private:
-  bool should_drop();
-
   Meter* meter_;
-  double drop_probability_ = 0.0;
-  tensor::Rng drop_rng_{0};
-  std::vector<NodeId> offline_;
+  FaultInjector faults_;
 };
 
 }  // namespace fedpkd::comm

@@ -1,0 +1,68 @@
+#include "fedpkd/comm/frame.hpp"
+
+#include <array>
+
+namespace fedpkd::comm {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x464b5046u;  // 'FPKF'
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32_raw(std::uint32_t v, std::vector<std::byte>& out) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t read_u32_raw(std::span<const std::byte> bytes,
+                           std::size_t offset) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(bytes[offset + i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xffffffffu;
+  for (std::byte b : bytes) {
+    crc = table[(crc ^ static_cast<std::uint32_t>(b)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::vector<std::byte> make_frame(std::span<const std::byte> payload) {
+  std::vector<std::byte> out;
+  out.reserve(kFrameOverhead + payload.size());
+  put_u32_raw(kFrameMagic, out);
+  put_u32_raw(crc32(payload), out);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<std::vector<std::byte>> open_frame(
+    std::span<const std::byte> frame) {
+  if (frame.size() < kFrameOverhead) return std::nullopt;
+  if (read_u32_raw(frame, 0) != kFrameMagic) return std::nullopt;
+  const std::uint32_t want = read_u32_raw(frame, 4);
+  const auto payload = frame.subspan(kFrameOverhead);
+  if (crc32(payload) != want) return std::nullopt;
+  return std::vector<std::byte>(payload.begin(), payload.end());
+}
+
+}  // namespace fedpkd::comm

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace fedpkd::comm {
+
+/// Integrity framing for the reliable transport (Channel::send_reliable).
+///
+/// Frame layout (little-endian):
+///   u32 magic 'FPKF' | u32 crc32(payload) | payload bytes
+///
+/// The CRC is IEEE 802.3 (reflected polynomial 0xEDB88320), which detects
+/// every single-bit and every burst error up to 32 bits — in particular the
+/// single-bit flips the FaultInjector's corruption model produces are always
+/// caught, so a corrupted frame is retried, never silently decoded.
+
+inline constexpr std::size_t kFrameOverhead = 8;
+
+/// CRC32 (IEEE 802.3, reflected) over `bytes`.
+std::uint32_t crc32(std::span<const std::byte> bytes);
+
+/// Wraps `payload` in an integrity frame.
+std::vector<std::byte> make_frame(std::span<const std::byte> payload);
+
+/// Verifies and strips a frame: nullopt when the buffer is shorter than the
+/// header, the magic is wrong, or the CRC does not match the payload.
+std::optional<std::vector<std::byte>> open_frame(
+    std::span<const std::byte> frame);
+
+}  // namespace fedpkd::comm

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fedpkd/comm/payload.hpp"
@@ -49,6 +50,14 @@ class Meter {
 
   const std::vector<TrafficRecord>& records() const { return records_; }
   void clear();
+
+  /// Checkpoint restore: replaces the full record log and round counter so a
+  /// resumed run's cumulative-traffic trajectory continues bitwise from the
+  /// interrupted one.
+  void restore(std::vector<TrafficRecord> records, std::size_t round) {
+    records_ = std::move(records);
+    current_round_ = round;
+  }
 
   /// Formats bytes as mebibytes with two decimals, e.g. "12.34".
   static std::string to_mb(std::size_t bytes);

@@ -11,6 +11,8 @@ using tensor::put_u32;
 
 namespace {
 
+using tensor::DecodeError;
+
 void put_kind(PayloadKind kind, std::vector<std::byte>& out) {
   out.push_back(static_cast<std::byte>(kind));
 }
@@ -18,19 +20,31 @@ void put_kind(PayloadKind kind, std::vector<std::byte>& out) {
 PayloadKind take_kind(std::span<const std::byte> bytes, std::size_t& offset,
                       PayloadKind expected) {
   if (offset >= bytes.size()) {
-    throw std::runtime_error("payload: empty buffer");
+    throw DecodeError("payload: empty buffer");
   }
   const auto kind = static_cast<PayloadKind>(bytes[offset++]);
   if (kind != expected) {
-    throw std::runtime_error(std::string("payload: expected kind ") +
-                             to_string(expected) + ", got " + to_string(kind));
+    throw DecodeError(std::string("payload: expected kind ") +
+                      to_string(expected) + ", got " + to_string(kind));
   }
   return kind;
 }
 
 void finish(std::span<const std::byte> bytes, std::size_t offset) {
   if (offset != bytes.size()) {
-    throw std::runtime_error("payload: trailing bytes");
+    throw DecodeError("payload: trailing bytes");
+  }
+}
+
+/// Rejects a claimed element count that cannot fit in the remaining bytes
+/// (`min_bytes_each` per element) *before* the caller reserves for it — a
+/// forged count field must not translate into a gigabyte reserve().
+void check_count(std::uint32_t n, std::size_t min_bytes_each,
+                 std::span<const std::byte> bytes, std::size_t offset,
+                 const char* what) {
+  if (static_cast<std::size_t>(n) >
+      (bytes.size() - offset) / min_bytes_each) {
+    throw DecodeError(std::string(what) + ": count exceeds buffer");
   }
 }
 
@@ -98,6 +112,7 @@ LogitsPayload decode_logits(std::span<const std::byte> bytes) {
   std::size_t offset = 0;
   take_kind(bytes, offset, PayloadKind::kLogits);
   const std::uint32_t n = get_u32(bytes, offset);
+  check_count(n, 4, bytes, offset, "decode_logits");  // 4 bytes per sample id
   LogitsPayload payload;
   payload.sample_ids.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -106,7 +121,7 @@ LogitsPayload decode_logits(std::span<const std::byte> bytes) {
   payload.logits = decode_tensor(bytes, offset);
   finish(bytes, offset);
   if (payload.logits.rank() != 2 || payload.logits.rows() != n) {
-    throw std::runtime_error("decode_logits: row count mismatch");
+    throw DecodeError("decode_logits: row count mismatch");
   }
   return payload;
 }
@@ -115,6 +130,8 @@ PrototypesPayload decode_prototypes(std::span<const std::byte> bytes) {
   std::size_t offset = 0;
   take_kind(bytes, offset, PayloadKind::kPrototypes);
   const std::uint32_t n = get_u32(bytes, offset);
+  // Each entry is at least class_id + support + a minimal tensor header.
+  check_count(n, 8, bytes, offset, "decode_prototypes");
   PrototypesPayload payload;
   payload.entries.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -122,6 +139,9 @@ PrototypesPayload decode_prototypes(std::span<const std::byte> bytes) {
     e.class_id = static_cast<std::int32_t>(get_u32(bytes, offset));
     e.support = get_u32(bytes, offset);
     e.centroid = decode_tensor(bytes, offset);
+    if (e.centroid.rank() != 1) {
+      throw DecodeError("decode_prototypes: centroid must be rank-1");
+    }
     payload.entries.push_back(std::move(e));
   }
   finish(bytes, offset);
@@ -129,7 +149,7 @@ PrototypesPayload decode_prototypes(std::span<const std::byte> bytes) {
 }
 
 PayloadKind peek_kind(std::span<const std::byte> bytes) {
-  if (bytes.empty()) throw std::runtime_error("peek_kind: empty buffer");
+  if (bytes.empty()) throw DecodeError("peek_kind: empty buffer");
   const auto kind = static_cast<PayloadKind>(bytes[0]);
   switch (kind) {
     case PayloadKind::kWeights:
@@ -137,7 +157,7 @@ PayloadKind peek_kind(std::span<const std::byte> bytes) {
     case PayloadKind::kPrototypes:
       return kind;
   }
-  throw std::runtime_error("peek_kind: unknown kind tag");
+  throw DecodeError("peek_kind: unknown kind tag");
 }
 
 }  // namespace fedpkd::comm

@@ -50,8 +50,11 @@ struct PrototypesPayload {
 
 /// -- Codecs ------------------------------------------------------------------
 /// Every payload serializes to a tagged, self-describing byte string; decode_*
-/// throws std::runtime_error on malformed input or a kind-tag mismatch. Byte
-/// sizes are exactly what the meter charges.
+/// throws tensor::DecodeError (a std::runtime_error) on malformed input or a
+/// kind-tag mismatch, and never reads past the buffer: every length field is
+/// validated against the remaining bytes before any allocation, so truncated
+/// or adversarial inputs cannot trigger out-of-bounds reads or huge reserves.
+/// Byte sizes are exactly what the meter charges.
 
 std::vector<std::byte> encode(const WeightsPayload& payload);
 std::vector<std::byte> encode(const LogitsPayload& payload);
@@ -63,5 +66,16 @@ PrototypesPayload decode_prototypes(std::span<const std::byte> bytes);
 
 /// Kind tag of an encoded payload (first byte), without full decoding.
 PayloadKind peek_kind(std::span<const std::byte> bytes);
+
+/// Static kind of each payload type (what peek_kind would report after
+/// encode). Lets generic senders charge the meter with the right kind
+/// without re-inspecting the wire bytes.
+inline PayloadKind kind_of(const WeightsPayload&) {
+  return PayloadKind::kWeights;
+}
+inline PayloadKind kind_of(const LogitsPayload&) { return PayloadKind::kLogits; }
+inline PayloadKind kind_of(const PrototypesPayload&) {
+  return PayloadKind::kPrototypes;
+}
 
 }  // namespace fedpkd::comm

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fedpkd/comm/payload.hpp"
+
+namespace fedpkd::comm {
+
+/// Poisoned-update defense: what the server checks on every decoded uplink
+/// contribution before letting it near aggregation. One NaN-emitting or
+/// corrupted client must degrade into "excluded and counted", never into a
+/// poisoned global model.
+struct ValidationPolicy {
+  /// Reject any payload carrying a NaN or infinity (weights, logits, or
+  /// prototype centroids). On by default: no aggregation rule in the suite
+  /// is meaningful over non-finite inputs.
+  bool check_finite = true;
+  /// L2-norm bound on weights payloads; 0 disables. A simple norm clip is
+  /// the classic defense against magnitude-inflation poisoning.
+  double max_weights_norm = 0.0;
+  /// Bound on |logit| entries; 0 disables.
+  double max_logit_abs = 0.0;
+
+  bool enabled() const {
+    return check_finite || max_weights_norm > 0.0 || max_logit_abs > 0.0;
+  }
+};
+
+/// Validates one uplink bundle (its parts as delivered wire bytes) against
+/// `policy` and, when `reference` is non-null, against the first accepted
+/// bundle's structure: same part count, same kind sequence, and agreeing
+/// tensor shapes (weights numel, logits rows x cols, prototype feature
+/// dimension — prototype *counts* may differ, since clients legitimately
+/// hold different class subsets).
+///
+/// Returns nullopt when the bundle is acceptable, else a human-readable
+/// rejection reason. Undecodable parts are a rejection, not an exception:
+/// hostile bytes that survived the CRC must still fail closed.
+std::optional<std::string> validate_bundle(
+    const std::vector<std::vector<std::byte>>& parts,
+    const std::vector<std::vector<std::byte>>* reference,
+    const ValidationPolicy& policy);
+
+}  // namespace fedpkd::comm

@@ -1,5 +1,6 @@
 #include "fedpkd/core/aggregation.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "fedpkd/tensor/ops.hpp"
@@ -20,6 +21,16 @@ void check_inputs(std::span<const Tensor> client_logits, const char* what) {
     if (!t.same_shape(first)) {
       throw std::invalid_argument(std::string(what) +
                                   ": client logits shapes differ");
+    }
+    // Defense in depth behind comm::validate_bundle: a single NaN would
+    // propagate through every weighted mean and poison the teacher. The
+    // pipeline rejects such contributions before aggregation; refuse loudly
+    // if one slips through a direct caller.
+    for (std::size_t i = 0; i < t.numel(); ++i) {
+      if (!std::isfinite(t[i])) {
+        throw std::invalid_argument(std::string(what) +
+                                    ": client logits contain non-finite values");
+      }
     }
   }
 }

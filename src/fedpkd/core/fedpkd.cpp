@@ -5,6 +5,7 @@
 
 #include "fedpkd/nn/model_zoo.hpp"
 #include "fedpkd/tensor/ops.hpp"
+#include "fedpkd/tensor/serialize.hpp"
 
 namespace fedpkd::core {
 
@@ -196,6 +197,70 @@ void FedPkd::apply_download(fl::RoundContext& ctx, std::size_t,
   // Eq. (16)'s regularizer target for the next round comes off the wire too.
   received_[static_cast<std::size_t>(client.id)] = from_payload(
       bundle.prototypes(1), ctx.fed.num_classes, client.model.feature_dim());
+}
+
+// ---- Crash-resume ----------------------------------------------------------
+// Prototype sets ride in their wire encoding (comm::encode of to_payload),
+// length-prefixed and preceded by the (num_classes, feature_dim) pair that
+// from_payload needs to rebuild the dense matrix.
+
+namespace {
+
+void put_prototype_set(const std::optional<PrototypeSet>& set,
+                       std::vector<std::byte>& out) {
+  out.push_back(static_cast<std::byte>(set ? 1 : 0));
+  if (!set) return;
+  tensor::put_u64(set->num_classes(), out);
+  tensor::put_u64(set->feature_dim(), out);
+  const std::vector<std::byte> wire = comm::encode(to_payload(*set));
+  tensor::put_u64(wire.size(), out);
+  out.insert(out.end(), wire.begin(), wire.end());
+}
+
+std::optional<PrototypeSet> get_prototype_set(
+    std::span<const std::byte> bytes, std::size_t& offset) {
+  if (offset >= bytes.size()) {
+    throw tensor::DecodeError("FedPkd state: truncated prototype set");
+  }
+  const bool has = bytes[offset++] != std::byte{0};
+  if (!has) return std::nullopt;
+  const auto num_classes =
+      static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+  const auto feature_dim =
+      static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+  const auto size = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+  if (size > bytes.size() - offset) {
+    throw tensor::DecodeError("FedPkd state: truncated prototype set");
+  }
+  const comm::PrototypesPayload payload =
+      comm::decode_prototypes(bytes.subspan(offset, size));
+  offset += size;
+  return from_payload(payload, num_classes, feature_dim);
+}
+
+}  // namespace
+
+void FedPkd::save_state(std::vector<std::byte>& out) {
+  tensor::encode_tensor(server_.flat_weights(), out);
+  tensor::put_rng(server_rng_, out);
+  tensor::put_f32(last_keep_fraction_, out);
+  put_prototype_set(global_prototypes_, out);
+  tensor::put_u64(received_.size(), out);
+  for (const auto& set : received_) put_prototype_set(set, out);
+}
+
+void FedPkd::load_state(std::span<const std::byte> bytes,
+                        std::size_t& offset) {
+  server_.set_flat_weights(tensor::decode_tensor(bytes, offset));
+  server_rng_ = tensor::get_rng(bytes, offset);
+  last_keep_fraction_ = tensor::get_f32(bytes, offset);
+  global_prototypes_ = get_prototype_set(bytes, offset);
+  const auto clients = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+  received_.clear();
+  received_.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    received_.push_back(get_prototype_set(bytes, offset));
+  }
 }
 
 }  // namespace fedpkd::core

@@ -71,6 +71,15 @@ class FedPkd : public fl::StagedAlgorithm {
   void apply_download(fl::RoundContext& ctx, std::size_t i, fl::Client& client,
                       const fl::WireBundle& bundle) override;
 
+  /// Crash-resume: cross-round state is the server model, the server RNG
+  /// stream, the global prototypes, and what each client last received over
+  /// the wire (the Eq. 16 regularizer target). Everything else is rebuilt
+  /// per round.
+  bool supports_resume() const override { return true; }
+  void save_state(std::vector<std::byte>& out) override;
+  void load_state(std::span<const std::byte> bytes,
+                  std::size_t& offset) override;
+
   /// Global prototypes after the most recent round (empty before round 0).
   const std::optional<PrototypeSet>& global_prototypes() const {
     return global_prototypes_;

@@ -1,6 +1,7 @@
 #include "fedpkd/fl/checkpoint.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -11,8 +12,11 @@ namespace fedpkd::fl {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x464b5043u;  // 'FPKC'
+constexpr std::uint32_t kMagic = 0x464b5043u;  // 'FPKC' (single model)
 constexpr std::uint32_t kVersion = 1;
+
+constexpr std::uint32_t kRunMagic = 0x464b5052u;  // 'FPKR' (federation resume)
+constexpr std::uint32_t kRunVersion = 2;
 
 void put_string(const std::string& s, std::vector<std::byte>& out) {
   tensor::put_u32(static_cast<std::uint32_t>(s.size()), out);
@@ -117,6 +121,47 @@ void export_history_csv(const RunHistory& history,
   }
 }
 
+namespace {
+
+/// std::stoul throws std::invalid_argument on junk, which callers reserve
+/// for programmer errors; a malformed *file* is a runtime_error. These
+/// wrappers also reject partially-numeric cells ("12abc") and, for floats,
+/// non-finite values — a NaN accuracy cell would silently poison every
+/// best-accuracy / bytes-to-target query downstream.
+std::size_t parse_count(const std::string& field, const char* what) {
+  std::size_t pos = 0;
+  unsigned long value = 0;
+  try {
+    value = std::stoul(field, &pos);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("import_history_csv: bad ") + what +
+                             " cell '" + field + "'");
+  }
+  if (pos != field.size()) {
+    throw std::runtime_error(std::string("import_history_csv: bad ") + what +
+                             " cell '" + field + "'");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+float parse_accuracy(const std::string& field, const char* what) {
+  std::size_t pos = 0;
+  float value = 0.0f;
+  try {
+    value = std::stof(field, &pos);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("import_history_csv: bad ") + what +
+                             " cell '" + field + "'");
+  }
+  if (pos != field.size() || !std::isfinite(value)) {
+    throw std::runtime_error(std::string("import_history_csv: bad ") + what +
+                             " cell '" + field + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
 RunHistory import_history_csv(const std::filesystem::path& path,
                               std::string algorithm) {
   std::ifstream in(path);
@@ -139,22 +184,266 @@ RunHistory import_history_csv(const std::filesystem::path& path,
     if (!std::getline(row, field, ',')) {
       throw std::runtime_error("import_history_csv: missing round");
     }
-    m.round = std::stoul(field);
+    m.round = parse_count(field, "round");
     if (!std::getline(row, field, ',')) {
       throw std::runtime_error("import_history_csv: missing server accuracy");
     }
-    if (!field.empty()) m.server_accuracy = std::stof(field);
+    if (!field.empty()) {
+      m.server_accuracy = parse_accuracy(field, "server accuracy");
+    }
     if (!std::getline(row, field, ',')) {
       throw std::runtime_error("import_history_csv: missing client accuracy");
     }
-    m.mean_client_accuracy = std::stof(field);
+    m.mean_client_accuracy = parse_accuracy(field, "client accuracy");
     if (!std::getline(row, field, ',')) {
       throw std::runtime_error("import_history_csv: missing bytes");
     }
-    m.cumulative_bytes = std::stoul(field);
+    m.cumulative_bytes = parse_count(field, "bytes");
     history.rounds.push_back(m);
   }
   return history;
+}
+
+/// -- Federation crash-resume checkpoints ------------------------------------
+
+namespace {
+
+void put_history(const RunHistory& history, std::vector<std::byte>& out) {
+  tensor::put_u64(history.rounds.size(), out);
+  for (const RoundMetrics& m : history.rounds) {
+    tensor::put_u64(m.round, out);
+    out.push_back(static_cast<std::byte>(m.server_accuracy ? 1 : 0));
+    if (m.server_accuracy) tensor::put_f32(*m.server_accuracy, out);
+    tensor::put_f32(m.mean_client_accuracy, out);
+    tensor::put_u64(m.client_accuracy.size(), out);
+    for (float acc : m.client_accuracy) tensor::put_f32(acc, out);
+    tensor::put_u64(m.cumulative_bytes, out);
+    // Wall-clock stage times are not serialized: they are non-deterministic
+    // and meaningless across process restarts. Fault counters are.
+    out.push_back(static_cast<std::byte>(m.fault_stats ? 1 : 0));
+    if (m.fault_stats) {
+      const RoundFaultStats& f = *m.fault_stats;
+      tensor::put_u64(f.send_attempts, out);
+      tensor::put_u64(f.retries, out);
+      tensor::put_u64(f.frames_dropped, out);
+      tensor::put_u64(f.corrupt_frames, out);
+      tensor::put_u64(f.bundles_lost, out);
+      tensor::put_u64(f.stragglers_excluded, out);
+      tensor::put_u64(f.rejected_contributions, out);
+      tensor::put_u64(f.quorum_misses, out);
+      tensor::put_u64(f.clients_crashed, out);
+      tensor::put_f64(f.max_upload_latency_ms, out);
+    }
+  }
+}
+
+RunHistory get_history(std::span<const std::byte> bytes, std::size_t& offset,
+                       std::string algorithm) {
+  RunHistory history;
+  history.algorithm = std::move(algorithm);
+  const auto rounds = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+  history.rounds.reserve(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    RoundMetrics m;
+    m.round = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+    if (offset >= bytes.size()) {
+      throw std::runtime_error("checkpoint: truncated history");
+    }
+    const bool has_server = bytes[offset++] != std::byte{0};
+    if (has_server) m.server_accuracy = tensor::get_f32(bytes, offset);
+    m.mean_client_accuracy = tensor::get_f32(bytes, offset);
+    const auto accs = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+    if (accs > (bytes.size() - offset) / 4) {
+      throw std::runtime_error("checkpoint: truncated history");
+    }
+    m.client_accuracy.reserve(accs);
+    for (std::size_t i = 0; i < accs; ++i) {
+      m.client_accuracy.push_back(tensor::get_f32(bytes, offset));
+    }
+    m.cumulative_bytes = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+    if (offset >= bytes.size()) {
+      throw std::runtime_error("checkpoint: truncated history");
+    }
+    const bool has_faults = bytes[offset++] != std::byte{0};
+    if (has_faults) {
+      RoundFaultStats f;
+      f.send_attempts = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+      f.retries = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+      f.frames_dropped =
+          static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+      f.corrupt_frames =
+          static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+      f.bundles_lost = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+      f.stragglers_excluded =
+          static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+      f.rejected_contributions =
+          static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+      f.quorum_misses = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+      f.clients_crashed =
+          static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+      f.max_upload_latency_ms = tensor::get_f64(bytes, offset);
+      m.fault_stats = f;
+    }
+    history.rounds.push_back(std::move(m));
+  }
+  return history;
+}
+
+}  // namespace
+
+void save_federation_checkpoint(const std::filesystem::path& path,
+                                Algorithm& algorithm, Federation& fed,
+                                std::size_t next_round,
+                                const RunHistory& history) {
+  if (!algorithm.supports_resume()) {
+    throw std::invalid_argument("save_federation_checkpoint: " +
+                                algorithm.name() +
+                                " does not support crash-resume");
+  }
+  std::vector<std::byte> out;
+  tensor::put_u32(kRunMagic, out);
+  tensor::put_u32(kRunVersion, out);
+  put_string(algorithm.name(), out);
+  tensor::put_u64(next_round, out);
+  tensor::put_rng(fed.rng, out);
+
+  const Federation::ParticipationState participation =
+      fed.participation_state();
+  tensor::put_u64(participation.active_indices.size(), out);
+  for (std::size_t i : participation.active_indices) tensor::put_u64(i, out);
+  {
+    tensor::Rng tmp(0);
+    tmp.set_state(participation.rng);
+    tensor::put_rng(tmp, out);
+  }
+  out.push_back(static_cast<std::byte>(participation.sampled_once ? 1 : 0));
+  tensor::put_u64(participation.begun_round, out);
+
+  fed.channel.faults().save_state(out);
+
+  const auto& records = fed.meter.records();
+  tensor::put_u64(records.size(), out);
+  for (const comm::TrafficRecord& r : records) {
+    tensor::put_u64(r.round, out);
+    tensor::put_u32(static_cast<std::uint32_t>(r.from), out);
+    tensor::put_u32(static_cast<std::uint32_t>(r.to), out);
+    out.push_back(static_cast<std::byte>(r.kind));
+    tensor::put_u64(r.bytes, out);
+  }
+  tensor::put_u64(fed.meter.current_round(), out);
+
+  tensor::put_u64(fed.clients.size(), out);
+  for (Client& client : fed.clients) {
+    tensor::put_rng(client.rng, out);
+    tensor::encode_tensor(client.model.flat_weights(), out);
+  }
+
+  // The algorithm blob is length-prefixed so load can bound its reads even
+  // if the algorithm's own decoder is buggy.
+  std::vector<std::byte> algo_blob;
+  algorithm.save_state(algo_blob);
+  tensor::put_u64(algo_blob.size(), out);
+  out.insert(out.end(), algo_blob.begin(), algo_blob.end());
+
+  put_history(history, out);
+  write_file(path, out);
+}
+
+FederationResume load_federation_checkpoint(const std::filesystem::path& path,
+                                            Algorithm& algorithm,
+                                            Federation& fed) {
+  const auto bytes = read_file(path);
+  std::size_t offset = 0;
+  if (tensor::get_u32(bytes, offset) != kRunMagic) {
+    throw std::runtime_error("checkpoint: bad magic in " + path.string());
+  }
+  if (tensor::get_u32(bytes, offset) != kRunVersion) {
+    throw std::runtime_error("checkpoint: unsupported version in " +
+                             path.string());
+  }
+  const std::string name = get_string(bytes, offset);
+  if (name != algorithm.name()) {
+    throw std::runtime_error("checkpoint: recorded for algorithm '" + name +
+                             "', resuming '" + algorithm.name() + "'");
+  }
+  FederationResume resume;
+  resume.next_round = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+  fed.rng = tensor::get_rng(bytes, offset);
+
+  Federation::ParticipationState participation;
+  const auto actives = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+  if (actives > (bytes.size() - offset) / 8) {
+    throw std::runtime_error("checkpoint: truncated participation state");
+  }
+  participation.active_indices.reserve(actives);
+  for (std::size_t i = 0; i < actives; ++i) {
+    participation.active_indices.push_back(
+        static_cast<std::size_t>(tensor::get_u64(bytes, offset)));
+  }
+  participation.rng = tensor::get_rng(bytes, offset).state();
+  if (offset >= bytes.size()) {
+    throw std::runtime_error("checkpoint: truncated participation state");
+  }
+  participation.sampled_once = bytes[offset++] != std::byte{0};
+  participation.begun_round =
+      static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+  fed.restore_participation(participation);
+
+  fed.channel.faults().load_state(bytes, offset);
+
+  const auto record_count =
+      static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+  if (record_count > (bytes.size() - offset) / 25) {  // 25 bytes per record
+    throw std::runtime_error("checkpoint: truncated traffic log");
+  }
+  std::vector<comm::TrafficRecord> records;
+  records.reserve(record_count);
+  for (std::size_t i = 0; i < record_count; ++i) {
+    comm::TrafficRecord r;
+    r.round = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+    r.from = static_cast<comm::NodeId>(tensor::get_u32(bytes, offset));
+    r.to = static_cast<comm::NodeId>(tensor::get_u32(bytes, offset));
+    if (offset >= bytes.size()) {
+      throw std::runtime_error("checkpoint: truncated traffic log");
+    }
+    r.kind = static_cast<comm::PayloadKind>(bytes[offset++]);
+    r.bytes = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+    records.push_back(r);
+  }
+  const auto meter_round =
+      static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+  fed.meter.restore(std::move(records), meter_round);
+
+  const auto clients = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+  if (clients != fed.clients.size()) {
+    throw std::runtime_error("checkpoint: recorded " + std::to_string(clients) +
+                             " clients, federation has " +
+                             std::to_string(fed.clients.size()));
+  }
+  for (Client& client : fed.clients) {
+    client.rng = tensor::get_rng(bytes, offset);
+    client.model.set_flat_weights(tensor::decode_tensor(bytes, offset));
+  }
+
+  const auto blob_size =
+      static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+  if (blob_size > bytes.size() - offset) {
+    throw std::runtime_error("checkpoint: truncated algorithm state");
+  }
+  const std::size_t blob_end = offset + blob_size;
+  algorithm.load_state(bytes, offset);
+  if (offset != blob_end) {
+    throw std::runtime_error(
+        "checkpoint: algorithm state size mismatch (recorded " +
+        std::to_string(blob_size) + " bytes, decoder consumed " +
+        std::to_string(offset - (blob_end - blob_size)) + ")");
+  }
+
+  resume.history = get_history(bytes, offset, name);
+  if (offset != bytes.size()) {
+    throw std::runtime_error("checkpoint: trailing bytes in " + path.string());
+  }
+  return resume;
 }
 
 }  // namespace fedpkd::fl

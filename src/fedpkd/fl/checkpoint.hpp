@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <string>
 
+#include "fedpkd/fl/federation.hpp"
 #include "fedpkd/fl/metrics.hpp"
 #include "fedpkd/nn/classifier.hpp"
 
@@ -36,8 +37,46 @@ void export_history_csv(const RunHistory& history,
 
 /// Parses a CSV produced by export_history_csv back into a RunHistory
 /// (algorithm name is taken from the `algorithm` argument since CSV does not
-/// carry it). Throws std::runtime_error on malformed input.
+/// carry it). Throws std::runtime_error on malformed input, including
+/// non-numeric or non-finite accuracy cells.
 RunHistory import_history_csv(const std::filesystem::path& path,
                               std::string algorithm);
+
+/// -- Federation crash-resume checkpoints (format v2, magic 'FPKR') ----------
+///
+/// A federation checkpoint captures everything a resumed run needs to
+/// continue bitwise-identically from round `next_round`: the federation RNG,
+/// the participation sampler, the fault injector's dice streams / offline set
+/// / crash cursor, the traffic meter log, every client's RNG stream and model
+/// weights, the algorithm's cross-round state (via Algorithm::save_state),
+/// and the per-round history executed so far.
+///
+/// Run *configuration* — datasets, partition, client configs, the FaultPlan —
+/// is deliberately not stored: resume rebuilds the identical federation and
+/// algorithm from the same configuration (build_federation is deterministic
+/// under the seed, set_fault_plan under the plan's seed), then this restores
+/// the mutable state on top.
+
+/// What load_federation_checkpoint hands back to the resuming caller.
+struct FederationResume {
+  /// First round the resumed run must execute (pass as RunOptions::start_round).
+  std::size_t next_round = 0;
+  /// Rounds executed by the interrupted run up to the checkpoint.
+  RunHistory history;
+};
+
+/// Writes a federation checkpoint. Throws std::invalid_argument when the
+/// algorithm does not support resume, std::runtime_error on I/O failure.
+void save_federation_checkpoint(const std::filesystem::path& path,
+                                Algorithm& algorithm, Federation& fed,
+                                std::size_t next_round,
+                                const RunHistory& history);
+
+/// Restores a federation checkpoint into an identically-configured
+/// federation + algorithm pair. Throws std::runtime_error on malformed files
+/// or a checkpoint recorded for a different algorithm / client count.
+FederationResume load_federation_checkpoint(const std::filesystem::path& path,
+                                            Algorithm& algorithm,
+                                            Federation& fed);
 
 }  // namespace fedpkd::fl

@@ -4,6 +4,7 @@
 
 #include "fedpkd/fl/trainer.hpp"
 #include "fedpkd/tensor/ops.hpp"
+#include "fedpkd/tensor/serialize.hpp"
 
 namespace fedpkd::fl {
 
@@ -57,6 +58,15 @@ void FedAvg::server_step(RoundContext&,
   if (received_weight == 0) return;
   tensor::scale_inplace(accum, 1.0f / static_cast<float>(received_weight));
   global_.set_flat_weights(accum);
+}
+
+void FedAvg::save_state(std::vector<std::byte>& out) {
+  tensor::encode_tensor(global_.flat_weights(), out);
+}
+
+void FedAvg::load_state(std::span<const std::byte> bytes,
+                        std::size_t& offset) {
+  global_.set_flat_weights(tensor::decode_tensor(bytes, offset));
 }
 
 }  // namespace fedpkd::fl

@@ -35,6 +35,14 @@ class FedAvg : public StagedAlgorithm {
   void server_step(RoundContext& ctx,
                    std::vector<Contribution>& contributions) override;
 
+  /// Crash-resume: the only cross-round state is the global model (clients
+  /// and RNG streams are checkpointed by the federation layer). FedProx
+  /// inherits this unchanged.
+  bool supports_resume() const override { return true; }
+  void save_state(std::vector<std::byte>& out) override;
+  void load_state(std::span<const std::byte> bytes,
+                  std::size_t& offset) override;
+
  protected:
   void set_name(std::string name) { proximal_name_ = std::move(name); }
 

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "fedpkd/exec/thread_pool.hpp"
+#include "fedpkd/fl/checkpoint.hpp"
 #include "fedpkd/fl/trainer.hpp"
 #include "fedpkd/nn/model_zoo.hpp"
 
@@ -241,13 +242,18 @@ RunHistory run_federation(Algorithm& algorithm, Federation& fed,
                           const RunOptions& options) {
   RunHistory history;
   history.algorithm = algorithm.name();
-  history.rounds.reserve(options.rounds);
-  for (std::size_t t = 0; t < options.rounds; ++t) {
+  if (options.rounds > options.start_round) {
+    history.rounds.reserve(options.rounds - options.start_round);
+  }
+  for (std::size_t t = options.start_round; t < options.rounds; ++t) {
     fed.begin_round(t);
     algorithm.run_round(fed, t);
     RoundMetrics metrics = evaluate_round(algorithm, fed, t, options.eval_batch);
     if (const StageTimes* stages = algorithm.last_stage_times()) {
       metrics.stage_seconds = *stages;
+    }
+    if (const RoundFaultStats* faults = algorithm.last_fault_stats()) {
+      metrics.fault_stats = *faults;
     }
     if (options.log != nullptr) {
       *options.log << history.algorithm << " round " << t;
@@ -264,10 +270,27 @@ RunHistory run_federation(Algorithm& algorithm, Federation& fed,
                      << "s down=" << s.download_seconds
                      << "s apply=" << s.apply_seconds << "s]";
       }
+      if (metrics.fault_stats && metrics.fault_stats->any()) {
+        const RoundFaultStats& f = *metrics.fault_stats;
+        *options.log << " faults[retries=" << f.retries
+                     << " lost=" << f.bundles_lost
+                     << " corrupt=" << f.corrupt_frames
+                     << " stragglers=" << f.stragglers_excluded
+                     << " rejected=" << f.rejected_contributions
+                     << " crashed=" << f.clients_crashed
+                     << " quorum_miss=" << f.quorum_misses << "]";
+      }
       *options.log << "\n";
       options.log->flush();
     }
     history.rounds.push_back(std::move(metrics));
+    if (options.checkpoint_every > 0 && !options.checkpoint_path.empty() &&
+        (t + 1) % options.checkpoint_every == 0) {
+      // Snapshot covers only rounds executed by this run (a resumed run's
+      // history starts at its own start_round); next_round is t + 1.
+      save_federation_checkpoint(options.checkpoint_path, algorithm, fed,
+                                 t + 1, history);
+    }
   }
   return history;
 }

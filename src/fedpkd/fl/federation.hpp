@@ -1,17 +1,39 @@
 #pragma once
 
+#include <cstddef>
+#include <filesystem>
 #include <iosfwd>
+#include <limits>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "fedpkd/comm/channel.hpp"
+#include "fedpkd/comm/validate.hpp"
 #include "fedpkd/data/partition.hpp"
 #include "fedpkd/data/synthetic_vision.hpp"
 #include "fedpkd/fl/client.hpp"
 #include "fedpkd/fl/metrics.hpp"
 
 namespace fedpkd::fl {
+
+/// Server-side round discipline under faults: how long the server waits for
+/// uploads, how many surviving contributions make a round worth aggregating,
+/// and which inbound payloads are trusted (RoundPipeline enforces all three).
+struct RoundPolicy {
+  /// Uploads whose simulated arrival time exceeds this deadline are excluded
+  /// as stragglers (their bytes were still charged — the frames did cross
+  /// the wire, the server just stopped waiting). infinity = wait forever.
+  double upload_deadline_ms = std::numeric_limits<double>::infinity();
+  /// Minimum fraction of this round's participants that must survive
+  /// transport, deadline, and validation for the server step to run; below
+  /// it the round is skipped gracefully (quorum_misses counts it). 0 = any
+  /// non-empty set aggregates, the pre-policy behavior.
+  double quorum_fraction = 0.0;
+  /// Poisoned-update defense applied to every surviving contribution.
+  comm::ValidationPolicy validation;
+};
 
 /// How the train pool is split across clients (paper Section V-A).
 enum class PartitionMethod { kIid, kDirichlet, kShards, kClassSplit };
@@ -70,6 +92,10 @@ struct Federation {
   /// Set before run_federation; resampled by begin_round every round.
   double participation_fraction = 1.0;
 
+  /// Deadline / quorum / inbound-validation discipline enforced by the
+  /// staged pipeline. Defaults are fully permissive (pre-fault behavior).
+  RoundPolicy policy;
+
   Federation() = default;
   Federation(const Federation&) = delete;
   Federation& operator=(const Federation&) = delete;
@@ -90,6 +116,26 @@ struct Federation {
   /// Reseeds the participation sampler (build_federation derives it from the
   /// federation seed so runs stay reproducible).
   void seed_participation(tensor::Rng rng) { participation_rng_ = rng; }
+
+  /// Snapshot of the participation sampler for checkpointing. A resumed run
+  /// must restore all four pieces or round t+1 would resample participants
+  /// from a diverged stream.
+  struct ParticipationState {
+    std::vector<std::size_t> active_indices;
+    tensor::RngState rng;
+    bool sampled_once = false;
+    std::size_t begun_round = 0;
+  };
+  ParticipationState participation_state() const {
+    return {active_indices_, participation_rng_.state(), sampled_once_,
+            begun_round_};
+  }
+  void restore_participation(const ParticipationState& state) {
+    active_indices_ = state.active_indices;
+    participation_rng_.set_state(state.rng);
+    sampled_once_ = state.sampled_once;
+    begun_round_ = state.begun_round;
+  }
 
  private:
   std::vector<std::size_t> active_indices_;
@@ -119,6 +165,21 @@ class Algorithm {
   /// Per-stage wall-clock spans of the most recent round, when the algorithm
   /// runs on the staged pipeline (nullptr otherwise).
   virtual const StageTimes* last_stage_times() const { return nullptr; }
+  /// Robustness counters of the most recent round, when the algorithm runs
+  /// on the staged pipeline (nullptr otherwise).
+  virtual const RoundFaultStats* last_fault_stats() const { return nullptr; }
+
+  /// -- Crash-resume hooks ---------------------------------------------------
+  /// Algorithms opting into federation checkpoints serialize their full
+  /// cross-round state (server weights, server RNG, retained knowledge) so a
+  /// resumed run continues bitwise from the interrupted one.
+  virtual bool supports_resume() const { return false; }
+  virtual void save_state(std::vector<std::byte>& out) { (void)out; }
+  virtual void load_state(std::span<const std::byte> bytes,
+                          std::size_t& offset) {
+    (void)bytes;
+    (void)offset;
+  }
 };
 
 struct RunOptions {
@@ -126,6 +187,12 @@ struct RunOptions {
   /// If non-null, one progress line is printed per round.
   std::ostream* log = nullptr;
   std::size_t eval_batch = 256;
+  /// First round index to execute (resume path: checkpoint's next_round).
+  std::size_t start_round = 0;
+  /// When > 0 and checkpoint_path is set, a federation checkpoint is written
+  /// after every checkpoint_every-th round (requires supports_resume()).
+  std::size_t checkpoint_every = 0;
+  std::filesystem::path checkpoint_path;
 };
 
 /// Runs `algorithm` for the configured number of rounds, evaluating server

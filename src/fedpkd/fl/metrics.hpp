@@ -8,6 +8,45 @@
 
 namespace fedpkd::fl {
 
+/// Robustness counters of one pipeline round. All of them are deterministic
+/// under the fault plan's seed (transfers run serially in slot order), so a
+/// golden trace can pin them exactly, at any thread count.
+struct RoundFaultStats {
+  std::size_t send_attempts = 0;    // reliable-transport frames sent
+  std::size_t retries = 0;          // retransmissions after loss/corruption
+  std::size_t frames_dropped = 0;   // attempts lost to the drop dice
+  std::size_t corrupt_frames = 0;   // CRC failures detected on delivery
+  std::size_t bundles_lost = 0;     // bundles abandoned after the retry budget
+  std::size_t stragglers_excluded = 0;  // uploads past the round deadline
+  std::size_t rejected_contributions = 0;  // failed inbound validation
+  std::size_t quorum_misses = 0;    // 1 when the round aborted below quorum
+  std::size_t clients_crashed = 0;  // scripted crashes fired this round
+  double max_upload_latency_ms = 0.0;  // slowest accepted upload (simulated)
+
+  bool any() const {
+    return retries > 0 || frames_dropped > 0 || corrupt_frames > 0 ||
+           bundles_lost > 0 || stragglers_excluded > 0 ||
+           rejected_contributions > 0 || quorum_misses > 0 ||
+           clients_crashed > 0;
+  }
+
+  RoundFaultStats& operator+=(const RoundFaultStats& o) {
+    send_attempts += o.send_attempts;
+    retries += o.retries;
+    frames_dropped += o.frames_dropped;
+    corrupt_frames += o.corrupt_frames;
+    bundles_lost += o.bundles_lost;
+    stragglers_excluded += o.stragglers_excluded;
+    rejected_contributions += o.rejected_contributions;
+    quorum_misses += o.quorum_misses;
+    clients_crashed += o.clients_crashed;
+    if (o.max_upload_latency_ms > max_upload_latency_ms) {
+      max_upload_latency_ms = o.max_upload_latency_ms;
+    }
+    return *this;
+  }
+};
+
 /// Metrics captured after each communication round.
 struct RoundMetrics {
   std::size_t round = 0;
@@ -23,6 +62,10 @@ struct RoundMetrics {
   /// the staged pipeline (absent for hand-rolled drivers). Not serialized by
   /// the history CSV.
   std::optional<StageTimes> stage_seconds;
+  /// Robustness counters of this round (staged pipeline only). Unlike the
+  /// wall-clock spans these are deterministic, so checkpoint v2 serializes
+  /// them with the rest of the history.
+  std::optional<RoundFaultStats> fault_stats;
 };
 
 /// Full trajectory of one federated run.

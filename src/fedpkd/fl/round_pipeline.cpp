@@ -1,5 +1,8 @@
 #include "fedpkd/fl/round_pipeline.hpp"
 
+#include <cmath>
+
+#include "fedpkd/comm/validate.hpp"
 #include "fedpkd/exec/thread_pool.hpp"
 
 namespace fedpkd::fl {
@@ -18,51 +21,82 @@ comm::PrototypesPayload WireBundle::prototypes(std::size_t part) const {
 
 namespace {
 
-/// Transmits every part of `bundle` from `from` to `to` through the channel.
-/// All parts are sent even after one drops, so the channel's drop-dice
-/// sequence — and thus every other link's fate — is independent of delivery
-/// outcomes; delivered parts stay charged on the meter like a real network.
-/// Returns the wire bytes only if the whole bundle made it (all-or-nothing).
-std::optional<WireBundle> send_bundle(comm::Channel& channel,
-                                      comm::NodeId from, comm::NodeId to,
-                                      const PayloadBundle& bundle) {
+/// Transmits every part of `bundle` from `from` to `to` over the reliable
+/// transport, folding each part's SendReport into `stats`. All parts are
+/// sent even after one is lost for good, so the fault-dice sequence — and
+/// thus every other link's fate — is independent of delivery outcomes;
+/// frames that crossed the wire stay charged on the meter like a real
+/// network. Returns the verified wire bytes only if every part made it
+/// (all-or-nothing), plus the bundle's total simulated latency (parts travel
+/// sequentially over one link).
+struct BundleResult {
+  std::optional<WireBundle> wire;
+  double latency_ms = 0.0;
+};
+
+BundleResult send_bundle_reliable(comm::Channel& channel, comm::NodeId from,
+                                  comm::NodeId to, const PayloadBundle& bundle,
+                                  RoundFaultStats& stats) {
+  BundleResult result;
   WireBundle wire;
   wire.parts.reserve(bundle.parts.size());
   bool delivered = true;
+  std::size_t attempts = 0;
   for (const StagePayload& part : bundle.parts) {
-    auto bytes = std::visit(
-        [&](const auto& payload) { return channel.send(from, to, payload); },
+    comm::SendReport report = std::visit(
+        [&](const auto& payload) {
+          return channel.send_reliable(from, to, payload);
+        },
         part);
-    if (bytes) {
-      wire.parts.push_back(std::move(*bytes));
+    stats.send_attempts += report.attempts;
+    stats.retries += report.retries;
+    stats.frames_dropped += report.drops;
+    stats.corrupt_frames += report.corrupt_detected;
+    attempts += report.attempts;
+    result.latency_ms += report.latency_ms;
+    if (report.delivered()) {
+      wire.parts.push_back(std::move(*report.payload));
     } else {
       delivered = false;
     }
   }
-  if (!delivered) return std::nullopt;
-  return wire;
+  if (delivered) {
+    result.wire = std::move(wire);
+  } else if (attempts > 0) {
+    // The transport tried and gave up. An offline endpoint (zero attempts)
+    // is not a transport loss — it is accounted as a crash, not a lost
+    // bundle.
+    ++stats.bundles_lost;
+  }
+  return result;
 }
 
 }  // namespace
 
-StageTimes RoundPipeline::run(RoundStages& stages, Federation& fed,
-                              std::size_t round) {
-  StageTimes times;
+RoundOutcome RoundPipeline::run(RoundStages& stages, Federation& fed,
+                                std::size_t round) {
+  RoundOutcome outcome;
+  StageTimes& times = outcome.times;
+  RoundFaultStats& faults = outcome.faults;
+  comm::FaultInjector& injector = fed.channel.faults();
   fed.begin_round(round);  // idempotent: keeps a caller-sampled participant set
   RoundContext ctx(fed, round, fed.active_clients());
   const std::size_t n = ctx.num_active();
   stages.on_round_start(ctx);
 
   // Downlink slot 1: pre-training broadcast (weight-broadcast family).
-  // Serial per-client sends in slot order keep the drop-dice and meter
+  // Serial per-client sends in slot order keep the fault-dice and meter
   // sequences thread-count independent.
+  faults.clients_crashed +=
+      injector.advance(round, comm::RoundStage::kBroadcast);
   {
     StageSpan span(times.download_seconds);
     if (std::optional<PayloadBundle> bundle = stages.make_broadcast(ctx)) {
       ctx.broadcast_rx.resize(n);
       for (std::size_t i = 0; i < n; ++i) {
-        ctx.broadcast_rx[i] = send_bundle(fed.channel, comm::kServerId,
-                                          ctx.active[i]->id, *bundle);
+        BundleResult sent = send_bundle_reliable(
+            fed.channel, comm::kServerId, ctx.active[i]->id, *bundle, faults);
+        ctx.broadcast_rx[i] = std::move(sent.wire);
       }
     }
   }
@@ -79,8 +113,11 @@ StageTimes RoundPipeline::run(RoundStages& stages, Federation& fed,
   }
 
   // Stage 2: upload. Payload construction fans out per client; the sends run
-  // serially in slot order. A client whose bundle drops (any part) simply
-  // does not contribute this round.
+  // serially in slot order. A client whose bundle is lost (any part) simply
+  // does not contribute this round; one slower than the deadline is excluded
+  // as a straggler (its bytes stay charged — the frames did cross the wire,
+  // the server just stopped waiting); one failing validation is rejected.
+  faults.clients_crashed += injector.advance(round, comm::RoundStage::kUpload);
   std::vector<Contribution> contributions;
   {
     StageSpan span(times.upload_seconds);
@@ -90,19 +127,54 @@ StageTimes RoundPipeline::run(RoundStages& stages, Federation& fed,
         bundles[i] = stages.make_upload(ctx, i, *ctx.active[i]);
       }
     });
+    std::vector<Contribution> candidates;
+    std::vector<double> candidate_latency;
     for (std::size_t i = 0; i < n; ++i) {
-      if (std::optional<WireBundle> wire = send_bundle(
-              fed.channel, ctx.active[i]->id, comm::kServerId, bundles[i])) {
-        contributions.push_back(
-            Contribution{i, ctx.active[i], std::move(*wire)});
+      BundleResult sent = send_bundle_reliable(
+          fed.channel, ctx.active[i]->id, comm::kServerId, bundles[i], faults);
+      if (!sent.wire) continue;
+      if (sent.latency_ms > fed.policy.upload_deadline_ms) {
+        ++faults.stragglers_excluded;
+        continue;
       }
+      candidates.push_back(Contribution{i, ctx.active[i], std::move(*sent.wire)});
+      candidate_latency.push_back(sent.latency_ms);
+    }
+    // Inbound validation, serial in slot order. The first accepted bundle is
+    // the structural reference for the rest; its address is recomputed every
+    // iteration because push_back may reallocate.
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const std::vector<std::vector<std::byte>>* reference =
+          contributions.empty() ? nullptr : &contributions.front().bundle.parts;
+      if (fed.policy.validation.enabled() &&
+          comm::validate_bundle(candidates[c].bundle.parts, reference,
+                                fed.policy.validation)) {
+        ++faults.rejected_contributions;
+        continue;
+      }
+      if (candidate_latency[c] > faults.max_upload_latency_ms) {
+        faults.max_upload_latency_ms = candidate_latency[c];
+      }
+      contributions.push_back(std::move(candidates[c]));
+    }
+  }
+
+  // Quorum: with a configured fraction, fewer survivors than
+  // ceil(fraction * participants) abort the round before the server step.
+  if (fed.policy.quorum_fraction > 0.0) {
+    const auto need = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(fed.policy.quorum_fraction * static_cast<double>(n))));
+    if (contributions.size() < need) {
+      faults.quorum_misses = 1;
+      return outcome;
     }
   }
 
   // Graceful degradation, one rule for every algorithm: no surviving
   // contribution means the server learns nothing this round — skip the
   // remaining stages and leave all state untouched.
-  if (contributions.empty()) return times;
+  if (contributions.empty()) return outcome;
 
   // Stage 3: server aggregation/distillation over surviving contributions.
   {
@@ -111,6 +183,8 @@ StageTimes RoundPipeline::run(RoundStages& stages, Federation& fed,
   }
 
   // Downlink slot 2: post-server download (distillation family).
+  faults.clients_crashed +=
+      injector.advance(round, comm::RoundStage::kDownload);
   std::vector<std::optional<WireBundle>> downlink(n);
   bool have_downlink = false;
   {
@@ -118,13 +192,14 @@ StageTimes RoundPipeline::run(RoundStages& stages, Federation& fed,
     if (std::optional<PayloadBundle> bundle = stages.make_download(ctx)) {
       have_downlink = true;
       for (std::size_t i = 0; i < n; ++i) {
-        downlink[i] = send_bundle(fed.channel, comm::kServerId,
-                                  ctx.active[i]->id, *bundle);
+        BundleResult sent = send_bundle_reliable(
+            fed.channel, comm::kServerId, ctx.active[i]->id, *bundle, faults);
+        downlink[i] = std::move(sent.wire);
       }
     }
   }
 
-  // Stage 5: apply/digest, client-parallel. Clients whose downlink dropped
+  // Stage 5: apply/digest, client-parallel. Clients whose downlink was lost
   // keep their stale state (same rule as a missed broadcast).
   if (have_downlink) {
     StageSpan span(times.apply_seconds);
@@ -136,16 +211,24 @@ StageTimes RoundPipeline::run(RoundStages& stages, Federation& fed,
       }
     });
   }
-  return times;
+  return outcome;
 }
 
 void StagedAlgorithm::run_round(Federation& fed, std::size_t round) {
-  times_.push_back(pipeline_.run(*this, fed, round));
+  RoundOutcome outcome = pipeline_.run(*this, fed, round);
+  times_.push_back(outcome.times);
+  faults_.push_back(outcome.faults);
 }
 
 StageTimes StagedAlgorithm::total_stage_times() const {
   StageTimes total;
   for (const StageTimes& t : times_) total += t;
+  return total;
+}
+
+RoundFaultStats StagedAlgorithm::total_fault_stats() const {
+  RoundFaultStats total;
+  for (const RoundFaultStats& f : faults_) total += f;
   return total;
 }
 

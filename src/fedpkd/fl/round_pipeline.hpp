@@ -19,11 +19,17 @@ namespace fedpkd::fl {
 ///
 ///  * participation: the pipeline begins the round (sampling this round's
 ///    participants) and threads one active-client list through every stage;
-///  * transport: every client<->server transfer goes through comm::Channel,
-///    so every byte is encoded for real, metered, and subject to drop
-///    injection — a stage implementation never touches the channel;
-///  * graceful degradation, one rule for all algorithms: a dropped downlink
-///    bundle leaves that client on its stale state, a dropped uplink bundle
+///  * transport: every client<->server transfer goes through
+///    comm::Channel::send_reliable, so every byte is encoded for real,
+///    CRC32-framed, metered, retried under loss/corruption, and subject to
+///    the federation's FaultPlan — a stage implementation never touches the
+///    channel;
+///  * round discipline under faults (Federation::policy): uploads slower
+///    than the deadline are excluded as stragglers, surviving contributions
+///    are validated against the poisoned-update policy, and a round below
+///    quorum is skipped gracefully;
+///  * graceful degradation, one rule for all algorithms: a lost downlink
+///    bundle leaves that client on its stale state, a lost uplink bundle
 ///    excludes that client from server_step, and a round with zero surviving
 ///    contributions ends after the upload stage with the server untouched;
 ///  * determinism: compute-heavy stages fan out per client on the exec
@@ -155,6 +161,14 @@ class RoundStages {
   }
 };
 
+/// What one pipeline round reports back: wall-clock spans (non-deterministic,
+/// never serialized) and robustness counters (deterministic under the fault
+/// plan's seed, pinned by golden traces and kept across checkpoint-resume).
+struct RoundOutcome {
+  StageTimes times;
+  RoundFaultStats faults;
+};
+
 /// The staged round executor. Stateless today; it exists as an object so the
 /// planned async/straggler execution modes can be configured per run without
 /// touching the stage contract.
@@ -162,12 +176,12 @@ class RoundPipeline {
  public:
   /// Executes one full round of `stages` against `fed` (begins the round,
   /// sampling participants, if the caller has not already) and returns the
-  /// per-stage wall-clock spans.
-  StageTimes run(RoundStages& stages, Federation& fed, std::size_t round);
+  /// per-stage wall-clock spans plus this round's fault counters.
+  RoundOutcome run(RoundStages& stages, Federation& fed, std::size_t round);
 };
 
 /// Base for algorithms expressed as RoundStages: run_round delegates to the
-/// shared RoundPipeline and records per-round stage times.
+/// shared RoundPipeline and records per-round stage times and fault stats.
 class StagedAlgorithm : public Algorithm, public RoundStages {
  public:
   void run_round(Federation& fed, std::size_t round) final;
@@ -177,13 +191,22 @@ class StagedAlgorithm : public Algorithm, public RoundStages {
   /// Sum over all executed rounds.
   StageTimes total_stage_times() const;
 
+  /// Fault counters of every round executed so far, in order.
+  const std::vector<RoundFaultStats>& fault_stats() const { return faults_; }
+  /// Sum over all executed rounds (latency is the max, matching +=).
+  RoundFaultStats total_fault_stats() const;
+
   const StageTimes* last_stage_times() const override {
     return times_.empty() ? nullptr : &times_.back();
+  }
+  const RoundFaultStats* last_fault_stats() const override {
+    return faults_.empty() ? nullptr : &faults_.back();
   }
 
  private:
   RoundPipeline pipeline_;
   std::vector<StageTimes> times_;
+  std::vector<RoundFaultStats> faults_;
 };
 
 }  // namespace fedpkd::fl

@@ -5,6 +5,16 @@
 
 namespace fedpkd::tensor {
 
+/// The complete serializable state of an Rng. The Box-Muller cache is part
+/// of it: omitting the cached second normal would desynchronize a restored
+/// generator by one draw, which is exactly the kind of off-by-one that
+/// breaks bitwise crash-resume.
+struct RngState {
+  std::array<std::uint64_t, 4> lanes{};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+};
+
 /// Deterministic, splittable pseudo-random number generator.
 ///
 /// Implements xoshiro256** 1.0 (Blackman & Vigna). Every stochastic component
@@ -47,6 +57,18 @@ class Rng {
   /// Derives an independent child generator. Calling split(i) for distinct i
   /// yields decorrelated streams; the parent state is unchanged.
   Rng split(std::uint64_t stream) const;
+
+  /// Snapshot / restore of the full generator state (checkpoint v2). A
+  /// generator with a restored state replays the exact draw sequence the
+  /// snapshotted one would have produced.
+  RngState state() const {
+    return RngState{state_, cached_normal_, has_cached_normal_};
+  }
+  void set_state(const RngState& s) {
+    state_ = s.lanes;
+    cached_normal_ = s.cached_normal;
+    has_cached_normal_ = s.has_cached_normal;
+  }
 
  private:
   std::array<std::uint64_t, 4> state_{};

@@ -10,7 +10,7 @@ constexpr std::uint32_t kMagic = 0x464b5054u;  // 'FPKT'
 constexpr std::uint8_t kMaxRank = 8;
 
 void require(bool cond, const char* msg) {
-  if (!cond) throw std::runtime_error(std::string("decode_tensor: ") + msg);
+  if (!cond) throw DecodeError(std::string("decode_tensor: ") + msg);
 }
 }  // namespace
 
@@ -91,13 +91,21 @@ Tensor decode_tensor(std::span<const std::byte> bytes, std::size_t& offset) {
   const auto rank = static_cast<std::uint8_t>(bytes[offset++]);
   require(rank <= kMaxRank, "rank too large");
   Shape shape(rank);
+  std::size_t n = rank == 0 ? 0 : 1;  // shape_numel convention: {} is empty
   for (std::uint8_t i = 0; i < rank; ++i) {
     const std::uint64_t d = get_u64(bytes, offset);
     require(d <= (1ull << 32), "dimension too large");
     shape[i] = static_cast<std::size_t>(d);
+    // Overflow-proof running product: an adversarial header whose dimension
+    // product wraps around 2^64 must not defeat the truncation check below
+    // (offset + 4*n would wrap too, passing the bound with n huge).
+    require(d == 0 || n <= SIZE_MAX / static_cast<std::size_t>(d),
+            "element count overflows");
+    n *= static_cast<std::size_t>(d);
   }
-  const std::size_t n = shape_numel(shape);
-  require(offset + 4 * n <= bytes.size(), "truncated payload");
+  // Validate against the remaining bytes *before* allocating: division
+  // cannot wrap, and a hostile header cannot demand gigabytes.
+  require(n <= (bytes.size() - offset) / 4, "truncated payload");
   std::vector<float> values(n);
   if (n > 0) std::memcpy(values.data(), bytes.data() + offset, 4 * n);
   offset += 4 * n;
@@ -108,9 +116,40 @@ Tensor decode_tensor(std::span<const std::byte> bytes) {
   std::size_t offset = 0;
   Tensor t = decode_tensor(bytes, offset);
   if (offset != bytes.size()) {
-    throw std::runtime_error("decode_tensor: trailing bytes");
+    throw DecodeError("decode_tensor: trailing bytes");
   }
   return t;
+}
+
+void put_f64(double v, std::vector<std::byte>& out) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(bits, out);
+}
+
+double get_f64(std::span<const std::byte> bytes, std::size_t& offset) {
+  const std::uint64_t bits = get_u64(bytes, offset);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void put_rng(const Rng& rng, std::vector<std::byte>& out) {
+  const RngState state = rng.state();
+  for (std::uint64_t lane : state.lanes) put_u64(lane, out);
+  put_f64(state.cached_normal, out);
+  out.push_back(static_cast<std::byte>(state.has_cached_normal ? 1 : 0));
+}
+
+Rng get_rng(std::span<const std::byte> bytes, std::size_t& offset) {
+  RngState state;
+  for (std::uint64_t& lane : state.lanes) lane = get_u64(bytes, offset);
+  state.cached_normal = get_f64(bytes, offset);
+  if (offset >= bytes.size()) throw DecodeError("get_rng: truncated flag");
+  state.has_cached_normal = bytes[offset++] != std::byte{0};
+  Rng rng(0);
+  rng.set_state(state);
+  return rng;
 }
 
 }  // namespace fedpkd::tensor

@@ -3,11 +3,24 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
+#include "fedpkd/tensor/rng.hpp"
 #include "fedpkd/tensor/tensor.hpp"
 
 namespace fedpkd::tensor {
+
+/// Thrown by every decoder in the tensor/comm serialization stack on
+/// malformed input: truncated buffers, bad magic, absurd ranks, dimension
+/// products that overflow, kind-tag mismatches, trailing bytes. Derives from
+/// std::runtime_error so existing catch sites keep working; catching
+/// DecodeError specifically distinguishes "hostile/corrupt bytes" from other
+/// runtime failures (I/O, config).
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Byte-exact binary serialization for tensors.
 ///
@@ -26,8 +39,11 @@ std::size_t encode_tensor(const Tensor& t, std::vector<std::byte>& out);
 std::vector<std::byte> encode_tensor(const Tensor& t);
 
 /// Deserializes one tensor starting at `offset` within `bytes`; advances
-/// `offset` past the consumed region. Throws std::runtime_error on any
-/// malformed input (bad magic, truncated payload, absurd rank).
+/// `offset` past the consumed region. Throws DecodeError on any malformed
+/// input (bad magic, truncated payload, absurd rank, numel overflow) — it
+/// never reads past the buffer, and it validates the element count against
+/// the remaining bytes *before* allocating, so a hostile header cannot
+/// trigger a multi-gigabyte allocation.
 Tensor decode_tensor(std::span<const std::byte> bytes, std::size_t& offset);
 
 /// Deserializes a buffer that contains exactly one tensor.
@@ -41,8 +57,16 @@ std::size_t encoded_size(const Shape& s);
 void put_u32(std::uint32_t v, std::vector<std::byte>& out);
 void put_u64(std::uint64_t v, std::vector<std::byte>& out);
 void put_f32(float v, std::vector<std::byte>& out);
+void put_f64(double v, std::vector<std::byte>& out);
 std::uint32_t get_u32(std::span<const std::byte> bytes, std::size_t& offset);
 std::uint64_t get_u64(std::span<const std::byte> bytes, std::size_t& offset);
 float get_f32(std::span<const std::byte> bytes, std::size_t& offset);
+double get_f64(std::span<const std::byte> bytes, std::size_t& offset);
+
+/// Serializes a full Rng (xoshiro lanes plus the Box-Muller cache), so that
+/// a restored generator replays the exact sequence of the original — the
+/// primitive behind bitwise crash-resume (fl::checkpoint format v2).
+void put_rng(const Rng& rng, std::vector<std::byte>& out);
+Rng get_rng(std::span<const std::byte> bytes, std::size_t& offset);
 
 }  // namespace fedpkd::tensor

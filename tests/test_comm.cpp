@@ -1,11 +1,19 @@
-// Tests for the communication substrate: payload codecs, traffic meter, and
-// the simulated channel (including drop injection).
+// Tests for the communication substrate: payload codecs (including
+// adversarial header flips and truncation sweeps), traffic meter, the
+// simulated channel, CRC32 framing, the fault injector, the reliable
+// transport, and inbound bundle validation.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "fedpkd/comm/channel.hpp"
+#include "fedpkd/comm/fault.hpp"
+#include "fedpkd/comm/frame.hpp"
 #include "fedpkd/comm/meter.hpp"
 #include "fedpkd/comm/payload.hpp"
+#include "fedpkd/comm/validate.hpp"
 #include "fedpkd/tensor/ops.hpp"
 
 namespace fedpkd::comm {
@@ -265,6 +273,480 @@ TEST(Channel, DropProbabilityValidation) {
                std::invalid_argument);
   EXPECT_THROW(channel.set_drop_probability(1.1, Rng(9)),
                std::invalid_argument);
+}
+
+// ----------------------------------------------- adversarial decode input ---
+
+/// Overwrites the little-endian u32 at `at` — forges one header field of an
+/// otherwise valid wire buffer.
+std::vector<std::byte> patched(std::vector<std::byte> bytes, std::size_t at,
+                               std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[at + i] = static_cast<std::byte>((value >> (8 * i)) & 0xff);
+  }
+  return bytes;
+}
+
+TEST(Payload, KindTagFlipsAreRejectedWithTypedError) {
+  const auto weights = encode(WeightsPayload{Tensor::zeros({3})});
+  for (int tag : {0, 2, 3, 4, 0x7f, 0xff}) {
+    auto bad = weights;
+    bad[0] = static_cast<std::byte>(tag);
+    EXPECT_THROW(decode_weights(bad), tensor::DecodeError) << "tag " << tag;
+  }
+}
+
+TEST(Payload, TensorHeaderFieldFlipsAreRejected) {
+  // Weights wire layout: [0]=kind, [1..4]=tensor magic, [5]=rank,
+  // [6..13]=dim0 as u64.
+  const auto weights = encode(WeightsPayload{Tensor::zeros({3})});
+
+  auto bad_magic = weights;
+  bad_magic[1] ^= std::byte{0x01};
+  EXPECT_THROW(decode_weights(bad_magic), tensor::DecodeError);
+
+  auto bad_rank = weights;
+  bad_rank[5] = std::byte{9};  // kMaxRank is 8
+  EXPECT_THROW(decode_weights(bad_rank), tensor::DecodeError);
+
+  // A forged dimension must fail the pre-allocation bound check, whether it
+  // stays within u32 (too big for the buffer) or exceeds the 2^32 dim cap.
+  EXPECT_THROW(decode_weights(patched(weights, 6, 0xffffffffu)),
+               tensor::DecodeError);
+  EXPECT_THROW(decode_weights(patched(weights, 10, 0x2u)),
+               tensor::DecodeError);
+}
+
+TEST(Payload, ForgedCountFieldsFailBeforeAllocation) {
+  Rng rng(41);
+  const auto logits = encode(LogitsPayload{{1, 2, 3}, Tensor::randn({3, 4}, rng)});
+  // [0]=kind, [1..4]=sample count.
+  EXPECT_THROW(decode_logits(patched(logits, 1, 0xffffffffu)),
+               tensor::DecodeError);
+  EXPECT_THROW(decode_logits(patched(logits, 1, 4u)), tensor::DecodeError);
+
+  PrototypesPayload protos;
+  protos.entries.push_back({0, 1, Tensor::zeros({4})});
+  const auto wire = encode(protos);
+  EXPECT_THROW(decode_prototypes(patched(wire, 1, 0x7fffffffu)),
+               tensor::DecodeError);
+}
+
+TEST(Payload, TruncationAtEveryBoundaryThrowsTypedError) {
+  Rng rng(42);
+  PrototypesPayload protos;
+  protos.entries.push_back({1, 2, Tensor::randn({4}, rng)});
+  const std::vector<std::vector<std::byte>> wires = {
+      encode(WeightsPayload{Tensor::randn({5}, rng)}),
+      encode(LogitsPayload{{7, 8}, Tensor::randn({2, 3}, rng)}),
+      encode(protos),
+  };
+  for (const auto& wire : wires) {
+    const PayloadKind kind = peek_kind(wire);
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+      const std::span<const std::byte> prefix(wire.data(), cut);
+      switch (kind) {
+        case PayloadKind::kWeights:
+          EXPECT_THROW(decode_weights(prefix), tensor::DecodeError)
+              << "cut " << cut;
+          break;
+        case PayloadKind::kLogits:
+          EXPECT_THROW(decode_logits(prefix), tensor::DecodeError)
+              << "cut " << cut;
+          break;
+        case PayloadKind::kPrototypes:
+          EXPECT_THROW(decode_prototypes(prefix), tensor::DecodeError)
+              << "cut " << cut;
+          break;
+      }
+    }
+    // Trailing garbage is as malformed as missing bytes.
+    auto padded = wire;
+    padded.push_back(std::byte{0});
+    switch (kind) {
+      case PayloadKind::kWeights:
+        EXPECT_THROW(decode_weights(padded), tensor::DecodeError);
+        break;
+      case PayloadKind::kLogits:
+        EXPECT_THROW(decode_logits(padded), tensor::DecodeError);
+        break;
+      case PayloadKind::kPrototypes:
+        EXPECT_THROW(decode_prototypes(padded), tensor::DecodeError);
+        break;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ Frame ---
+
+TEST(Frame, Crc32MatchesIeee8023CheckValue) {
+  // The canonical CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  std::vector<std::byte> bytes;
+  for (char c : std::string("123456789")) {
+    bytes.push_back(static_cast<std::byte>(c));
+  }
+  EXPECT_EQ(crc32(bytes), 0xcbf43926u);
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(Frame, RoundTripPreservesPayloadWithFixedOverhead) {
+  Rng rng(43);
+  const auto payload = encode(WeightsPayload{Tensor::randn({17}, rng)});
+  const auto frame = make_frame(payload);
+  EXPECT_EQ(frame.size(), payload.size() + kFrameOverhead);
+  const auto back = open_frame(frame);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+}
+
+TEST(Frame, EverySingleBitFlipIsDetected) {
+  std::vector<std::byte> payload;
+  for (int i = 0; i < 13; ++i) payload.push_back(static_cast<std::byte>(i * 7));
+  const auto frame = make_frame(payload);
+  for (std::size_t bit = 0; bit < 8 * frame.size(); ++bit) {
+    auto tampered = frame;
+    tampered[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+    EXPECT_FALSE(open_frame(tampered).has_value()) << "bit " << bit;
+  }
+}
+
+TEST(Frame, RejectsTruncatedBuffers) {
+  const auto frame = make_frame(std::vector<std::byte>(4, std::byte{0x5a}));
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    EXPECT_FALSE(open_frame(std::span(frame).first(cut)).has_value())
+        << "cut " << cut;
+  }
+  // Unframed bytes (wrong magic) are not a frame either.
+  EXPECT_FALSE(
+      open_frame(std::vector<std::byte>(32, std::byte{0})).has_value());
+}
+
+// ---------------------------------------------------------- FaultInjector ---
+
+TEST(FaultInjector, PlanValidationRejectsOutOfRangeKnobs) {
+  FaultInjector injector;
+  FaultPlan plan;
+  plan.drop_probability = 1.5;
+  EXPECT_THROW(injector.set_plan(plan), std::invalid_argument);
+  plan = {};
+  plan.corrupt_probability = -0.2;
+  EXPECT_THROW(injector.set_plan(plan), std::invalid_argument);
+  plan = {};
+  plan.latency_ms = -1.0;
+  EXPECT_THROW(injector.set_plan(plan), std::invalid_argument);
+  plan = {};
+  plan.stragglers = {{0, 0.5}};  // a factor below 1 would be a speed-up
+  EXPECT_THROW(injector.set_plan(plan), std::invalid_argument);
+}
+
+TEST(FaultInjector, OfflineSetIsSortedUniqueAndReversible) {
+  FaultInjector injector;
+  injector.set_node_offline(5, true);
+  injector.set_node_offline(1, true);
+  injector.set_node_offline(3, true);
+  injector.set_node_offline(3, true);  // idempotent
+  EXPECT_EQ(injector.offline_nodes(), (std::vector<NodeId>{1, 3, 5}));
+  EXPECT_TRUE(injector.is_node_offline(3));
+  EXPECT_FALSE(injector.is_node_offline(2));
+  injector.set_node_offline(3, false);
+  injector.set_node_offline(3, false);  // idempotent
+  EXPECT_EQ(injector.offline_nodes(), (std::vector<NodeId>{1, 5}));
+  EXPECT_FALSE(injector.is_node_offline(3));
+}
+
+TEST(FaultInjector, FaultTypeStreamsAreIndependent) {
+  // Enabling corruption must not shift the drop sequence: the injector
+  // derives one stream per fault type from the seed.
+  FaultPlan drop_only;
+  drop_only.seed = 11;
+  drop_only.drop_probability = 0.3;
+  FaultPlan both = drop_only;
+  both.corrupt_probability = 0.5;
+  FaultInjector a;
+  a.set_plan(drop_only);
+  FaultInjector b;
+  b.set_plan(both);
+  const std::vector<std::byte> frame(16, std::byte{0});
+  for (int i = 0; i < 128; ++i) {
+    std::vector<std::byte> scratch = frame;
+    b.maybe_corrupt(scratch);  // burns corruption dice on b only
+    EXPECT_EQ(a.roll_drop(), b.roll_drop()) << i;
+  }
+}
+
+TEST(FaultInjector, StragglerFactorScalesLinkLatency) {
+  FaultPlan plan;
+  plan.latency_ms = 10.0;
+  plan.stragglers = {{2, 4.0}};
+  FaultInjector injector;
+  injector.set_plan(plan);
+  EXPECT_DOUBLE_EQ(injector.straggler_factor(2), 4.0);
+  EXPECT_DOUBLE_EQ(injector.straggler_factor(1), 1.0);
+  // The link factor is the max over its endpoints; the server's own is 1.
+  EXPECT_DOUBLE_EQ(injector.draw_latency_ms(2, kServerId), 40.0);
+  EXPECT_DOUBLE_EQ(injector.draw_latency_ms(kServerId, 2), 40.0);
+  EXPECT_DOUBLE_EQ(injector.draw_latency_ms(kServerId, 1), 10.0);
+}
+
+TEST(FaultInjector, AdvanceFiresScriptedCrashesInStageOrder) {
+  FaultPlan plan;
+  plan.crashes = {{2, RoundStage::kBroadcast, 1},
+                  {1, RoundStage::kUpload, 0},
+                  {1, RoundStage::kUpload, 2}};
+  FaultInjector injector;
+  injector.set_plan(plan);
+  EXPECT_EQ(injector.advance(0, RoundStage::kDownload), 0u);
+  EXPECT_TRUE(injector.offline_nodes().empty());
+  EXPECT_EQ(injector.advance(1, RoundStage::kBroadcast), 0u);
+  EXPECT_EQ(injector.advance(1, RoundStage::kUpload), 2u);
+  EXPECT_EQ(injector.offline_nodes(), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(injector.advance(1, RoundStage::kDownload), 0u);
+  EXPECT_EQ(injector.advance(2, RoundStage::kBroadcast), 1u);
+  EXPECT_TRUE(injector.is_node_offline(1));
+  EXPECT_EQ(injector.crash_cursor(), 3u);
+}
+
+TEST(FaultInjector, SaveLoadStateReplaysIdenticalDice) {
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.drop_probability = 0.4;
+  plan.corrupt_probability = 0.3;
+  plan.latency_ms = 1.0;
+  plan.jitter_ms = 2.0;
+  plan.crashes = {{0, RoundStage::kUpload, 1}, {5, RoundStage::kUpload, 2}};
+  FaultInjector a;
+  a.set_plan(plan);
+  const std::vector<std::byte> frame(8, std::byte{0x3c});
+  // Burn some state: dice draws, one fired crash, one manual blackout.
+  for (int i = 0; i < 17; ++i) {
+    a.roll_drop();
+    std::vector<std::byte> scratch = frame;
+    a.maybe_corrupt(scratch);
+    a.draw_latency_ms(0, kServerId);
+  }
+  a.advance(0, RoundStage::kUpload);
+  a.set_node_offline(3, true);
+
+  std::vector<std::byte> blob;
+  a.save_state(blob);
+  FaultInjector b;
+  b.set_plan(plan);  // resume re-applies the same run configuration
+  std::size_t offset = 0;
+  b.load_state(blob, offset);
+  EXPECT_EQ(offset, blob.size());
+
+  EXPECT_EQ(b.offline_nodes(), a.offline_nodes());
+  EXPECT_EQ(b.crash_cursor(), a.crash_cursor());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.roll_drop(), b.roll_drop()) << i;
+    std::vector<std::byte> sa = frame;
+    std::vector<std::byte> sb = frame;
+    EXPECT_EQ(a.maybe_corrupt(sa), b.maybe_corrupt(sb)) << i;
+    EXPECT_EQ(sa, sb) << i;
+    EXPECT_DOUBLE_EQ(a.draw_latency_ms(1, kServerId),
+                     b.draw_latency_ms(1, kServerId))
+        << i;
+  }
+  // A crash that fired before the checkpoint must not fire again on resume.
+  EXPECT_EQ(b.advance(0, RoundStage::kDownload), 0u);
+}
+
+// ----------------------------------------------------- reliable transport ---
+
+TEST(Channel, SendReliableDeliversEncodedPayloadAndChargesFrame) {
+  Meter meter;
+  Channel channel(meter);
+  Rng rng(50);
+  const WeightsPayload payload{Tensor::randn({9}, rng)};
+  const SendReport report = channel.send_reliable(3, kServerId, payload);
+  ASSERT_TRUE(report.delivered());
+  EXPECT_EQ(*report.payload, encode(payload));
+  EXPECT_EQ(report.attempts, 1u);
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_EQ(report.drops, 0u);
+  EXPECT_EQ(report.corrupt_detected, 0u);
+  // The frame is charged with the *payload's* kind, overhead included.
+  EXPECT_EQ(meter.total(), encode(payload).size() + kFrameOverhead);
+  EXPECT_EQ(meter.total_for_kind(PayloadKind::kWeights), meter.total());
+}
+
+TEST(Channel, SendReliableExhaustsBudgetUnderTotalLossUncharged) {
+  Meter meter;
+  Channel channel(meter);
+  FaultPlan plan;
+  plan.drop_probability = 1.0;
+  plan.max_retries = 3;
+  channel.set_fault_plan(plan);
+  const SendReport report =
+      channel.send_reliable(0, kServerId, WeightsPayload{Tensor::zeros({4})});
+  EXPECT_FALSE(report.delivered());
+  EXPECT_EQ(report.attempts, 4u);  // budget = max_retries + 1
+  EXPECT_EQ(report.drops, 4u);
+  EXPECT_EQ(report.retries, 3u);
+  EXPECT_EQ(meter.total(), 0u);  // dropped attempts are never charged
+}
+
+TEST(Channel, SendReliableDetectsCorruptionAndChargesEveryCrossing) {
+  Meter meter;
+  Channel channel(meter);
+  FaultPlan plan;
+  plan.corrupt_probability = 1.0;
+  plan.max_retries = 2;
+  channel.set_fault_plan(plan);
+  const WeightsPayload payload{Tensor::zeros({6})};
+  const SendReport report = channel.send_reliable(1, kServerId, payload);
+  EXPECT_FALSE(report.delivered());
+  EXPECT_EQ(report.attempts, 3u);
+  EXPECT_EQ(report.corrupt_detected, 3u);  // CRC caught every flip
+  EXPECT_EQ(report.drops, 0u);
+  // Corrupted frames *did* cross the wire: each attempt is charged.
+  EXPECT_EQ(meter.total(), 3 * (encode(payload).size() + kFrameOverhead));
+}
+
+TEST(Channel, SendReliableRecoversFromIntermittentFaults) {
+  Meter meter;
+  Channel channel(meter);
+  FaultPlan plan;
+  plan.seed = 123;
+  plan.drop_probability = 0.5;
+  plan.corrupt_probability = 0.2;
+  plan.max_retries = 8;
+  channel.set_fault_plan(plan);
+  Rng rng(51);
+  const WeightsPayload payload{Tensor::randn({33}, rng)};
+  int delivered = 0;
+  for (int i = 0; i < 50; ++i) {
+    const SendReport report = channel.send_reliable(0, kServerId, payload);
+    if (report.delivered()) {
+      ++delivered;
+      // Whatever survived the lossy link is bit-identical to what was sent.
+      EXPECT_EQ(*report.payload, encode(payload));
+    }
+  }
+  // P(9 consecutive failures at 60% per-attempt failure) ~ 1%.
+  EXPECT_GT(delivered, 40);
+}
+
+TEST(Channel, SendReliableOfflineLinkShortCircuits) {
+  Meter meter;
+  Channel channel(meter);
+  FaultPlan plan;
+  plan.drop_probability = 0.5;
+  channel.set_fault_plan(plan);
+  channel.set_node_offline(2, true);
+  const SendReport report =
+      channel.send_reliable(2, kServerId, WeightsPayload{Tensor::zeros({4})});
+  EXPECT_FALSE(report.delivered());
+  EXPECT_EQ(report.attempts, 0u);  // dead link: no transmission, no dice
+  EXPECT_EQ(meter.total(), 0u);
+}
+
+TEST(Channel, OfflineMessagesConsumeNoDropDice) {
+  // Interleaving doomed sends from an offline node must not perturb another
+  // link's delivery pattern — offline is detected before the dice roll.
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_probability = 0.5;
+  Meter m1;
+  Channel a(m1);
+  a.set_fault_plan(plan);
+  Meter m2;
+  Channel b(m2);
+  b.set_fault_plan(plan);
+  b.set_node_offline(2, true);
+  for (int i = 0; i < 200; ++i) {
+    const auto wa = a.send(0, kServerId, WeightsPayload{Tensor::zeros({1})});
+    EXPECT_FALSE(b.send(2, kServerId, WeightsPayload{Tensor::zeros({1})}));
+    const auto wb = b.send(0, kServerId, WeightsPayload{Tensor::zeros({1})});
+    EXPECT_EQ(wa.has_value(), wb.has_value()) << i;
+  }
+}
+
+TEST(Channel, BackoffLatencyIsDeterministicSimulatedTime) {
+  Meter meter;
+  Channel channel(meter);
+  FaultPlan plan;
+  plan.latency_ms = 2.0;
+  plan.drop_probability = 1.0;
+  plan.max_retries = 2;
+  plan.retry_backoff_ms = 1.0;
+  channel.set_fault_plan(plan);
+  const SendReport report =
+      channel.send_reliable(0, kServerId, WeightsPayload{Tensor::zeros({1})});
+  // 3 attempts x 2ms link latency, plus backoff 1*2^0 + 1*2^1 between them.
+  EXPECT_DOUBLE_EQ(report.latency_ms, 3 * 2.0 + 1.0 + 2.0);
+}
+
+// ------------------------------------------------------------- validation ---
+
+std::vector<std::vector<std::byte>> one_part(std::vector<std::byte> wire) {
+  std::vector<std::vector<std::byte>> parts;
+  parts.push_back(std::move(wire));
+  return parts;
+}
+
+TEST(Validate, DefaultPolicyRejectsNonFinitePayloads) {
+  const ValidationPolicy policy;  // check_finite is on by default
+  EXPECT_TRUE(policy.enabled());
+  Rng rng(60);
+  const auto clean = one_part(encode(WeightsPayload{Tensor::randn({16}, rng)}));
+  EXPECT_FALSE(validate_bundle(clean, nullptr, policy).has_value());
+
+  Tensor nan_weights = Tensor::zeros({16});
+  nan_weights[3] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(validate_bundle(one_part(encode(WeightsPayload{nan_weights})),
+                              nullptr, policy)
+                  .has_value());
+
+  Tensor inf_logits = Tensor::zeros({2, 3});
+  inf_logits[4] = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(validate_bundle(one_part(encode(LogitsPayload{{0, 1}, inf_logits})),
+                              nullptr, policy)
+                  .has_value());
+}
+
+TEST(Validate, NormBoundCatchesMagnitudeInflation) {
+  ValidationPolicy policy;
+  policy.max_weights_norm = 10.0;
+  Tensor small = Tensor::zeros({4});
+  small[0] = 1.0f;
+  Tensor large = Tensor::zeros({4});
+  large[0] = 100.0f;
+  EXPECT_FALSE(validate_bundle(one_part(encode(WeightsPayload{small})),
+                               nullptr, policy)
+                   .has_value());
+  EXPECT_TRUE(validate_bundle(one_part(encode(WeightsPayload{large})),
+                              nullptr, policy)
+                  .has_value());
+}
+
+TEST(Validate, StructureCheckedAgainstReferenceBundle) {
+  const ValidationPolicy policy;
+  Rng rng(61);
+  const auto reference =
+      one_part(encode(LogitsPayload{{0, 1, 2}, Tensor::randn({3, 4}, rng)}));
+  const auto same =
+      one_part(encode(LogitsPayload{{3, 4, 5}, Tensor::randn({3, 4}, rng)}));
+  const auto fewer_rows =
+      one_part(encode(LogitsPayload{{0, 1}, Tensor::randn({2, 4}, rng)}));
+  const auto wrong_kind =
+      one_part(encode(WeightsPayload{Tensor::randn({12}, rng)}));
+  EXPECT_FALSE(validate_bundle(same, &reference, policy).has_value());
+  EXPECT_TRUE(validate_bundle(fewer_rows, &reference, policy).has_value());
+  EXPECT_TRUE(validate_bundle(wrong_kind, &reference, policy).has_value());
+  auto two_parts = same;
+  two_parts.push_back(same.front());
+  EXPECT_TRUE(validate_bundle(two_parts, &reference, policy).has_value());
+}
+
+TEST(Validate, UndecodableBytesFailClosedWithoutThrowing) {
+  const ValidationPolicy policy;
+  const auto garbage =
+      one_part(std::vector<std::byte>{std::byte{0x01}, std::byte{0x00}});
+  std::optional<std::string> reason;
+  EXPECT_NO_THROW(reason = validate_bundle(garbage, nullptr, policy));
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("undecodable"), std::string::npos) << *reason;
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <set>
 
@@ -214,6 +215,20 @@ TEST(Aggregation, DispatchAndValidation) {
   EXPECT_STREQ(to_string(LogitAggregation::kMean), "mean");
   EXPECT_STREQ(to_string(LogitAggregation::kVarianceWeighted),
                "variance-weighted");
+}
+
+TEST(Aggregation, RejectsNonFiniteLogits) {
+  Rng rng(7);
+  Tensor clean = Tensor::randn({2, 3}, rng);
+  Tensor poisoned = clean;
+  poisoned.data()[0] = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<Tensor> logits{clean, poisoned};
+  EXPECT_THROW(aggregate_logits_mean(logits), std::invalid_argument);
+  EXPECT_THROW(aggregate_logits_variance_weighted(logits),
+               std::invalid_argument);
+  poisoned.data()[0] = std::numeric_limits<float>::infinity();
+  const std::vector<Tensor> inf_logits{clean, poisoned};
+  EXPECT_THROW(aggregate_logits_mean(inf_logits), std::invalid_argument);
 }
 
 // ----------------------------------------------------------------- Filter ---

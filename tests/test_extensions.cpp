@@ -122,6 +122,88 @@ TEST(Checkpoint, ImportRejectsBadHeader) {
   EXPECT_THROW(fl::import_history_csv(file.path, "x"), std::runtime_error);
 }
 
+TEST(Checkpoint, LoadRejectsWrongVersion) {
+  Rng rng(5);
+  nn::Classifier model = nn::make_classifier("resmlp11", 8, 3, rng);
+  TempFile file("ckpt_version.bin");
+  fl::save_checkpoint(model, file.path);
+  // The u32 version field sits right after the u32 magic.
+  std::fstream f(file.path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(4);
+  f.put(static_cast<char>(0x63));
+  f.close();
+  EXPECT_THROW(fl::load_checkpoint(file.path), std::runtime_error);
+}
+
+TEST(Checkpoint, LoadRejectsUnknownArchitecture) {
+  Rng rng(6);
+  nn::Classifier model = nn::make_classifier("resmlp11", 8, 3, rng);
+  TempFile file("ckpt_arch.bin");
+  fl::save_checkpoint(model, file.path);
+  // The arch string's first character follows magic+version+length (12 bytes).
+  std::fstream f(file.path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(12);
+  f.put('x');  // "xesmlp11" is not in the model zoo
+  f.close();
+  EXPECT_THROW(fl::load_checkpoint(file.path), std::invalid_argument);
+}
+
+const char* kCsvHeader =
+    "round,server_accuracy,mean_client_accuracy,cumulative_bytes\n";
+
+TEST(Checkpoint, ImportRejectsNonFiniteAccuracyCells) {
+  // A NaN accuracy cell would silently poison every best-accuracy and
+  // bytes-to-target query downstream; the importer must refuse it.
+  TempFile nan_cell("hist_nan.csv");
+  std::ofstream(nan_cell.path) << kCsvHeader << "0,nan,0.4,1000\n";
+  EXPECT_THROW(fl::import_history_csv(nan_cell.path, "x"), std::runtime_error);
+
+  TempFile inf_cell("hist_inf.csv");
+  std::ofstream(inf_cell.path) << kCsvHeader << "0,0.5,inf,1000\n";
+  EXPECT_THROW(fl::import_history_csv(inf_cell.path, "x"), std::runtime_error);
+}
+
+TEST(Checkpoint, ImportRejectsJunkAndPartialNumericCells) {
+  TempFile junk_round("hist_junk_round.csv");
+  std::ofstream(junk_round.path) << kCsvHeader << "abc,0.5,0.4,1000\n";
+  EXPECT_THROW(fl::import_history_csv(junk_round.path, "x"),
+               std::runtime_error);
+
+  TempFile junk_acc("hist_junk_acc.csv");
+  std::ofstream(junk_acc.path) << kCsvHeader << "0,0.5,zero,1000\n";
+  EXPECT_THROW(fl::import_history_csv(junk_acc.path, "x"), std::runtime_error);
+
+  // Partially-numeric cells ("12abc") must not be accepted as 12.
+  TempFile partial("hist_partial.csv");
+  std::ofstream(partial.path) << kCsvHeader << "0,0.5,0.4,12abc\n";
+  EXPECT_THROW(fl::import_history_csv(partial.path, "x"), std::runtime_error);
+
+  TempFile partial_acc("hist_partial_acc.csv");
+  std::ofstream(partial_acc.path) << kCsvHeader << "0,0.5e,0.4,1000\n";
+  EXPECT_THROW(fl::import_history_csv(partial_acc.path, "x"),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, ImportRejectsShortRows) {
+  TempFile file("hist_short.csv");
+  std::ofstream(file.path) << kCsvHeader << "0,0.5\n";
+  EXPECT_THROW(fl::import_history_csv(file.path, "x"), std::runtime_error);
+}
+
+TEST(Checkpoint, ImportAcceptsEmptyServerAccuracyOnly) {
+  // The one legitimately empty cell is server accuracy (server-less
+  // algorithms); an empty *client* accuracy is malformed.
+  TempFile ok("hist_empty_server.csv");
+  std::ofstream(ok.path) << kCsvHeader << "0,,0.4,1000\n";
+  const fl::RunHistory back = fl::import_history_csv(ok.path, "x");
+  ASSERT_EQ(back.rounds.size(), 1u);
+  EXPECT_FALSE(back.rounds[0].server_accuracy.has_value());
+
+  TempFile bad("hist_empty_client.csv");
+  std::ofstream(bad.path) << kCsvHeader << "0,0.5,,1000\n";
+  EXPECT_THROW(fl::import_history_csv(bad.path, "x"), std::runtime_error);
+}
+
 // ------------------------------------------------------------- FilterExt ---
 
 struct ExtFixture {
