@@ -17,6 +17,7 @@
 #include "fedpkd/exec/thread_pool.hpp"
 #include "fedpkd/fl/fedavg.hpp"
 #include "fedpkd/fl/round_pipeline.hpp"
+#include "fedpkd/robust/stats.hpp"
 
 namespace {
 
@@ -189,6 +190,80 @@ void report_faults(const std::string& algorithm,
   records.push_back(std::move(latency));
 }
 
+/// Times the Byzantine-robust aggregation kernels on a fleet-sized input
+/// (12 client vectors x 40000 coordinates — roughly one resmlp20's flattened
+/// weights) at 1 and 4 lanes, publishing `robust:<kernel>` records so CI
+/// tracks the per-commit cost of turning on robust aggregation.
+void report_robust(std::vector<bench::JsonBenchRecord>& records) {
+  constexpr std::size_t kClients = 12;
+  constexpr std::size_t kDims = 40000;
+  tensor::Rng rng(0x0b57);
+  std::vector<tensor::Tensor> inputs;
+  inputs.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    tensor::Tensor t({kDims});
+    for (std::size_t i = 0; i < kDims; ++i) {
+      t[i] = static_cast<float>(rng.normal());
+    }
+    inputs.push_back(std::move(t));
+  }
+
+  struct Kernel {
+    const char* name;
+    void (*run)(std::span<const tensor::Tensor>);
+  };
+  const Kernel kernels[] = {
+      {"coordinate_median",
+       [](std::span<const tensor::Tensor> in) {
+         (void)robust::coordinate_median(in);
+       }},
+      {"trimmed_mean",
+       [](std::span<const tensor::Tensor> in) {
+         (void)robust::trimmed_mean(in, 2);
+       }},
+      {"krum",
+       [](std::span<const tensor::Tensor> in) {
+         (void)robust::krum_select(in, 2, 1);
+       }},
+      {"geometric_median",
+       [](std::span<const tensor::Tensor> in) {
+         (void)robust::geometric_median(in);
+       }},
+  };
+
+  std::printf("robust aggregation kernels, %zu clients x %zu dims:\n",
+              kClients, kDims);
+  std::printf("  %-20s %8s %12s\n", "kernel", "threads", "ms/call");
+  for (const Kernel& kernel : kernels) {
+    for (std::size_t threads : {1, 4}) {
+      exec::set_num_threads(threads);
+      kernel.run(inputs);  // warm-up
+      constexpr std::size_t kIters = 5;
+      const auto allocs_before = tensor::Tensor::allocation_count();
+      const auto start = Clock::now();
+      for (std::size_t it = 0; it < kIters; ++it) kernel.run(inputs);
+      const auto stop = Clock::now();
+      const double seconds =
+          std::chrono::duration<double>(stop - start).count();
+      std::printf("  %-20s %8zu %12.3f\n", kernel.name, threads,
+                  seconds / kIters * 1e3);
+      bench::JsonBenchRecord record;
+      record.op = std::string("robust:") + kernel.name;
+      record.shape = "clients=" + std::to_string(kClients) +
+                     ",dims=" + std::to_string(kDims) +
+                     ",threads=" + std::to_string(threads);
+      record.ns_per_iter = seconds / kIters * 1e9;
+      record.allocs_per_iter =
+          static_cast<double>(tensor::Tensor::allocation_count() -
+                              allocs_before) /
+          kIters;
+      records.push_back(std::move(record));
+    }
+  }
+  exec::set_num_threads(1);
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main() {
@@ -208,6 +283,7 @@ int main() {
   report("FedPKD", bundle, 1, scale.name, records);
   report_faults("FedAvg", bundle, 1, scale.name, records);
   report_faults("FedPKD", bundle, 1, scale.name, records);
+  report_robust(records);
   bench::append_bench_records(records);
   return 0;
 }

@@ -17,12 +17,26 @@
 ///                  [--max-weight-norm X] [--fault-seed S]
 ///                  [--save-state run.ckpt] [--state-every N]
 ///                  [--resume run.ckpt]
+///                  [--robust RULE] [--robust-f N] [--robust-m M]
+///                  [--robust-clip X] [--anomaly-theta T]
+///                  [--anomaly-max-exclude F] [--adaptive-norm]
+///                  [--attack TYPE:NODE[:SCALE]]... [--attack-start R]
+///                  [--attack-seed S]
 ///
 /// --threads T runs the round engine on T lanes (0 = one per hardware
 /// thread). Results are bitwise identical for every T; only wall-clock
 /// changes. STAGE is one of broadcast|upload|download.
 ///
-/// Algorithms: FedAvg FedProx FedMD DS-FL FedDF FedET FedPKD
+/// Robustness: RULE is one of none|median|trimmed-mean|norm-clip|krum|
+/// multi-krum|geometric-median; --robust-f sets the assumed adversary count,
+/// --robust-m the multi-krum selection size, --robust-clip the norm-clipping
+/// bound (0 = median-of-norms). --anomaly-theta enables prototype-distance
+/// client anomaly filtering with threshold median + T*MAD; --adaptive-norm
+/// derives the upload weight-norm bound from the median+MAD of accepted
+/// history. TYPE is one of sign-flip|scaled-boost|label-flip|free-rider|
+/// prototype-shift; SCALE defaults to 10.
+///
+/// Algorithms: FedAvg FedProx FedMD DS-FL FedDF FedET FedProto FedPKD
 ///
 /// Examples:
 ///   ./build/examples/experiment_cli --algorithm FedPKD --partition dirichlet
@@ -78,6 +92,11 @@ struct Args {
   std::string save_state;
   std::size_t state_every = 1;
   std::string resume;
+  // Byzantine-robust aggregation and the adversarial-client harness.
+  robust::RobustPolicy robust;
+  bool adaptive_norm = false;
+  robust::AttackPlan attacks;
+  bool have_attacks = false;
 };
 
 comm::RoundStage parse_stage(const std::string& s) {
@@ -156,6 +175,43 @@ Args parse(int argc, char** argv) {
       args.quorum = std::stod(need(i, "--quorum"));
     } else if (a == "--max-weight-norm") {
       args.max_weight_norm = std::stod(need(i, "--max-weight-norm"));
+    } else if (a == "--robust") {
+      args.robust.rule = robust::parse_robust_aggregation(need(i, "--robust"));
+    } else if (a == "--robust-f") {
+      args.robust.assumed_adversaries = std::stoul(need(i, "--robust-f"));
+    } else if (a == "--robust-m") {
+      args.robust.multi_krum_m = std::stoul(need(i, "--robust-m"));
+    } else if (a == "--robust-clip") {
+      args.robust.clip_norm = std::stod(need(i, "--robust-clip"));
+    } else if (a == "--anomaly-theta") {
+      args.robust.anomaly_filter = true;
+      args.robust.anomaly_theta = std::stod(need(i, "--anomaly-theta"));
+    } else if (a == "--anomaly-max-exclude") {
+      args.robust.anomaly_max_exclude_fraction =
+          std::stod(need(i, "--anomaly-max-exclude"));
+    } else if (a == "--adaptive-norm") {
+      args.adaptive_norm = true;
+    } else if (a == "--attack") {
+      const std::string v = need(i, "--attack");
+      const auto c1 = v.find(':');
+      if (c1 == std::string::npos) {
+        throw std::invalid_argument("--attack wants TYPE:NODE[:SCALE], got " +
+                                    v);
+      }
+      const auto c2 = v.find(':', c1 + 1);
+      robust::AdversarialClient adv;
+      adv.type = robust::parse_attack_type(v.substr(0, c1));
+      adv.node = static_cast<comm::NodeId>(
+          std::stol(v.substr(c1 + 1, c2 == std::string::npos
+                                         ? std::string::npos
+                                         : c2 - c1 - 1)));
+      if (c2 != std::string::npos) adv.scale = std::stod(v.substr(c2 + 1));
+      args.attacks.adversaries.push_back(adv);
+      args.have_attacks = true;
+    } else if (a == "--attack-start") {
+      args.attacks.start_round = std::stoul(need(i, "--attack-start"));
+    } else if (a == "--attack-seed") {
+      args.attacks.seed = std::stoull(need(i, "--attack-seed"));
     } else if (a == "--save-state") {
       args.save_state = need(i, "--save-state");
     } else if (a == "--state-every") {
@@ -254,6 +310,9 @@ int main(int argc, char** argv) try {
   if (args.deadline_ms > 0.0) fed->policy.upload_deadline_ms = args.deadline_ms;
   fed->policy.quorum_fraction = args.quorum;
   fed->policy.validation.max_weights_norm = args.max_weight_norm;
+  fed->policy.validation.adaptive_weights_norm = args.adaptive_norm;
+  fed->robust = args.robust;
+  if (args.have_attacks) fed->set_attack_plan(args.attacks);
 
   auto algo = make_algo(args.algorithm, *fed);
   fl::RunOptions run;
@@ -308,6 +367,13 @@ int main(int argc, char** argv) try {
                 << " crashed=" << faults.clients_crashed
                 << " quorum_misses=" << faults.quorum_misses
                 << " max_latency=" << faults.max_upload_latency_ms << "ms\n";
+    }
+    if (args.have_attacks || args.robust.active()) {
+      std::cout << "robust totals: rule="
+                << robust::to_string(args.robust.rule)
+                << " attacks=" << faults.attacks_injected
+                << " anomaly_excluded=" << faults.anomaly_excluded
+                << " clipped=" << faults.clipped_contributions << "\n";
     }
   }
 

@@ -1,7 +1,10 @@
 #include "fedpkd/comm/validate.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
+
+#include "fedpkd/tensor/serialize.hpp"
 
 namespace fedpkd::comm {
 
@@ -137,6 +140,61 @@ std::optional<std::string> validate_bundle(
     }
   }
   return std::nullopt;
+}
+
+namespace {
+
+double median_sorted_copy(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n == 0) return 0.0;
+  if (n % 2 == 1) return values[n / 2];
+  return (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+}  // namespace
+
+void WeightNormTracker::record(double norm) {
+  if (!std::isfinite(norm) || norm < 0.0) return;
+  history_.push_back(norm);
+  if (history_.size() > kMaxHistory) {
+    history_.erase(history_.begin(),
+                   history_.begin() +
+                       static_cast<std::ptrdiff_t>(history_.size() -
+                                                   kMaxHistory));
+  }
+}
+
+double WeightNormTracker::bound_or(double fallback, double factor,
+                                   std::size_t min_history) const {
+  if (history_.size() < min_history || min_history == 0) return fallback;
+  const double med = median_sorted_copy(history_);
+  std::vector<double> deviations(history_.size());
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    deviations[i] = std::fabs(history_[i] - med);
+  }
+  const double mad = median_sorted_copy(std::move(deviations));
+  const double spread = std::max({mad, 0.01 * med, 1e-9});
+  return med + factor * spread;
+}
+
+void WeightNormTracker::save_state(std::vector<std::byte>& out) const {
+  tensor::put_u64(history_.size(), out);
+  for (double norm : history_) tensor::put_f64(norm, out);
+}
+
+void WeightNormTracker::load_state(std::span<const std::byte> bytes,
+                                   std::size_t& offset) {
+  const std::uint64_t n = tensor::get_u64(bytes, offset);
+  history_.clear();
+  history_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    history_.push_back(tensor::get_f64(bytes, offset));
+  }
+}
+
+double weights_part_norm(std::span<const std::byte> part) {
+  return l2_norm(decode_weights(part).flat);
 }
 
 }  // namespace fedpkd::comm

@@ -1,7 +1,10 @@
 #include "fedpkd/core/aggregation.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
+#include <vector>
 
 #include "fedpkd/tensor/ops.hpp"
 
@@ -35,6 +38,53 @@ void check_inputs(std::span<const Tensor> client_logits, const char* what) {
   }
 }
 
+/// Exact waterfilling for one normalized weight column: pin the k largest
+/// weights at `cap` for the smallest k that lets the remaining mass
+/// 1 - k*cap be spread over the other entries proportionally without any of
+/// them exceeding the cap. Feasible whenever cap >= 1/clients (k = clients-1
+/// always satisfies the check then), so the loop is guaranteed to terminate
+/// with a valid assignment.
+void waterfill_column(std::vector<float>& w, float cap) {
+  const std::size_t clients = w.size();
+  std::vector<std::size_t> order(clients);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (w[a] != w[b]) return w[a] > w[b];
+    return a < b;
+  });
+  if (w[order.front()] <= cap) return;
+  for (std::size_t k = 1; k < clients; ++k) {
+    double rest_sum = 0.0;
+    for (std::size_t j = k; j < clients; ++j) rest_sum += w[order[j]];
+    const double remaining = 1.0 - static_cast<double>(k) * cap;
+    if (remaining < 0.0) break;  // cap infeasible; caller falls back
+    double alpha = 0.0;
+    double uniform_rest = 0.0;
+    const bool degenerate = rest_sum <= 1e-12;
+    if (degenerate) {
+      uniform_rest = remaining / static_cast<double>(clients - k);
+      if (uniform_rest > cap) continue;
+    } else {
+      alpha = remaining / rest_sum;
+      if (alpha * w[order[k]] > cap) continue;  // largest survivor still over
+    }
+    for (std::size_t j = 0; j < clients; ++j) {
+      if (j < k) {
+        w[order[j]] = cap;
+      } else if (degenerate) {
+        w[order[j]] = static_cast<float>(uniform_rest);
+      } else {
+        w[order[j]] = static_cast<float>(alpha * w[order[j]]);
+      }
+    }
+    return;
+  }
+  // cap < 1/clients: no valid assignment exists; uniform is the least-bad
+  // deterministic fallback.
+  const float uniform = 1.0f / static_cast<float>(clients);
+  for (float& v : w) v = uniform;
+}
+
 }  // namespace
 
 const char* to_string(LogitAggregation aggregation) {
@@ -47,7 +97,8 @@ const char* to_string(LogitAggregation aggregation) {
   return "unknown";
 }
 
-Tensor variance_aggregation_weights(std::span<const Tensor> client_logits) {
+Tensor variance_aggregation_weights(std::span<const Tensor> client_logits,
+                                    float max_weight) {
   check_inputs(client_logits, "variance_aggregation_weights");
   const std::size_t clients = client_logits.size();
   const std::size_t n = client_logits.front().rows();
@@ -71,13 +122,22 @@ Tensor variance_aggregation_weights(std::span<const Tensor> client_logits) {
       for (std::size_t c = 0; c < clients; ++c) weights[c * n + i] *= inv;
     }
   }
+  if (max_weight > 0.0f && max_weight < 1.0f && clients > 1) {
+    std::vector<float> column(clients);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < clients; ++c) column[c] = weights[c * n + i];
+      waterfill_column(column, max_weight);
+      for (std::size_t c = 0; c < clients; ++c) weights[c * n + i] = column[c];
+    }
+  }
   return weights;
 }
 
 Tensor aggregate_logits_variance_weighted(
-    std::span<const Tensor> client_logits) {
+    std::span<const Tensor> client_logits, float max_weight) {
   check_inputs(client_logits, "aggregate_logits_variance_weighted");
-  const Tensor weights = variance_aggregation_weights(client_logits);
+  const Tensor weights =
+      variance_aggregation_weights(client_logits, max_weight);
   const std::size_t clients = client_logits.size();
   const std::size_t n = client_logits.front().rows();
   const std::size_t k = client_logits.front().cols();
@@ -103,10 +163,11 @@ Tensor aggregate_logits_mean(std::span<const Tensor> client_logits) {
 }
 
 Tensor aggregate_logits(LogitAggregation aggregation,
-                        std::span<const Tensor> client_logits) {
+                        std::span<const Tensor> client_logits,
+                        float max_weight) {
   switch (aggregation) {
     case LogitAggregation::kVarianceWeighted:
-      return aggregate_logits_variance_weighted(client_logits);
+      return aggregate_logits_variance_weighted(client_logits, max_weight);
     case LogitAggregation::kMean:
       return aggregate_logits_mean(client_logits);
   }

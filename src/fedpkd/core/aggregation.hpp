@@ -21,18 +21,29 @@ const char* to_string(LogitAggregation aggregation);
 /// each sample's aggregate. All inputs must be [n, classes] with equal shape.
 /// If every client has (near-)zero variance on a sample, the weights fall
 /// back to uniform for that sample.
-Tensor aggregate_logits_variance_weighted(std::span<const Tensor> client_logits);
+///
+/// `max_weight` caps any single client's per-sample weight (0 disables). The
+/// uncapped rule has an adversarial failure mode: one client emitting an
+/// enormous-variance row captures weight ~1.0 for that sample and dictates
+/// the teacher single-handedly. Capping redistributes the excess over the
+/// other clients proportionally (exact waterfilling, so capped columns still
+/// sum to 1); a cap below 1/clients is infeasible and falls back to uniform.
+Tensor aggregate_logits_variance_weighted(std::span<const Tensor> client_logits,
+                                          float max_weight = 0.0f);
 
 /// Plain per-sample mean of client logits (Eq. 3).
 Tensor aggregate_logits_mean(std::span<const Tensor> client_logits);
 
-/// Dispatch on the enum.
+/// Dispatch on the enum (`max_weight` applies to kVarianceWeighted only).
 Tensor aggregate_logits(LogitAggregation aggregation,
-                        std::span<const Tensor> client_logits);
+                        std::span<const Tensor> client_logits,
+                        float max_weight = 0.0f);
 
 /// Per-sample aggregation weights beta_c^t(x_i) of Eq. (7), returned as a
 /// [clients, n] tensor (each column sums to 1). Exposed separately so tests
-/// and the Fig. 2 experiment can inspect the weighting directly.
-Tensor variance_aggregation_weights(std::span<const Tensor> client_logits);
+/// and the Fig. 2 experiment can inspect the weighting directly. `max_weight`
+/// as in aggregate_logits_variance_weighted.
+Tensor variance_aggregation_weights(std::span<const Tensor> client_logits,
+                                    float max_weight = 0.0f);
 
 }  // namespace fedpkd::core

@@ -94,24 +94,53 @@ fl::PayloadBundle FedPkd::make_upload(fl::RoundContext& ctx, std::size_t,
 void FedPkd::server_step(fl::RoundContext& ctx,
                          std::vector<fl::Contribution>& contributions) {
   const std::size_t public_n = ctx.fed.public_data.size();
+  const bool robust_rule =
+      ctx.fed.robust.rule != robust::RobustAggregation::kNone;
   std::vector<tensor::Tensor> client_logits;
-  std::vector<PrototypeSet> client_prototypes;
   client_logits.reserve(contributions.size());
-  client_prototypes.reserve(contributions.size());
   for (const fl::Contribution& c : contributions) {
     client_logits.push_back(c.bundle.logits(0).logits);
-    client_prototypes.push_back(from_payload(
-        c.bundle.prototypes(1), ctx.fed.num_classes, server_.feature_dim()));
   }
 
   // ---- 3a. Aggregate knowledge (Eq. 6-7) and prototypes (Eq. 8) -----------
   // A convex combination of probability rows is itself a distribution, so
   // the aggregate S^t doubles as the distillation teacher without another
-  // softmax.
-  const tensor::Tensor aggregated =
-      aggregate_logits(options_.aggregation, client_logits);
-  PrototypeSet global = aggregate_prototypes(
-      client_prototypes, options_.paper_literal_prototype_scaling);
+  // softmax. Under a robust rule both spaces switch estimators: the
+  // probability rows are robust-combined (then re-projected onto the
+  // simplex — coordinate estimators do not preserve it), and prototypes are
+  // aggregated per class by the same rule instead of the support-weighted
+  // mean of Eq. (8).
+  tensor::Tensor aggregated;
+  PrototypeSet global;
+  if (robust_rule) {
+    robust::CombineResult combined =
+        robust::robust_combine(ctx.fed.robust, client_logits);
+    aggregated = std::move(combined.value);
+    robust::renormalize_rows(aggregated);
+    std::vector<comm::PrototypesPayload> proto_uploads;
+    proto_uploads.reserve(contributions.size());
+    for (const fl::Contribution& c : contributions) {
+      proto_uploads.push_back(c.bundle.prototypes(1));
+    }
+    robust::PrototypeAggregateResult proto =
+        robust::robust_aggregate_prototypes(ctx.fed.robust, proto_uploads);
+    if (ctx.faults != nullptr) {
+      ctx.faults->clipped_contributions += combined.clipped + proto.clipped;
+    }
+    global = from_payload(proto.payload, ctx.fed.num_classes,
+                          server_.feature_dim());
+  } else {
+    std::vector<PrototypeSet> client_prototypes;
+    client_prototypes.reserve(contributions.size());
+    for (const fl::Contribution& c : contributions) {
+      client_prototypes.push_back(from_payload(
+          c.bundle.prototypes(1), ctx.fed.num_classes, server_.feature_dim()));
+    }
+    aggregated = aggregate_logits(options_.aggregation, client_logits,
+                                  options_.variance_weight_cap);
+    global = aggregate_prototypes(client_prototypes,
+                                  options_.paper_literal_prototype_scaling);
+  }
 
   // ---- 3b. Prototype-based data filtering (Algorithm 1) -------------------
   FilterResult filter;

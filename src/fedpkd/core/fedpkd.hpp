@@ -42,6 +42,9 @@ class FedPkd : public fl::StagedAlgorithm {
     std::string server_arch = "resmlp56";
     std::size_t distill_batch = 32;
     LogitAggregation aggregation = LogitAggregation::kVarianceWeighted;
+    /// Cap on any single client's per-sample variance weight (0 = uncapped;
+    /// see aggregate_logits_variance_weighted for the adversarial rationale).
+    float variance_weight_cap = 0.0f;
     /// Ablations (Fig. 8): "w/o Pro" disables both prototype losses;
     /// "w/o D.F." trains on the unfiltered public set.
     bool use_prototypes = true;

@@ -32,6 +32,23 @@ fl::PayloadBundle FedProto::make_upload(fl::RoundContext&, std::size_t,
 void FedProto::server_step(fl::RoundContext& ctx,
                            std::vector<fl::Contribution>& contributions) {
   const std::size_t feature_dim = ctx.fed.clients.front().model.feature_dim();
+  if (ctx.fed.robust.rule != robust::RobustAggregation::kNone) {
+    // Robust prototype aggregation at the payload level: per class, the
+    // configured estimator replaces the support-weighted centroid mean.
+    std::vector<comm::PrototypesPayload> uploads;
+    uploads.reserve(contributions.size());
+    for (const fl::Contribution& c : contributions) {
+      uploads.push_back(c.bundle.prototypes());
+    }
+    robust::PrototypeAggregateResult aggregated =
+        robust::robust_aggregate_prototypes(ctx.fed.robust, uploads);
+    if (ctx.faults != nullptr) {
+      ctx.faults->clipped_contributions += aggregated.clipped;
+    }
+    global_prototypes_ =
+        from_payload(aggregated.payload, ctx.fed.num_classes, feature_dim);
+    return;
+  }
   std::vector<PrototypeSet> client_sets;
   client_sets.reserve(contributions.size());
   for (const fl::Contribution& c : contributions) {

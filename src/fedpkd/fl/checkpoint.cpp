@@ -16,7 +16,9 @@ constexpr std::uint32_t kMagic = 0x464b5043u;  // 'FPKC' (single model)
 constexpr std::uint32_t kVersion = 1;
 
 constexpr std::uint32_t kRunMagic = 0x464b5052u;  // 'FPKR' (federation resume)
-constexpr std::uint32_t kRunVersion = 2;
+// v3 adds the attack injector's replay cache, the adaptive weight-norm
+// tracker, the per-round robustness counters, and per-client anomaly records.
+constexpr std::uint32_t kRunVersion = 3;
 
 void put_string(const std::string& s, std::vector<std::byte>& out) {
   tensor::put_u32(static_cast<std::uint32_t>(s.size()), out);
@@ -110,11 +112,21 @@ void export_history_csv(const RunHistory& history,
     throw std::runtime_error("export_history_csv: cannot write " +
                              path.string());
   }
-  out << "round,server_accuracy,mean_client_accuracy,cumulative_bytes\n";
+  out << "round,server_accuracy,mean_client_accuracy,cumulative_bytes,"
+         "anomaly_excluded,anomaly\n";
   for (const RoundMetrics& m : history.rounds) {
     out << m.round << ',';
     if (m.server_accuracy) out << *m.server_accuracy;
-    out << ',' << m.mean_client_accuracy << ',' << m.cumulative_bytes << '\n';
+    out << ',' << m.mean_client_accuracy << ',' << m.cumulative_bytes << ','
+        << (m.fault_stats ? m.fault_stats->anomaly_excluded : 0) << ',';
+    // Per-client anomaly records, semicolon-joined: node:score:excluded|kept.
+    for (std::size_t i = 0; i < m.anomaly.size(); ++i) {
+      if (i != 0) out << ';';
+      const ClientAnomaly& a = m.anomaly[i];
+      out << a.node << ':' << a.score << ':'
+          << (a.excluded ? "excluded" : "kept");
+    }
+    out << '\n';
   }
   if (!out) {
     throw std::runtime_error("export_history_csv: short write");
@@ -160,6 +172,40 @@ float parse_accuracy(const std::string& field, const char* what) {
   return value;
 }
 
+/// Parses the semicolon-joined anomaly column written by export_history_csv:
+/// `node:score:excluded|kept;...`. Exclusion *reasons* are log-only and not
+/// round-tripped through the CSV.
+std::vector<ClientAnomaly> parse_anomaly_cell(const std::string& cell) {
+  std::vector<ClientAnomaly> anomaly;
+  std::istringstream entries(cell);
+  std::string entry;
+  while (std::getline(entries, entry, ';')) {
+    std::istringstream parts(entry);
+    std::string node_field;
+    std::string score_field;
+    std::string flag;
+    if (!std::getline(parts, node_field, ':') ||
+        !std::getline(parts, score_field, ':') || !std::getline(parts, flag)) {
+      throw std::runtime_error("import_history_csv: bad anomaly cell '" +
+                               entry + "'");
+    }
+    ClientAnomaly a;
+    a.node =
+        static_cast<std::int32_t>(parse_count(node_field, "anomaly node"));
+    a.score = parse_accuracy(score_field, "anomaly score");
+    if (flag == "excluded") {
+      a.excluded = true;
+    } else if (flag == "kept") {
+      a.excluded = false;
+    } else {
+      throw std::runtime_error("import_history_csv: bad anomaly cell '" +
+                               entry + "'");
+    }
+    anomaly.push_back(std::move(a));
+  }
+  return anomaly;
+}
+
 }  // namespace
 
 RunHistory import_history_csv(const std::filesystem::path& path,
@@ -172,8 +218,16 @@ RunHistory import_history_csv(const std::filesystem::path& path,
   RunHistory history;
   history.algorithm = std::move(algorithm);
   std::string line;
-  if (!std::getline(in, line) ||
-      line != "round,server_accuracy,mean_client_accuracy,cumulative_bytes") {
+  constexpr const char* kLegacyHeader =
+      "round,server_accuracy,mean_client_accuracy,cumulative_bytes";
+  constexpr const char* kHeader =
+      "round,server_accuracy,mean_client_accuracy,cumulative_bytes,"
+      "anomaly_excluded,anomaly";
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("import_history_csv: bad header");
+  }
+  const bool has_anomaly_columns = line == kHeader;
+  if (!has_anomaly_columns && line != kLegacyHeader) {
     throw std::runtime_error("import_history_csv: bad header");
   }
   while (std::getline(in, line)) {
@@ -199,6 +253,22 @@ RunHistory import_history_csv(const std::filesystem::path& path,
       throw std::runtime_error("import_history_csv: missing bytes");
     }
     m.cumulative_bytes = parse_count(field, "bytes");
+    if (has_anomaly_columns) {
+      if (!std::getline(row, field, ',')) {
+        throw std::runtime_error("import_history_csv: missing anomaly count");
+      }
+      const std::size_t excluded = parse_count(field, "anomaly count");
+      if (excluded > 0) {
+        RoundFaultStats f;
+        f.anomaly_excluded = excluded;
+        m.fault_stats = f;
+      }
+      // The anomaly cell is the last column and may legitimately be empty,
+      // in which case getline fails at end-of-line.
+      if (std::getline(row, field, ',') && !field.empty()) {
+        m.anomaly = parse_anomaly_cell(field);
+      }
+    }
     history.rounds.push_back(m);
   }
   return history;
@@ -232,7 +302,17 @@ void put_history(const RunHistory& history, std::vector<std::byte>& out) {
       tensor::put_u64(f.rejected_contributions, out);
       tensor::put_u64(f.quorum_misses, out);
       tensor::put_u64(f.clients_crashed, out);
+      tensor::put_u64(f.attacks_injected, out);
+      tensor::put_u64(f.anomaly_excluded, out);
+      tensor::put_u64(f.clipped_contributions, out);
       tensor::put_f64(f.max_upload_latency_ms, out);
+    }
+    tensor::put_u64(m.anomaly.size(), out);
+    for (const ClientAnomaly& a : m.anomaly) {
+      tensor::put_u32(static_cast<std::uint32_t>(a.node), out);
+      tensor::put_f32(a.score, out);
+      out.push_back(static_cast<std::byte>(a.excluded ? 1 : 0));
+      put_string(a.reason, out);
     }
   }
 }
@@ -281,8 +361,31 @@ RunHistory get_history(std::span<const std::byte> bytes, std::size_t& offset,
       f.quorum_misses = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
       f.clients_crashed =
           static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+      f.attacks_injected =
+          static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+      f.anomaly_excluded =
+          static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+      f.clipped_contributions =
+          static_cast<std::size_t>(tensor::get_u64(bytes, offset));
       f.max_upload_latency_ms = tensor::get_f64(bytes, offset);
       m.fault_stats = f;
+    }
+    const auto anomalies =
+        static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+    if (anomalies > (bytes.size() - offset) / 9) {  // >= 9 bytes per record
+      throw std::runtime_error("checkpoint: truncated history");
+    }
+    m.anomaly.reserve(anomalies);
+    for (std::size_t i = 0; i < anomalies; ++i) {
+      ClientAnomaly a;
+      a.node = static_cast<std::int32_t>(tensor::get_u32(bytes, offset));
+      a.score = tensor::get_f32(bytes, offset);
+      if (offset >= bytes.size()) {
+        throw std::runtime_error("checkpoint: truncated history");
+      }
+      a.excluded = bytes[offset++] != std::byte{0};
+      a.reason = get_string(bytes, offset);
+      m.anomaly.push_back(std::move(a));
     }
     history.rounds.push_back(std::move(m));
   }
@@ -320,6 +423,11 @@ void save_federation_checkpoint(const std::filesystem::path& path,
   tensor::put_u64(participation.begun_round, out);
 
   fed.channel.faults().save_state(out);
+  // Like the fault plan, the attack plan itself is not serialized: resume
+  // re-applies the plan and this restores only the mutable position (the
+  // free-rider replay cache and the adaptive norm history).
+  fed.attacks.save_state(out);
+  fed.norm_tracker.save_state(out);
 
   const auto& records = fed.meter.records();
   tensor::put_u64(records.size(), out);
@@ -390,6 +498,8 @@ FederationResume load_federation_checkpoint(const std::filesystem::path& path,
   fed.restore_participation(participation);
 
   fed.channel.faults().load_state(bytes, offset);
+  fed.attacks.load_state(bytes, offset);
+  fed.norm_tracker.load_state(bytes, offset);
 
   const auto record_count =
       static_cast<std::size_t>(tensor::get_u64(bytes, offset));

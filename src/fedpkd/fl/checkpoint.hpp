@@ -30,32 +30,36 @@ void save_checkpoint(nn::Classifier& model, const std::filesystem::path& path);
 nn::Classifier load_checkpoint(const std::filesystem::path& path);
 
 /// Writes a RunHistory as CSV with the columns
-/// round,server_accuracy,mean_client_accuracy,cumulative_bytes
-/// (server_accuracy empty for algorithms without a server model).
+/// round,server_accuracy,mean_client_accuracy,cumulative_bytes,
+/// anomaly_excluded,anomaly
+/// (server_accuracy empty for algorithms without a server model; the anomaly
+/// column semicolon-joins per-client records as node:score:excluded|kept).
 void export_history_csv(const RunHistory& history,
                         const std::filesystem::path& path);
 
 /// Parses a CSV produced by export_history_csv back into a RunHistory
 /// (algorithm name is taken from the `algorithm` argument since CSV does not
-/// carry it). Throws std::runtime_error on malformed input, including
+/// carry it). Also accepts the legacy four-column header without the anomaly
+/// columns. Throws std::runtime_error on malformed input, including
 /// non-numeric or non-finite accuracy cells.
 RunHistory import_history_csv(const std::filesystem::path& path,
                               std::string algorithm);
 
-/// -- Federation crash-resume checkpoints (format v2, magic 'FPKR') ----------
+/// -- Federation crash-resume checkpoints (format v3, magic 'FPKR') ----------
 ///
 /// A federation checkpoint captures everything a resumed run needs to
 /// continue bitwise-identically from round `next_round`: the federation RNG,
 /// the participation sampler, the fault injector's dice streams / offline set
-/// / crash cursor, the traffic meter log, every client's RNG stream and model
-/// weights, the algorithm's cross-round state (via Algorithm::save_state),
-/// and the per-round history executed so far.
+/// / crash cursor, the attack injector's free-rider replay cache, the
+/// adaptive weight-norm history, the traffic meter log, every client's RNG
+/// stream and model weights, the algorithm's cross-round state (via
+/// Algorithm::save_state), and the per-round history executed so far.
 ///
-/// Run *configuration* — datasets, partition, client configs, the FaultPlan —
+/// Run *configuration* — datasets, partition, the FaultPlan, the AttackPlan —
 /// is deliberately not stored: resume rebuilds the identical federation and
 /// algorithm from the same configuration (build_federation is deterministic
-/// under the seed, set_fault_plan under the plan's seed), then this restores
-/// the mutable state on top.
+/// under the seed, set_fault_plan / set_attack_plan under the plans' seeds),
+/// then this restores the mutable state on top.
 
 /// What load_federation_checkpoint hands back to the resuming caller.
 struct FederationResume {

@@ -62,15 +62,33 @@ PayloadBundle DsFl::make_upload(RoundContext& ctx, std::size_t,
 
 void DsFl::server_step(RoundContext& ctx,
                        std::vector<Contribution>& contributions) {
-  // Mean of the surviving clients' probabilities (slot order), then
-  // entropy-reduction aggregation.
-  tensor::Tensor mean_probs(
-      {ctx.fed.public_data.size(), ctx.fed.num_classes});
-  for (const Contribution& c : contributions) {
-    tensor::add_inplace(mean_probs, c.bundle.logits().logits);
+  tensor::Tensor mean_probs;
+  if (ctx.fed.robust.rule != robust::RobustAggregation::kNone) {
+    // Robust combine over probability rows, uniform weights. Coordinate
+    // estimators leave the simplex; sharpen_rows renormalizes every row
+    // anyway, so no separate projection is needed here.
+    std::vector<tensor::Tensor> uploads;
+    uploads.reserve(contributions.size());
+    for (const Contribution& c : contributions) {
+      uploads.push_back(c.bundle.logits().logits);
+    }
+    robust::CombineResult combined =
+        robust::robust_combine(ctx.fed.robust, uploads);
+    if (ctx.faults != nullptr) {
+      ctx.faults->clipped_contributions += combined.clipped;
+    }
+    mean_probs = std::move(combined.value);
+  } else {
+    // Mean of the surviving clients' probabilities (slot order), then
+    // entropy-reduction aggregation.
+    mean_probs =
+        tensor::Tensor({ctx.fed.public_data.size(), ctx.fed.num_classes});
+    for (const Contribution& c : contributions) {
+      tensor::add_inplace(mean_probs, c.bundle.logits().logits);
+    }
+    tensor::scale_inplace(mean_probs,
+                          1.0f / static_cast<float>(contributions.size()));
   }
-  tensor::scale_inplace(mean_probs,
-                        1.0f / static_cast<float>(contributions.size()));
   sharpened_ = sharpen_rows(mean_probs, options_.sharpen_temperature);
 }
 

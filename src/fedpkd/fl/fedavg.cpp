@@ -42,8 +42,28 @@ PayloadBundle FedAvg::make_upload(RoundContext&, std::size_t, Client& client) {
   return PayloadBundle(comm::WeightsPayload{client.model.flat_weights()});
 }
 
-void FedAvg::server_step(RoundContext&,
+void FedAvg::server_step(RoundContext& ctx,
                          std::vector<Contribution>& contributions) {
+  if (ctx.fed.robust.rule != robust::RobustAggregation::kNone) {
+    // Byzantine-robust weight-space aggregation: the configured estimator
+    // replaces the |D_c|-weighted mean (data sizes stay as importance
+    // weights where the estimator honors them).
+    std::vector<tensor::Tensor> updates;
+    std::vector<float> weights;
+    updates.reserve(contributions.size());
+    weights.reserve(contributions.size());
+    for (const Contribution& c : contributions) {
+      updates.push_back(c.bundle.weights().flat);
+      weights.push_back(static_cast<float>(c.client->train_data.size()));
+    }
+    robust::CombineResult combined =
+        robust::robust_combine(ctx.fed.robust, updates, weights);
+    if (ctx.faults != nullptr) {
+      ctx.faults->clipped_contributions += combined.clipped;
+    }
+    global_.set_flat_weights(combined.value);
+    return;
+  }
   // w_G = sum_c |D_c| w_c / sum |D_c| over the contributions that survived
   // the uplink, accumulated in slot order so the result is thread-count
   // independent.

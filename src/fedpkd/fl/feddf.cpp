@@ -39,45 +39,86 @@ PayloadBundle FedDf::make_upload(RoundContext&, std::size_t, Client& client) {
 
 void FedDf::server_step(RoundContext& ctx,
                         std::vector<Contribution>& contributions) {
-  // FedAvg accumulation (slot order) plus the reconstructed client models:
-  // weight-space uploads are what make FedDF's ensemble possible without
-  // shipping logits.
-  tensor::Tensor accum({server_.parameter_count()});
+  // Reconstructed client models: weight-space uploads are what make FedDF's
+  // ensemble possible without shipping logits.
   std::vector<comm::WeightsPayload> uploads;
   uploads.reserve(contributions.size());
-  std::size_t received_weight = 0;
   for (const Contribution& c : contributions) {
-    comm::WeightsPayload payload = c.bundle.weights();
-    tensor::axpy_inplace(accum,
-                         static_cast<float>(c.client->train_data.size()),
-                         payload.flat);
-    received_weight += c.client->train_data.size();
-    uploads.push_back(std::move(payload));
+    uploads.push_back(c.bundle.weights());
   }
   const std::size_t received = uploads.size();
+  const bool robust_rule =
+      ctx.fed.robust.rule != robust::RobustAggregation::kNone;
+
+  // Fused initialization: |D_c|-weighted FedAvg (slot order), or the
+  // configured robust estimator. Krum-family selection additionally prunes
+  // the distillation ensemble to the selected members — a boosted model
+  // would otherwise still poison the teacher through its logits.
+  tensor::Tensor accum;
+  std::vector<std::size_t> members(received);
+  for (std::size_t i = 0; i < received; ++i) members[i] = i;
+  if (robust_rule) {
+    std::vector<tensor::Tensor> flats;
+    std::vector<float> weights;
+    flats.reserve(received);
+    weights.reserve(received);
+    for (std::size_t i = 0; i < received; ++i) {
+      flats.push_back(uploads[i].flat);
+      weights.push_back(
+          static_cast<float>(contributions[i].client->train_data.size()));
+    }
+    robust::CombineResult combined =
+        robust::robust_combine(ctx.fed.robust, flats, weights);
+    if (ctx.faults != nullptr) {
+      ctx.faults->clipped_contributions += combined.clipped;
+    }
+    accum = std::move(combined.value);
+    if (!combined.selected.empty()) members = std::move(combined.selected);
+  } else {
+    accum = tensor::Tensor({server_.parameter_count()});
+    std::size_t received_weight = 0;
+    for (const Contribution& c : contributions) {
+      tensor::axpy_inplace(accum,
+                           static_cast<float>(c.client->train_data.size()),
+                           c.bundle.weights().flat);
+      received_weight += c.client->train_data.size();
+    }
+    tensor::scale_inplace(accum, 1.0f / static_cast<float>(received_weight));
+  }
 
   // Ensemble members evaluate concurrently, each on its own scratch clone;
-  // the ensemble mean reduces serially in upload order.
-  std::vector<tensor::Tensor> member_probs(received);
-  exec::parallel_for(received, [&](std::size_t begin, std::size_t end) {
+  // the teacher reduces serially in member order.
+  const std::size_t member_count = members.size();
+  std::vector<tensor::Tensor> member_probs(member_count);
+  exec::parallel_for(member_count, [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       nn::Classifier scratch = server_.clone();
-      scratch.set_flat_weights(uploads[i].flat);
+      scratch.set_flat_weights(uploads[members[i]].flat);
       member_probs[i] =
           compute_logits(scratch, ctx.fed.public_data.features);
       tensor::softmax_rows_inplace(member_probs[i],
                                    options_.distill_temperature);
     }
   });
-  tensor::Tensor ensemble_probs(
-      {ctx.fed.public_data.size(), ctx.fed.num_classes});
-  for (const tensor::Tensor& probs : member_probs) {
-    tensor::add_inplace(ensemble_probs, probs);
+  tensor::Tensor ensemble_probs;
+  if (robust_rule && member_count == received) {
+    // Non-selecting robust rules: combine the member probabilities with the
+    // same estimator (uniform weights) and re-project onto the simplex.
+    robust::CombineResult combined =
+        robust::robust_combine(ctx.fed.robust, member_probs);
+    ensemble_probs = std::move(combined.value);
+    robust::renormalize_rows(ensemble_probs);
+  } else {
+    ensemble_probs =
+        tensor::Tensor({ctx.fed.public_data.size(), ctx.fed.num_classes});
+    for (const tensor::Tensor& probs : member_probs) {
+      tensor::add_inplace(ensemble_probs, probs);
+    }
+    tensor::scale_inplace(ensemble_probs,
+                          1.0f / static_cast<float>(member_count));
   }
-  tensor::scale_inplace(accum, 1.0f / static_cast<float>(received_weight));
-  tensor::scale_inplace(ensemble_probs, 1.0f / static_cast<float>(received));
 
-  // Initialize from the parameter average, then distill the ensemble.
+  // Initialize from the fused parameters, then distill the ensemble.
   server_.set_flat_weights(accum);
   DistillSet set{ctx.fed.public_data.features, ensemble_probs,
                  tensor::argmax_rows(ensemble_probs)};

@@ -182,6 +182,7 @@ std::unique_ptr<Federation> build_federation(
   fed->num_classes = bundle.train_pool.num_classes;
   fed->input_dim = bundle.train_pool.dim();
   fed->rng = tensor::Rng(config.seed);
+  fed->robust = config.robust;
 
   tensor::Rng partition_rng = fed->rng.split(0x70617274);
   const data::Partition split =
@@ -255,6 +256,9 @@ RunHistory run_federation(Algorithm& algorithm, Federation& fed,
     if (const RoundFaultStats* faults = algorithm.last_fault_stats()) {
       metrics.fault_stats = *faults;
     }
+    if (const std::vector<ClientAnomaly>* anomaly = algorithm.last_anomaly()) {
+      metrics.anomaly = *anomaly;
+    }
     if (options.log != nullptr) {
       *options.log << history.algorithm << " round " << t;
       if (metrics.server_accuracy) {
@@ -278,7 +282,24 @@ RunHistory run_federation(Algorithm& algorithm, Federation& fed,
                      << " stragglers=" << f.stragglers_excluded
                      << " rejected=" << f.rejected_contributions
                      << " crashed=" << f.clients_crashed
-                     << " quorum_miss=" << f.quorum_misses << "]";
+                     << " quorum_miss=" << f.quorum_misses;
+        if (f.attacks_injected > 0 || f.anomaly_excluded > 0 ||
+            f.clipped_contributions > 0) {
+          *options.log << " attacks=" << f.attacks_injected
+                       << " anomaly_excl=" << f.anomaly_excluded
+                       << " clipped=" << f.clipped_contributions;
+        }
+        *options.log << "]";
+      }
+      if (!metrics.anomaly.empty()) {
+        *options.log << " robust[";
+        for (std::size_t a = 0; a < metrics.anomaly.size(); ++a) {
+          const ClientAnomaly& record = metrics.anomaly[a];
+          if (a > 0) *options.log << " ";
+          *options.log << "c" << record.node << "=" << record.score
+                       << (record.excluded ? "(excluded)" : "");
+        }
+        *options.log << "]";
       }
       *options.log << "\n";
       options.log->flush();

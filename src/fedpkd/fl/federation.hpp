@@ -15,6 +15,8 @@
 #include "fedpkd/data/synthetic_vision.hpp"
 #include "fedpkd/fl/client.hpp"
 #include "fedpkd/fl/metrics.hpp"
+#include "fedpkd/robust/aggregate.hpp"
+#include "fedpkd/robust/attack.hpp"
 
 namespace fedpkd::fl {
 
@@ -72,6 +74,9 @@ struct FederationConfig {
   /// each client owns its RNG stream and aggregation always reduces in
   /// client-index order, never completion order.
   std::size_t num_threads = 1;
+  /// Byzantine-robust aggregation rule and anomaly-filter knobs, applied by
+  /// every driver's server step and the pipeline's upload stage.
+  robust::RobustPolicy robust;
 };
 
 /// The shared world of one federated run: datasets, clients, and the metered
@@ -95,6 +100,21 @@ struct Federation {
   /// Deadline / quorum / inbound-validation discipline enforced by the
   /// staged pipeline. Defaults are fully permissive (pre-fault behavior).
   RoundPolicy policy;
+
+  /// Byzantine-robust aggregation policy (copied from FederationConfig by
+  /// build_federation; kNone keeps every driver's native aggregation).
+  robust::RobustPolicy robust;
+  /// Scripted adversarial clients, executed at the upload stage. Mirrors the
+  /// fault layer: configure with set_attack_plan, stateful pieces (the
+  /// free-rider replay cache) ride in checkpoint v3.
+  robust::AttackInjector attacks;
+  /// History of accepted weights-upload norms feeding the adaptive
+  /// validation bound (policy.validation.adaptive_weights_norm).
+  comm::WeightNormTracker norm_tracker;
+
+  void set_attack_plan(robust::AttackPlan plan) {
+    attacks.set_plan(std::move(plan));
+  }
 
   Federation() = default;
   Federation(const Federation&) = delete;
@@ -168,6 +188,11 @@ class Algorithm {
   /// Robustness counters of the most recent round, when the algorithm runs
   /// on the staged pipeline (nullptr otherwise).
   virtual const RoundFaultStats* last_fault_stats() const { return nullptr; }
+  /// Per-client anomaly records of the most recent round, when the staged
+  /// pipeline ran the anomaly filter (nullptr or empty otherwise).
+  virtual const std::vector<ClientAnomaly>* last_anomaly() const {
+    return nullptr;
+  }
 
   /// -- Crash-resume hooks ---------------------------------------------------
   /// Algorithms opting into federation checkpoints serialize their full

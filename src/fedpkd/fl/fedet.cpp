@@ -48,6 +48,38 @@ void FedEt::server_step(RoundContext& ctx,
   const std::size_t num_classes = ctx.fed.num_classes;
   const float max_entropy = std::log(static_cast<float>(num_classes));
 
+  if (ctx.fed.robust.rule != robust::RobustAggregation::kNone) {
+    // Robust teacher: combine the member probability tensors with the
+    // configured estimator (uniform weights — an adversary controls its own
+    // entropy, so confidence weighting is exactly what a low-entropy
+    // poisoned upload exploits), then re-project rows onto the simplex.
+    std::vector<tensor::Tensor> member_probs(contributions.size());
+    exec::parallel_for(contributions.size(),
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t c = begin; c < end; ++c) {
+                           member_probs[c] =
+                               contributions[c].bundle.logits().logits;
+                           tensor::softmax_rows_inplace(member_probs[c]);
+                         }
+                       });
+    robust::CombineResult combined =
+        robust::robust_combine(ctx.fed.robust, member_probs);
+    if (ctx.faults != nullptr) {
+      ctx.faults->clipped_contributions += combined.clipped;
+    }
+    tensor::Tensor teacher = std::move(combined.value);
+    robust::renormalize_rows(teacher);
+    DistillSet server_set{ctx.fed.public_data.features, teacher,
+                          tensor::argmax_rows(teacher)};
+    TrainOptions server_opts;
+    server_opts.epochs = options_.server_epochs;
+    server_opts.batch_size = options_.distill_batch;
+    server_opts.lr = ctx.fed.clients.front().config.lr;
+    train_distill(server_, server_set, /*gamma=*/1.0f, server_opts,
+                  server_rng_);
+    return;
+  }
+
   // Confidence-weighted ensemble: per sample, weight each contributor's
   // distribution by (1 - H/H_max), its normalized prediction confidence.
   // Row-parallel: every row's accumulation still walks the contributors in

@@ -28,6 +28,23 @@ PayloadBundle FedMd::make_upload(RoundContext& ctx, std::size_t,
 
 void FedMd::server_step(RoundContext& ctx,
                         std::vector<Contribution>& contributions) {
+  if (ctx.fed.robust.rule != robust::RobustAggregation::kNone) {
+    // Robust consensus over raw logit tensors, uniform weights (logit-space
+    // contributions carry no data-size semantics). No renormalization: the
+    // consensus ships raw logits and clients soften them at digest time.
+    std::vector<tensor::Tensor> uploads;
+    uploads.reserve(contributions.size());
+    for (const Contribution& c : contributions) {
+      uploads.push_back(c.bundle.logits().logits);
+    }
+    robust::CombineResult combined =
+        robust::robust_combine(ctx.fed.robust, uploads);
+    if (ctx.faults != nullptr) {
+      ctx.faults->clipped_contributions += combined.clipped;
+    }
+    consensus_ = std::move(combined.value);
+    return;
+  }
   // Consensus = per-sample mean of the surviving clients' logits,
   // accumulated in slot order.
   consensus_ =

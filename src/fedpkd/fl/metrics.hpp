@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,13 +22,17 @@ struct RoundFaultStats {
   std::size_t rejected_contributions = 0;  // failed inbound validation
   std::size_t quorum_misses = 0;    // 1 when the round aborted below quorum
   std::size_t clients_crashed = 0;  // scripted crashes fired this round
+  std::size_t attacks_injected = 0;  // adversarial uploads mutated/replayed
+  std::size_t anomaly_excluded = 0;  // contributions dropped by the anomaly filter
+  std::size_t clipped_contributions = 0;  // contributions norm-clipped in aggregation
   double max_upload_latency_ms = 0.0;  // slowest accepted upload (simulated)
 
   bool any() const {
     return retries > 0 || frames_dropped > 0 || corrupt_frames > 0 ||
            bundles_lost > 0 || stragglers_excluded > 0 ||
            rejected_contributions > 0 || quorum_misses > 0 ||
-           clients_crashed > 0;
+           clients_crashed > 0 || attacks_injected > 0 ||
+           anomaly_excluded > 0 || clipped_contributions > 0;
   }
 
   RoundFaultStats& operator+=(const RoundFaultStats& o) {
@@ -40,11 +45,25 @@ struct RoundFaultStats {
     rejected_contributions += o.rejected_contributions;
     quorum_misses += o.quorum_misses;
     clients_crashed += o.clients_crashed;
+    attacks_injected += o.attacks_injected;
+    anomaly_excluded += o.anomaly_excluded;
+    clipped_contributions += o.clipped_contributions;
     if (o.max_upload_latency_ms > max_upload_latency_ms) {
       max_upload_latency_ms = o.max_upload_latency_ms;
     }
     return *this;
   }
+};
+
+/// One client's anomaly verdict for a round, in contribution slot order.
+/// Produced by the pipeline's prototype-distance anomaly filter; serialized
+/// with the history (checkpoint v3) and exported to the run CSV so attack
+/// forensics survive a crash-resume.
+struct ClientAnomaly {
+  std::int32_t node = 0;  // comm::NodeId of the contributing client
+  float score = 0.0f;     // robust::anomaly_scores output
+  bool excluded = false;  // dropped before the server step
+  std::string reason;     // human-readable exclusion reason; empty when kept
 };
 
 /// Metrics captured after each communication round.
@@ -66,6 +85,9 @@ struct RoundMetrics {
   /// wall-clock spans these are deterministic, so checkpoint v2 serializes
   /// them with the rest of the history.
   std::optional<RoundFaultStats> fault_stats;
+  /// Per-client anomaly scores and exclusion decisions, when the anomaly
+  /// filter ran this round (checkpoint v3).
+  std::vector<ClientAnomaly> anomaly;
 };
 
 /// Full trajectory of one federated run.

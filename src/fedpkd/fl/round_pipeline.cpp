@@ -1,9 +1,11 @@
 #include "fedpkd/fl/round_pipeline.hpp"
 
 #include <cmath>
+#include <cstdio>
 
 #include "fedpkd/comm/validate.hpp"
 #include "fedpkd/exec/thread_pool.hpp"
+#include "fedpkd/robust/anomaly.hpp"
 
 namespace fedpkd::fl {
 
@@ -71,6 +73,12 @@ BundleResult send_bundle_reliable(comm::Channel& channel, comm::NodeId from,
   return result;
 }
 
+std::string format_score(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.4g", value);
+  return buffer;
+}
+
 }  // namespace
 
 RoundOutcome RoundPipeline::run(RoundStages& stages, Federation& fed,
@@ -81,8 +89,24 @@ RoundOutcome RoundPipeline::run(RoundStages& stages, Federation& fed,
   comm::FaultInjector& injector = fed.channel.faults();
   fed.begin_round(round);  // idempotent: keeps a caller-sampled participant set
   RoundContext ctx(fed, round, fed.active_clients());
+  ctx.faults = &faults;
   const std::size_t n = ctx.num_active();
   stages.on_round_start(ctx);
+
+  // Label-flip adversaries train on involution-flipped labels this round.
+  // Flipped in place before local_update and restored (the flip is its own
+  // inverse) after the upload payloads are built, so poisoned logits and
+  // prototypes are also computed from the flipped data — evaluation later in
+  // the round sees the client's true labels again.
+  std::vector<Client*> label_flipped;
+  if (fed.attacks.active(round)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fed.attacks.flips_labels(round, ctx.active[i]->id)) {
+        robust::flip_labels(ctx.active[i]->train_data.labels, fed.num_classes);
+        label_flipped.push_back(ctx.active[i]);
+      }
+    }
+  }
 
   // Downlink slot 1: pre-training broadcast (weight-broadcast family).
   // Serial per-client sends in slot order keep the fault-dice and meter
@@ -127,6 +151,17 @@ RoundOutcome RoundPipeline::run(RoundStages& stages, Federation& fed,
         bundles[i] = stages.make_upload(ctx, i, *ctx.active[i]);
       }
     });
+    // Adversarial injection, serial in slot order (robust::Payload is the
+    // same variant type as StagePayload, so the injector mutates the typed
+    // bundles in place before they are ever encoded for the wire).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fed.attacks.apply(round, ctx.active[i]->id, bundles[i].parts)) {
+        ++faults.attacks_injected;
+      }
+    }
+    for (Client* client : label_flipped) {
+      robust::flip_labels(client->train_data.labels, fed.num_classes);
+    }
     std::vector<Contribution> candidates;
     std::vector<double> candidate_latency;
     for (std::size_t i = 0; i < n; ++i) {
@@ -142,20 +177,80 @@ RoundOutcome RoundPipeline::run(RoundStages& stages, Federation& fed,
     }
     // Inbound validation, serial in slot order. The first accepted bundle is
     // the structural reference for the rest; its address is recomputed every
-    // iteration because push_back may reallocate.
+    // iteration because push_back may reallocate. The adaptive weights-norm
+    // bound is resolved once per round from the history of previously
+    // accepted uploads, so every candidate this round faces the same bound
+    // regardless of acceptance order.
+    comm::ValidationPolicy validation = fed.policy.validation;
+    if (validation.adaptive_weights_norm) {
+      validation.max_weights_norm = fed.norm_tracker.bound_or(
+          validation.max_weights_norm, validation.adaptive_norm_factor,
+          validation.adaptive_min_history);
+    }
     for (std::size_t c = 0; c < candidates.size(); ++c) {
       const std::vector<std::vector<std::byte>>* reference =
           contributions.empty() ? nullptr : &contributions.front().bundle.parts;
-      if (fed.policy.validation.enabled() &&
+      if (validation.enabled() &&
           comm::validate_bundle(candidates[c].bundle.parts, reference,
-                                fed.policy.validation)) {
+                                validation)) {
         ++faults.rejected_contributions;
         continue;
       }
       if (candidate_latency[c] > faults.max_upload_latency_ms) {
         faults.max_upload_latency_ms = candidate_latency[c];
       }
+      if (fed.policy.validation.adaptive_weights_norm) {
+        for (const std::vector<std::byte>& part :
+             candidates[c].bundle.parts) {
+          if (comm::peek_kind(part) == comm::PayloadKind::kWeights) {
+            fed.norm_tracker.record(comm::weights_part_norm(part));
+          }
+        }
+      }
       contributions.push_back(std::move(candidates[c]));
+    }
+
+    // Prototype-distance anomaly filter (Algorithm 1 generalized from
+    // samples to clients): score the surviving contributions against the
+    // cohort's robust center, exclude median+MAD outliers before the server
+    // step. Runs before quorum so excluded adversaries count toward the
+    // quorum shortfall like any other non-contributor.
+    if (fed.robust.anomaly_filter && contributions.size() >= 3) {
+      std::vector<std::vector<robust::Payload>> decoded(contributions.size());
+      for (std::size_t c = 0; c < contributions.size(); ++c) {
+        if (auto parts = robust::decode_parts(contributions[c].bundle.parts)) {
+          decoded[c] = std::move(*parts);
+        }  // undecodable stays empty -> kMalformedScore
+      }
+      const std::vector<float> scores = robust::anomaly_scores(decoded);
+      robust::AnomalyOptions anomaly_options;
+      anomaly_options.theta = fed.robust.anomaly_theta;
+      anomaly_options.max_exclude_fraction =
+          fed.robust.anomaly_max_exclude_fraction;
+      const robust::ExclusionDecision decision =
+          robust::decide_exclusions(scores, anomaly_options);
+      outcome.anomaly.reserve(contributions.size());
+      for (std::size_t c = 0; c < contributions.size(); ++c) {
+        ClientAnomaly record;
+        record.node = contributions[c].client->id;
+        record.score = scores[c];
+        record.excluded = decision.excluded[c] != 0;
+        if (record.excluded) {
+          record.reason =
+              scores[c] >= robust::kMalformedScore
+                  ? "malformed or non-conforming bundle"
+                  : "score " + format_score(scores[c]) + " > threshold " +
+                        format_score(decision.threshold);
+        }
+        outcome.anomaly.push_back(std::move(record));
+      }
+      for (std::size_t c = contributions.size(); c-- > 0;) {
+        if (decision.excluded[c]) {
+          contributions.erase(contributions.begin() +
+                              static_cast<std::ptrdiff_t>(c));
+          ++faults.anomaly_excluded;
+        }
+      }
     }
   }
 
@@ -218,6 +313,7 @@ void StagedAlgorithm::run_round(Federation& fed, std::size_t round) {
   RoundOutcome outcome = pipeline_.run(*this, fed, round);
   times_.push_back(outcome.times);
   faults_.push_back(outcome.faults);
+  anomaly_.push_back(std::move(outcome.anomaly));
 }
 
 StageTimes StagedAlgorithm::total_stage_times() const {

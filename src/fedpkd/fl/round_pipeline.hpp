@@ -82,6 +82,11 @@ struct RoundContext {
   /// slot indices into this vector; `active[slot]->id` is the global id.
   std::vector<Client*> active;
 
+  /// This round's fault/robustness counters, for stage hooks that want to
+  /// report aggregation-side events (e.g. norm-clipped contributions).
+  /// Set by RoundPipeline before any hook runs; may be null in bare tests.
+  RoundFaultStats* faults = nullptr;
+
   RoundContext(Federation& federation, std::size_t round_index,
                std::vector<Client*> participants)
       : fed(federation), round(round_index), active(std::move(participants)) {}
@@ -167,6 +172,10 @@ class RoundStages {
 struct RoundOutcome {
   StageTimes times;
   RoundFaultStats faults;
+  /// Per-contribution anomaly records (slot order), when the anomaly filter
+  /// ran this round; empty otherwise. Deterministic, serialized with the
+  /// history (checkpoint v3).
+  std::vector<ClientAnomaly> anomaly;
 };
 
 /// The staged round executor. Stateless today; it exists as an object so the
@@ -202,11 +211,20 @@ class StagedAlgorithm : public Algorithm, public RoundStages {
   const RoundFaultStats* last_fault_stats() const override {
     return faults_.empty() ? nullptr : &faults_.back();
   }
+  const std::vector<ClientAnomaly>* last_anomaly() const override {
+    return anomaly_.empty() ? nullptr : &anomaly_.back();
+  }
+  /// Anomaly records of every round executed so far, in order (one vector per
+  /// round; empty when the filter did not run).
+  const std::vector<std::vector<ClientAnomaly>>& anomaly_records() const {
+    return anomaly_;
+  }
 
  private:
   RoundPipeline pipeline_;
   std::vector<StageTimes> times_;
   std::vector<RoundFaultStats> faults_;
+  std::vector<std::vector<ClientAnomaly>> anomaly_;
 };
 
 }  // namespace fedpkd::fl

@@ -1,0 +1,285 @@
+#include "fedpkd/robust/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace fedpkd::robust {
+
+namespace {
+
+/// Weighted mean in input order with double accumulation; empty weights mean
+/// uniform. Shapes are assumed pre-checked by the caller.
+tensor::Tensor weighted_mean(std::span<const tensor::Tensor> inputs,
+                             std::span<const float> weights) {
+  const std::size_t n = inputs.size();
+  double total = 0.0;
+  if (weights.empty()) {
+    total = static_cast<double>(n);
+  } else {
+    for (float w : weights) {
+      if (!(w >= 0.0f) || !std::isfinite(w)) {
+        throw std::invalid_argument("robust_combine: bad aggregation weight");
+      }
+      total += w;
+    }
+    if (total <= 0.0) {
+      throw std::invalid_argument("robust_combine: zero total weight");
+    }
+  }
+  const std::size_t dim = inputs.front().numel();
+  std::vector<double> accum(dim, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    const float* x = inputs[i].data();
+    for (std::size_t j = 0; j < dim; ++j) accum[j] += w * x[j];
+  }
+  tensor::Tensor out(inputs.front().shape());
+  for (std::size_t j = 0; j < dim; ++j) {
+    out[j] = static_cast<float>(accum[j] / total);
+  }
+  return out;
+}
+
+double median_norm(std::span<const tensor::Tensor> inputs) {
+  std::vector<double> norms(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) norms[i] = l2_norm(inputs[i]);
+  std::sort(norms.begin(), norms.end());
+  const std::size_t n = norms.size();
+  if (n % 2 == 1) return norms[n / 2];
+  return (norms[n / 2 - 1] + norms[n / 2]) / 2.0;
+}
+
+std::size_t derive_multi_krum_m(const RobustPolicy& policy, std::size_t n) {
+  if (policy.multi_krum_m > 0) return std::min(policy.multi_krum_m, n);
+  return n > policy.assumed_adversaries ? n - policy.assumed_adversaries
+                                        : std::size_t{1};
+}
+
+}  // namespace
+
+const char* to_string(RobustAggregation rule) {
+  switch (rule) {
+    case RobustAggregation::kNone: return "none";
+    case RobustAggregation::kMedian: return "median";
+    case RobustAggregation::kTrimmedMean: return "trimmed-mean";
+    case RobustAggregation::kNormClip: return "norm-clip";
+    case RobustAggregation::kKrum: return "krum";
+    case RobustAggregation::kMultiKrum: return "multi-krum";
+    case RobustAggregation::kGeometricMedian: return "geometric-median";
+  }
+  return "?";
+}
+
+RobustAggregation parse_robust_aggregation(std::string_view name) {
+  if (name == "none") return RobustAggregation::kNone;
+  if (name == "median") return RobustAggregation::kMedian;
+  if (name == "trimmed-mean") return RobustAggregation::kTrimmedMean;
+  if (name == "norm-clip") return RobustAggregation::kNormClip;
+  if (name == "krum") return RobustAggregation::kKrum;
+  if (name == "multi-krum") return RobustAggregation::kMultiKrum;
+  if (name == "geometric-median") return RobustAggregation::kGeometricMedian;
+  throw std::invalid_argument("unknown robust aggregation rule: " +
+                              std::string(name));
+}
+
+CombineResult robust_combine(const RobustPolicy& policy,
+                             std::span<const tensor::Tensor> inputs,
+                             std::span<const float> weights) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("robust_combine: no inputs");
+  }
+  for (const tensor::Tensor& t : inputs) {
+    if (!t.same_shape(inputs.front())) {
+      throw std::invalid_argument("robust_combine: input shapes disagree");
+    }
+  }
+  if (!weights.empty() && weights.size() != inputs.size()) {
+    throw std::invalid_argument("robust_combine: weights size mismatch");
+  }
+  const std::size_t n = inputs.size();
+
+  CombineResult result;
+  switch (policy.rule) {
+    case RobustAggregation::kNone:
+      result.value = weighted_mean(inputs, weights);
+      break;
+    case RobustAggregation::kMedian:
+      result.value = coordinate_median(inputs);
+      break;
+    case RobustAggregation::kTrimmedMean:
+      result.value = trimmed_mean(inputs, policy.assumed_adversaries);
+      break;
+    case RobustAggregation::kNormClip: {
+      const double bound =
+          policy.clip_norm > 0.0 ? policy.clip_norm : median_norm(inputs);
+      std::vector<tensor::Tensor> clipped;
+      clipped.reserve(n);
+      for (const tensor::Tensor& t : inputs) clipped.emplace_back(t);
+      for (tensor::Tensor& t : clipped) {
+        if (clip_to_norm(t, bound)) ++result.clipped;
+      }
+      result.value = weighted_mean(clipped, weights);
+      break;
+    }
+    case RobustAggregation::kKrum: {
+      KrumResult krum = krum_select(inputs, policy.assumed_adversaries, 1);
+      result.selected = krum.selected;
+      result.value = inputs[result.selected.front()];
+      break;
+    }
+    case RobustAggregation::kMultiKrum: {
+      const std::size_t m = derive_multi_krum_m(policy, n);
+      KrumResult krum = krum_select(inputs, policy.assumed_adversaries, m);
+      result.selected = krum.selected;
+      std::vector<tensor::Tensor> chosen;
+      chosen.reserve(m);
+      for (std::size_t idx : result.selected) chosen.emplace_back(inputs[idx]);
+      result.value = weighted_mean(chosen, {});
+      break;
+    }
+    case RobustAggregation::kGeometricMedian: {
+      std::vector<double> w;
+      if (!weights.empty()) {
+        w.assign(weights.begin(), weights.end());
+      }
+      result.value = geometric_median(inputs, w);
+      break;
+    }
+  }
+  return result;
+}
+
+void renormalize_rows(tensor::Tensor& probs) {
+  if (probs.numel() == 0) return;
+  const std::size_t rows = probs.shape().front();
+  const std::size_t cols = rows > 0 ? probs.numel() / rows : 0;
+  if (cols == 0) return;
+  constexpr double kTiny = 1e-12;
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* row = probs.data() + r * cols;
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) sum += row[c];
+    if (sum < kTiny) {
+      const float uniform = 1.0f / static_cast<float>(cols);
+      for (std::size_t c = 0; c < cols; ++c) row[c] = uniform;
+    } else {
+      const float inv = static_cast<float>(1.0 / sum);
+      for (std::size_t c = 0; c < cols; ++c) row[c] *= inv;
+    }
+  }
+}
+
+PrototypeAggregateResult robust_aggregate_prototypes(
+    const RobustPolicy& policy,
+    std::span<const comm::PrototypesPayload> uploads) {
+  struct Holder {
+    const comm::PrototypeEntry* entry;
+  };
+  // Group per class id in ascending order; within a class, holders keep
+  // upload order so every float reduction is order-stable.
+  std::map<std::int32_t, std::vector<Holder>> by_class;
+  for (const comm::PrototypesPayload& upload : uploads) {
+    for (const comm::PrototypeEntry& entry : upload.entries) {
+      by_class[entry.class_id].push_back(Holder{&entry});
+    }
+  }
+
+  PrototypeAggregateResult result;
+  result.payload.entries.reserve(by_class.size());
+  for (const auto& [class_id, holders] : by_class) {
+    std::vector<tensor::Tensor> centroids;
+    std::vector<double> supports;
+    centroids.reserve(holders.size());
+    supports.reserve(holders.size());
+    std::uint64_t total_support = 0;
+    for (const Holder& h : holders) {
+      if (!centroids.empty() &&
+          !h.entry->centroid.same_shape(centroids.front())) {
+        throw std::invalid_argument(
+            "robust_aggregate_prototypes: centroid shapes disagree");
+      }
+      centroids.emplace_back(h.entry->centroid);
+      supports.push_back(static_cast<double>(h.entry->support));
+      total_support += h.entry->support;
+    }
+
+    comm::PrototypeEntry out;
+    out.class_id = class_id;
+    out.support = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(total_support, 0xffffffffull));
+    const std::size_t holders_n = centroids.size();
+    const bool any_support =
+        std::any_of(supports.begin(), supports.end(),
+                    [](double s) { return s > 0.0; });
+    std::span<const double> weight_span =
+        any_support ? std::span<const double>(supports)
+                    : std::span<const double>{};
+
+    switch (policy.rule) {
+      case RobustAggregation::kNone: {
+        std::vector<float> fw(holders_n);
+        for (std::size_t i = 0; i < holders_n; ++i) {
+          fw[i] = any_support ? static_cast<float>(supports[i]) : 1.0f;
+        }
+        RobustPolicy mean_policy;  // rule defaults to kNone
+        out.centroid =
+            robust_combine(mean_policy, centroids, fw).value;
+        break;
+      }
+      case RobustAggregation::kMedian:
+        out.centroid = coordinate_median(centroids);
+        break;
+      case RobustAggregation::kTrimmedMean:
+        out.centroid = trimmed_mean(centroids, policy.assumed_adversaries);
+        break;
+      case RobustAggregation::kNormClip: {
+        const double bound = policy.clip_norm > 0.0 ? policy.clip_norm
+                                                    : median_norm(centroids);
+        std::vector<float> fw(holders_n);
+        for (std::size_t i = 0; i < holders_n; ++i) {
+          fw[i] = any_support ? static_cast<float>(supports[i]) : 1.0f;
+        }
+        for (tensor::Tensor& c : centroids) {
+          if (clip_to_norm(c, bound)) ++result.clipped;
+        }
+        RobustPolicy mean_policy;
+        out.centroid = robust_combine(mean_policy, centroids, fw).value;
+        break;
+      }
+      case RobustAggregation::kKrum:
+      case RobustAggregation::kMultiKrum: {
+        if (holders_n < 3) {
+          // Krum's neighbor geometry is undefined below 3 points; the
+          // coordinate median is the natural robust fallback.
+          out.centroid = coordinate_median(centroids);
+        } else if (policy.rule == RobustAggregation::kKrum) {
+          KrumResult krum =
+              krum_select(centroids, policy.assumed_adversaries, 1);
+          out.centroid = centroids[krum.selected.front()];
+        } else {
+          const std::size_t m = derive_multi_krum_m(policy, holders_n);
+          KrumResult krum =
+              krum_select(centroids, policy.assumed_adversaries, m);
+          std::vector<tensor::Tensor> chosen;
+          chosen.reserve(krum.selected.size());
+          for (std::size_t idx : krum.selected) {
+            chosen.emplace_back(centroids[idx]);
+          }
+          RobustPolicy mean_policy;
+          out.centroid = robust_combine(mean_policy, chosen, {}).value;
+        }
+        break;
+      }
+      case RobustAggregation::kGeometricMedian:
+        out.centroid = geometric_median(centroids, weight_span);
+        break;
+    }
+    result.payload.entries.push_back(std::move(out));
+  }
+  return result;
+}
+
+}  // namespace fedpkd::robust

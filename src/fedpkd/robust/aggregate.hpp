@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "fedpkd/comm/payload.hpp"
+#include "fedpkd/robust/stats.hpp"
+
+namespace fedpkd::robust {
+
+/// Which Byzantine-robust estimator replaces the drivers' native mean when
+/// aggregating surviving contributions. kNone keeps the per-algorithm
+/// default (data-size-weighted mean, variance weighting, entropy weighting,
+/// support-weighted prototype mean).
+enum class RobustAggregation : std::uint8_t {
+  kNone = 0,
+  kMedian,           // coordinate-wise median
+  kTrimmedMean,      // drop f smallest/largest per coordinate, mean the rest
+  kNormClip,         // clip each contribution to a norm bound, then mean
+  kKrum,             // select the single most central contribution
+  kMultiKrum,        // average the m most central contributions
+  kGeometricMedian,  // Weiszfeld geometric median
+};
+
+const char* to_string(RobustAggregation rule);
+/// Parses the CLI spelling ("none", "median", "trimmed-mean", "norm-clip",
+/// "krum", "multi-krum", "geometric-median"); throws std::invalid_argument
+/// on anything else.
+RobustAggregation parse_robust_aggregation(std::string_view name);
+
+/// The federation-wide robustness policy, threaded through FederationConfig
+/// into every driver's aggregate stage and the pipeline's anomaly filter.
+struct RobustPolicy {
+  RobustAggregation rule = RobustAggregation::kNone;
+  /// Krum's f and the trimmed mean's per-side trim count. Clamped internally
+  /// so every estimator stays defined for small cohorts.
+  std::size_t assumed_adversaries = 1;
+  /// Multi-Krum selection size; 0 derives n - assumed_adversaries.
+  std::size_t multi_krum_m = 0;
+  /// Fixed norm bound for kNormClip; 0 derives the per-call bound as the
+  /// median of the contributions' norms (self-calibrating).
+  double clip_norm = 0.0;
+  /// Prototype-distance client anomaly scoring (Algorithm 1 generalized from
+  /// samples to clients): score every surviving contribution, exclude those
+  /// beyond median + anomaly_theta * MAD before the server step.
+  bool anomaly_filter = false;
+  double anomaly_theta = 4.0;
+  /// Never exclude more than this fraction of the surviving contributions
+  /// (the scorer itself has breakdown point 1/2).
+  double anomaly_max_exclude_fraction = 0.5;
+
+  bool active() const {
+    return rule != RobustAggregation::kNone || anomaly_filter;
+  }
+};
+
+/// Result of one robust combination in weight/logit space.
+struct CombineResult {
+  tensor::Tensor value;
+  /// Inputs Krum/multi-Krum selected (ascending); empty for the coordinate
+  /// estimators, which blend all inputs.
+  std::vector<std::size_t> selected;
+  /// How many inputs kNormClip scaled down.
+  std::size_t clipped = 0;
+};
+
+/// Robustly combines same-shaped contributions per `policy.rule`. `weights`
+/// are the driver's native importance weights (|D_c| for FedAvg, uniform
+/// when empty); only kNone and kNormClip honor them — the order-statistic
+/// estimators are deliberately weight-blind, since a weight is itself
+/// attacker-influenced. Throws std::invalid_argument on empty or
+/// shape-mismatched inputs.
+CombineResult robust_combine(const RobustPolicy& policy,
+                             std::span<const tensor::Tensor> inputs,
+                             std::span<const float> weights = {});
+
+/// Renormalizes each row of a probability tensor to sum to 1 (uniform
+/// fallback for vanishing rows). Coordinate-wise estimators over probability
+/// rows do not preserve the simplex; drivers that feed the combined rows to
+/// a distillation loss re-project with this.
+void renormalize_rows(tensor::Tensor& probs);
+
+/// Robust prototype aggregation at the payload level (so the fl layer can
+/// use it without depending on core::PrototypeSet). Per class id, the
+/// centroids of every client holding that class are combined with
+/// `policy.rule` (Krum falls back to the coordinate median below 3 holders);
+/// the output entry's support is the holders' summed support, and classes
+/// are emitted in ascending class-id order.
+struct PrototypeAggregateResult {
+  comm::PrototypesPayload payload;
+  std::size_t clipped = 0;
+};
+
+PrototypeAggregateResult robust_aggregate_prototypes(
+    const RobustPolicy& policy,
+    std::span<const comm::PrototypesPayload> uploads);
+
+}  // namespace fedpkd::robust

@@ -1,0 +1,33 @@
+#include "fedpkd/robust/payload.hpp"
+
+namespace fedpkd::robust {
+
+std::optional<std::vector<Payload>> decode_parts(
+    const std::vector<std::vector<std::byte>>& parts) {
+  std::vector<Payload> out;
+  out.reserve(parts.size());
+  try {
+    for (const std::vector<std::byte>& part : parts) {
+      switch (comm::peek_kind(part)) {
+        case comm::PayloadKind::kWeights:
+          out.emplace_back(comm::decode_weights(part));
+          break;
+        case comm::PayloadKind::kLogits:
+          out.emplace_back(comm::decode_logits(part));
+          break;
+        case comm::PayloadKind::kPrototypes:
+          out.emplace_back(comm::decode_prototypes(part));
+          break;
+      }
+    }
+  } catch (const tensor::DecodeError&) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+std::vector<std::byte> encode_payload(const Payload& payload) {
+  return std::visit([](const auto& p) { return comm::encode(p); }, payload);
+}
+
+}  // namespace fedpkd::robust

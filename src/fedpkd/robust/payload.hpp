@@ -1,0 +1,27 @@
+#pragma once
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "fedpkd/comm/payload.hpp"
+
+namespace fedpkd::robust {
+
+/// One typed payload part. Deliberately the same std::variant instantiation
+/// as fl::StagePayload, so the robust layer can mutate and score upload
+/// bundles in place without depending on the fl library (robust sits between
+/// comm and fl in the layering).
+using Payload = std::variant<comm::WeightsPayload, comm::LogitsPayload,
+                             comm::PrototypesPayload>;
+
+/// Decodes delivered wire parts back into typed payloads; nullopt when any
+/// part is undecodable (possible only when inbound validation is disabled —
+/// the anomaly scorer treats such senders as maximally suspicious).
+std::optional<std::vector<Payload>> decode_parts(
+    const std::vector<std::vector<std::byte>>& parts);
+
+/// Re-encodes a typed payload (dispatches comm::encode over the variant).
+std::vector<std::byte> encode_payload(const Payload& payload);
+
+}  // namespace fedpkd::robust

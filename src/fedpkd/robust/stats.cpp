@@ -1,0 +1,244 @@
+#include "fedpkd/robust/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fedpkd/exec/thread_pool.hpp"
+
+namespace fedpkd::robust {
+
+namespace {
+
+void check_inputs(std::span<const tensor::Tensor> inputs, const char* what) {
+  if (inputs.empty()) {
+    throw std::invalid_argument(std::string(what) + ": no inputs");
+  }
+  for (const tensor::Tensor& t : inputs) {
+    if (!t.same_shape(inputs.front())) {
+      throw std::invalid_argument(std::string(what) +
+                                  ": input shapes disagree");
+    }
+  }
+}
+
+/// Median of `values` in place (sorts the buffer). Even counts average the
+/// two middle order statistics in double.
+float median_of(std::vector<float>& values) {
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return static_cast<float>((static_cast<double>(values[n / 2 - 1]) +
+                             static_cast<double>(values[n / 2])) /
+                            2.0);
+}
+
+}  // namespace
+
+tensor::Tensor coordinate_median(std::span<const tensor::Tensor> inputs) {
+  check_inputs(inputs, "coordinate_median");
+  const std::size_t n = inputs.size();
+  tensor::Tensor out(inputs.front().shape());
+  exec::parallel_for(out.numel(), [&](std::size_t begin, std::size_t end) {
+    std::vector<float> column(n);
+    for (std::size_t j = begin; j < end; ++j) {
+      for (std::size_t i = 0; i < n; ++i) column[i] = inputs[i][j];
+      out[j] = median_of(column);
+    }
+  });
+  return out;
+}
+
+tensor::Tensor trimmed_mean(std::span<const tensor::Tensor> inputs,
+                            std::size_t trim) {
+  check_inputs(inputs, "trimmed_mean");
+  const std::size_t n = inputs.size();
+  trim = std::min(trim, (n - 1) / 2);
+  const std::size_t kept = n - 2 * trim;
+  tensor::Tensor out(inputs.front().shape());
+  exec::parallel_for(out.numel(), [&](std::size_t begin, std::size_t end) {
+    std::vector<float> column(n);
+    for (std::size_t j = begin; j < end; ++j) {
+      for (std::size_t i = 0; i < n; ++i) column[i] = inputs[i][j];
+      std::sort(column.begin(), column.end());
+      double sum = 0.0;
+      for (std::size_t i = trim; i < trim + kept; ++i) sum += column[i];
+      out[j] = static_cast<float>(sum / static_cast<double>(kept));
+    }
+  });
+  return out;
+}
+
+double l2_norm(const tensor::Tensor& t) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    const double v = t[i];
+    sum += v * v;
+  }
+  return std::sqrt(sum);
+}
+
+bool clip_to_norm(tensor::Tensor& t, double bound) {
+  if (bound <= 0.0) return false;
+  const double norm = l2_norm(t);
+  if (norm <= bound) return false;
+  const float scale = static_cast<float>(bound / norm);
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] *= scale;
+  return true;
+}
+
+KrumResult krum_select(std::span<const tensor::Tensor> inputs,
+                       std::size_t assumed_adversaries,
+                       std::size_t select_count) {
+  check_inputs(inputs, "krum_select");
+  const std::size_t n = inputs.size();
+  if (select_count == 0 || select_count > n) {
+    throw std::invalid_argument("krum_select: select_count out of range");
+  }
+  // The neighbor count n - f - 2 must be at least 1; clamp f accordingly so
+  // small cohorts degrade to "most central input" instead of throwing.
+  const std::size_t f =
+      n >= 3 ? std::min(assumed_adversaries, n - 3) : std::size_t{0};
+  const std::size_t neighbors = n >= 3 ? n - f - 2 : std::size_t{1};
+
+  // Pairwise squared distances. Each (i, j) pair owns one slot of the
+  // flattened upper triangle, so the concurrent fill is race-free and the
+  // values are chunking-independent.
+  const std::size_t pairs = n * (n - 1) / 2;
+  std::vector<double> pair_dist(pairs, 0.0);
+  std::vector<std::pair<std::size_t, std::size_t>> pair_index;
+  pair_index.reserve(pairs);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) pair_index.emplace_back(i, j);
+  }
+  const std::size_t dim = inputs.front().numel();
+  exec::parallel_for(pairs, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t p = begin; p < end; ++p) {
+      const auto [i, j] = pair_index[p];
+      double sum = 0.0;
+      const float* a = inputs[i].data();
+      const float* b = inputs[j].data();
+      for (std::size_t k = 0; k < dim; ++k) {
+        const double d = static_cast<double>(a[k]) - static_cast<double>(b[k]);
+        sum += d * d;
+      }
+      pair_dist[p] = sum;
+    }
+  });
+  const auto dist = [&](std::size_t i, std::size_t j) {
+    if (i == j) return 0.0;
+    if (i > j) std::swap(i, j);
+    // Row-major upper triangle offset.
+    return pair_dist[i * n - i * (i + 1) / 2 + (j - i - 1)];
+  };
+
+  KrumResult result;
+  result.scores.resize(n);
+  std::vector<double> row(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t k = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) row[k++] = dist(i, j);
+    }
+    std::sort(row.begin(), row.end());
+    double score = 0.0;
+    for (std::size_t m = 0; m < std::min(neighbors, row.size()); ++m) {
+      score += row[m];
+    }
+    result.scores[i] = score;
+  }
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (result.scores[a] != result.scores[b]) {
+      return result.scores[a] < result.scores[b];
+    }
+    return a < b;
+  });
+  result.selected.assign(order.begin(),
+                         order.begin() + static_cast<std::ptrdiff_t>(
+                                             select_count));
+  std::sort(result.selected.begin(), result.selected.end());
+  return result;
+}
+
+tensor::Tensor geometric_median(std::span<const tensor::Tensor> points,
+                                std::span<const double> weights,
+                                const WeiszfeldOptions& options) {
+  check_inputs(points, "geometric_median");
+  const std::size_t n = points.size();
+  if (!weights.empty() && weights.size() != n) {
+    throw std::invalid_argument("geometric_median: weights size mismatch");
+  }
+  std::vector<double> w(n, 1.0);
+  if (!weights.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(weights[i] >= 0.0) || !std::isfinite(weights[i])) {
+        throw std::invalid_argument("geometric_median: bad weight");
+      }
+      w[i] = weights[i];
+    }
+  }
+  double w_total = 0.0;
+  for (double v : w) w_total += v;
+  if (w_total <= 0.0) {
+    throw std::invalid_argument("geometric_median: zero total weight");
+  }
+
+  const std::size_t dim = points.front().numel();
+  // Start from the weighted mean (serial, input order).
+  tensor::Tensor y(points.front().shape());
+  {
+    std::vector<double> accum(dim, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* x = points[i].data();
+      for (std::size_t j = 0; j < dim; ++j) accum[j] += w[i] * x[j];
+    }
+    for (std::size_t j = 0; j < dim; ++j) {
+      y[j] = static_cast<float>(accum[j] / w_total);
+    }
+  }
+  if (n == 1) return y;
+
+  constexpr double kDistFloor = 1e-12;
+  std::vector<double> inv_dist(n);
+  tensor::Tensor next(y.shape());
+  for (std::size_t iter = 0; iter < options.max_iters; ++iter) {
+    // Distances: each point owns its slot; the inner reduction is serial.
+    exec::parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        double sum = 0.0;
+        const float* x = points[i].data();
+        for (std::size_t j = 0; j < dim; ++j) {
+          const double d = static_cast<double>(x[j]) -
+                           static_cast<double>(y[j]);
+          sum += d * d;
+        }
+        inv_dist[i] = w[i] / std::max(std::sqrt(sum), kDistFloor);
+      }
+    });
+    double denom = 0.0;
+    for (std::size_t i = 0; i < n; ++i) denom += inv_dist[i];
+    // New iterate: each coordinate accumulates over points in input order.
+    exec::parallel_for(dim, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t j = begin; j < end; ++j) {
+        double num = 0.0;
+        for (std::size_t i = 0; i < n; ++i) num += inv_dist[i] * points[i][j];
+        next[j] = static_cast<float>(num / denom);
+      }
+    });
+    double shift = 0.0;
+    double scale = 0.0;
+    for (std::size_t j = 0; j < dim; ++j) {
+      shift = std::max(shift, std::fabs(static_cast<double>(next[j]) -
+                                        static_cast<double>(y[j])));
+      scale = std::max(scale, std::fabs(static_cast<double>(next[j])));
+    }
+    std::swap(y, next);
+    if (shift <= options.tolerance * (1.0 + scale)) break;
+  }
+  return y;
+}
+
+}  // namespace fedpkd::robust

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fedpkd/tensor/tensor.hpp"
+
+namespace fedpkd::robust {
+
+/// Robust statistics kernels over same-shaped tensors — the estimator layer
+/// under robust::robust_combine. Every kernel here is deterministic and
+/// bitwise thread-count invariant: parallelism (exec::parallel_for) only ever
+/// splits *independent output coordinates* across lanes, and any reduction
+/// that mixes inputs walks them serially in input-index order with double
+/// accumulation, so chunking is invisible to the result. Inputs are assumed
+/// finite (the pipeline's validation layer rejects non-finite contributions
+/// before aggregation); shape agreement is checked and throws
+/// std::invalid_argument.
+
+/// Coordinate-wise median: out[j] = median over inputs of inputs[i][j]. Even
+/// input counts take the mean of the two middle order statistics. Tolerates
+/// up to floor((n-1)/2) arbitrary outliers per coordinate.
+tensor::Tensor coordinate_median(std::span<const tensor::Tensor> inputs);
+
+/// Coordinate-wise trimmed mean: per coordinate, drop the `trim` smallest and
+/// `trim` largest values and average the rest (in sorted order, so the float
+/// summation order is input-permutation independent too). `trim` is clamped
+/// to floor((n-1)/2) so at least one value always survives.
+tensor::Tensor trimmed_mean(std::span<const tensor::Tensor> inputs,
+                            std::size_t trim);
+
+/// Euclidean norm with double accumulation (serial; used for clipping
+/// decisions and anomaly scores).
+double l2_norm(const tensor::Tensor& t);
+
+/// Scales `t` down to `bound` if its L2 norm exceeds it (bound <= 0 is a
+/// no-op). Returns whether the tensor was clipped.
+bool clip_to_norm(tensor::Tensor& t, double bound);
+
+/// Krum / multi-Krum (Blanchard et al., 2017) over flattened updates.
+struct KrumResult {
+  /// The chosen input indices, ascending. Krum proper is select_count == 1.
+  std::vector<std::size_t> selected;
+  /// Per-input Krum score: the sum of its n - f - 2 smallest squared
+  /// distances to other inputs (lower = more central).
+  std::vector<double> scores;
+};
+
+/// Scores every input and selects the `select_count` lowest-scoring ones
+/// (ties broken by lower index, so selection is fully deterministic).
+/// `assumed_adversaries` is Krum's f; it is clamped so that the neighbor
+/// count n - f - 2 stays >= 1. Pairwise distances are computed concurrently
+/// (each pair owns its output slot); scoring and selection run serially.
+KrumResult krum_select(std::span<const tensor::Tensor> inputs,
+                       std::size_t assumed_adversaries,
+                       std::size_t select_count);
+
+/// Weiszfeld iteration options for the geometric median.
+struct WeiszfeldOptions {
+  std::size_t max_iters = 128;
+  /// Convergence: stop when the iterate moves by at most
+  /// tolerance * (1 + max_abs(estimate)) in every coordinate.
+  double tolerance = 1e-9;
+};
+
+/// Weighted geometric median via Weiszfeld iteration: the point minimizing
+/// sum_i w_i * ||x_i - y||. Near-coincident points are handled by flooring
+/// each distance at a tiny epsilon, which keeps the iteration defined (and
+/// deterministic) when the estimate lands on an input point — with a
+/// majority of duplicates the iterate converges onto the duplicated point,
+/// matching the true minimizer. Empty `weights` means uniform. Breakdown
+/// point 1/2: any minority of arbitrarily-placed outliers moves the result
+/// only boundedly.
+tensor::Tensor geometric_median(std::span<const tensor::Tensor> points,
+                                std::span<const double> weights = {},
+                                const WeiszfeldOptions& options = {});
+
+}  // namespace fedpkd::robust

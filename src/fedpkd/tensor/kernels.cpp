@@ -381,15 +381,18 @@ void matmul_tb_rows(const float* a, const float* b, float* c, std::size_t k,
                     std::size_t row_end) {
   for (std::size_t i0 = row_begin; i0 < row_end; i0 += kMrTb) {
     const std::size_t mr = std::min(kMrTb, row_end - i0);
-    std::size_t j0 = 0;
-    if (mr == kMrTb) {
-      for (; j0 + kNcTb <= n; j0 += kNcTb) tb_tile_full(a, b, c, k, n, i0, j0);
-    } else {
-      for (; j0 + kNcTb <= n; j0 += kNcTb) {
-        tb_tile_edge(a, b, c, k, n, i0, mr, j0, kNcTb);
-      }
+    if (mr < kMrTb) {
+      // Partial row blocks go through the scalar per-row loop: GCC 12's SLP
+      // vectorizer pair-loads A rows past the runtime `mr` bound in
+      // tb_tile_edge, reading past the end of A when the tail row ends a
+      // page. The accumulation order (kk ascending per output element) is
+      // identical, so results are bitwise unchanged.
+      matmul_tb_rows_naive(a, b, c, k, n, i0, i0 + mr);
+      continue;
     }
-    if (j0 < n) tb_tile_edge(a, b, c, k, n, i0, mr, j0, n - j0);
+    std::size_t j0 = 0;
+    for (; j0 + kNcTb <= n; j0 += kNcTb) tb_tile_full(a, b, c, k, n, i0, j0);
+    if (j0 < n) tb_tile_edge(a, b, c, k, n, i0, kMrTb, j0, n - j0);
   }
 }
 
