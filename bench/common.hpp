@@ -266,6 +266,14 @@ struct JsonBenchRecord {
   // unit instead of a timing; a non-empty unit switches the emitted fields.
   double value = 0.0;
   std::string unit;
+  // Measurement context, emitted when set (non-zero): the lane count the
+  // record ran at, the scheduler's ops-per-lane grain constant, and the
+  // process peak RSS after the measurement. bench_gate keys scaling checks
+  // off `threads`; `grain` and `rss_kb` document the conditions a regression
+  // was (or was not) reproduced under.
+  std::size_t threads = 0;
+  std::size_t grain = 0;
+  double rss_kb = 0.0;
 };
 
 inline std::string bench_json_path() {
@@ -327,7 +335,13 @@ inline void append_bench_records(const std::vector<JsonBenchRecord>& records) {
       os << ", \"gflops\": " << std::setprecision(3) << r.gflops;
     }
     os << ", \"allocs_per_iter\": " << std::setprecision(2)
-       << r.allocs_per_iter << "},";
+       << r.allocs_per_iter;
+    if (r.threads != 0) os << ", \"threads\": " << r.threads;
+    if (r.grain != 0) os << ", \"grain\": " << r.grain;
+    if (r.rss_kb > 0.0) {
+      os << ", \"rss_kb\": " << std::setprecision(0) << r.rss_kb;
+    }
+    os << "},";
   }
   std::string out = os.str();
   if (!out.empty() && out.back() == ',') out.pop_back();

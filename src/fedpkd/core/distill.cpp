@@ -84,9 +84,12 @@ fl::TrainStats server_ensemble_distill(Classifier& server_model,
         }
         mean_w /= static_cast<double>(batch.size());
         const std::size_t cols = grad_logits.cols();
-        // Row-parallel: every row's scale depends only on its own index.
+        // Row-parallel: every row's scale depends only on its own index. At
+        // ~cols ops per row a distill batch never clears the grain, so this
+        // stays inline — kept as parallel_for for when batches grow.
         exec::parallel_for(
-            batch.size(), [&](std::size_t row_begin, std::size_t row_end) {
+            batch.size(), exec::grain_for_cost(cols),
+            [&](std::size_t row_begin, std::size_t row_end) {
               for (std::size_t r = row_begin; r < row_end; ++r) {
                 const float w = static_cast<float>(
                     confidence[batch.indices[r]] / mean_w);
@@ -108,7 +111,8 @@ fl::TrainStats server_ensemble_distill(Classifier& server_model,
         // the loss is identical for every thread count.
         std::vector<double> row_mse(b, 0.0);
         std::vector<std::size_t> row_counted(b, 0);
-        exec::parallel_for(b, [&](std::size_t row_begin, std::size_t row_end) {
+        exec::parallel_for(b, exec::grain_for_cost(feature_dim * 4),
+                           [&](std::size_t row_begin, std::size_t row_end) {
           for (std::size_t r = row_begin; r < row_end; ++r) {
             const auto cls = static_cast<std::size_t>(batch.y[r]);
             if (!global_prototypes.present[cls]) continue;

@@ -79,13 +79,29 @@ void FedPkd::local_update(fl::RoundContext&, std::size_t, fl::Client& client) {
 // FedDF/DS-FL exchange "logits" and is ablated in abl_aggregation). The
 // two-part bundle is all-or-nothing on the pipeline: a client whose upload
 // partially failed is skipped this round, exactly like a straggler drop-out.
-fl::PayloadBundle FedPkd::make_upload(fl::RoundContext& ctx, std::size_t,
+void FedPkd::before_upload(fl::RoundContext& ctx) {
+  // Serial cohort pass: one wide GEMM covers every matching-architecture
+  // stem instead of |cohort| separate public-set forwards. make_upload then
+  // reads its precomputed slot, which keeps the concurrent stage read-only.
+  cohort_.compute_public_logits(ctx.active, ctx.fed.public_data.features,
+                                public_logits_);
+}
+
+fl::PayloadBundle FedPkd::make_upload(fl::RoundContext& ctx, std::size_t i,
                                       fl::Client& client) {
+  // Slot logits come from before_upload's batched pass; the fallback covers
+  // direct make_upload calls outside the pipeline (tests, tooling).
+  tensor::Tensor fallback;
+  const tensor::Tensor* logits = nullptr;
+  if (i < public_logits_.size() && !public_logits_[i].empty()) {
+    logits = &public_logits_[i];
+  } else {
+    fallback = client.logits_on(ctx.fed.public_data.features);
+    logits = &fallback;
+  }
   fl::PayloadBundle bundle;
   bundle.parts.push_back(comm::LogitsPayload{
-      all_ids_,
-      tensor::softmax_rows(client.logits_on(ctx.fed.public_data.features),
-                           options_.temperature)});
+      all_ids_, tensor::softmax_rows(*logits, options_.temperature)});
   bundle.parts.push_back(
       to_payload(compute_local_prototypes(client.model, client.train_data)));
   return bundle;

@@ -7,6 +7,7 @@
 #include "fedpkd/core/aggregation.hpp"
 #include "fedpkd/core/distill.hpp"
 #include "fedpkd/core/filter_ext.hpp"
+#include "fedpkd/fl/cohort.hpp"
 #include "fedpkd/fl/round_pipeline.hpp"
 
 namespace fedpkd::core {
@@ -66,6 +67,7 @@ class FedPkd : public fl::StagedAlgorithm {
   void on_round_start(fl::RoundContext& ctx) override;
   void local_update(fl::RoundContext& ctx, std::size_t i,
                     fl::Client& client) override;
+  void before_upload(fl::RoundContext& ctx) override;
   fl::PayloadBundle make_upload(fl::RoundContext& ctx, std::size_t i,
                                 fl::Client& client) override;
   void server_step(fl::RoundContext& ctx,
@@ -98,6 +100,11 @@ class FedPkd : public fl::StagedAlgorithm {
   std::optional<PrototypeSet> global_prototypes_;
   float last_keep_fraction_ = 1.0f;
   std::vector<std::uint32_t> all_ids_;  // 0..public_n-1, filled on first use
+  /// Batched public-set inference: before_upload fuses matching-architecture
+  /// stems into one wide GEMM and fills public_logits_ per slot; make_upload
+  /// then only reads its own slot (concurrent-safe, read-only).
+  fl::CohortStepper cohort_;
+  std::vector<tensor::Tensor> public_logits_;
   /// What each client actually received over the wire (Eq. 16 regularizer
   /// target), by client id; stale or absent after a dropped downlink.
   std::vector<std::optional<PrototypeSet>> received_;

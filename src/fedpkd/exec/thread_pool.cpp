@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <memory>
+#include <exception>
 #include <stdexcept>
 
 namespace fedpkd::exec {
@@ -10,30 +10,44 @@ namespace fedpkd::exec {
 namespace {
 
 thread_local bool t_in_parallel_region = false;
+thread_local std::size_t t_lane_budget = 1;
 thread_local std::size_t t_thread_limit = 0;  // 0 = unlimited
 
-/// Completion state shared between one run() call and its queued chunks.
-/// shared_ptr-owned so a chunk finishing after the caller stopped waiting
-/// (impossible today, but cheap insurance) never touches freed memory.
-struct JobState {
-  std::mutex mutex;
-  std::condition_variable done_cv;
-  std::size_t pending = 0;
-  std::exception_ptr error;
-
-  void finish_one(std::exception_ptr chunk_error) {
-    std::lock_guard<std::mutex> lock(mutex);
-    if (chunk_error && !error) error = std::move(chunk_error);
-    if (--pending == 0) done_cv.notify_all();
-  }
-};
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
 
 }  // namespace
+
+/// One in-flight run() call. Lives on the caller's stack for the duration of
+/// the call; workers only ever hold a raw pointer while `refs` accounts for
+/// them, so the caller can safely return (and pop the frame) once refs hits
+/// zero. alignas keeps the hot atomics off neighboring stack data's lines.
+struct alignas(64) ThreadPool::Job {
+  ChunkFn fn = nullptr;
+  void* ctx = nullptr;
+  std::size_t lanes = 0;
+  std::size_t base = 0;  // chunk length; first `rem` chunks get one extra
+  std::size_t rem = 0;
+  std::size_t child_budget = 1;
+  std::atomic<std::size_t> next{0};  // chunk claim cursor
+  std::atomic<std::size_t> refs{0};  // worker shares not yet finished
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr error;  // first chunk failure; guarded by mutex
+};
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     throw std::invalid_argument("ThreadPool: need at least one lane");
   }
+  // Sized for the worst nesting case (every lane running a nested job with
+  // pool-wide shares); grown under the queue mutex if that's ever exceeded.
+  ring_.resize(std::max<std::size_t>(4 * num_threads, 16), nullptr);
   workers_.reserve(num_threads - 1);
   for (std::size_t i = 0; i + 1 < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -51,84 +65,128 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::in_parallel_region() { return t_in_parallel_region; }
 
-void ThreadPool::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop requested and queue drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+std::size_t ThreadPool::lane_budget() { return t_lane_budget; }
+
+void ThreadPool::push_shares(Job* job, std::size_t shares) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_count_ + shares > ring_.size()) {
+      std::vector<Job*> grown(std::max(2 * ring_.size(), ring_count_ + shares),
+                              nullptr);
+      for (std::size_t i = 0; i < ring_count_; ++i) {
+        grown[i] = ring_[(ring_head_ + i) % ring_.size()];
+      }
+      ring_ = std::move(grown);
+      ring_head_ = 0;
     }
-    task();
+    for (std::size_t i = 0; i < shares; ++i) {
+      ring_[(ring_head_ + ring_count_) % ring_.size()] = job;
+      ++ring_count_;
+    }
+  }
+  if (shares == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
   }
 }
 
-void ThreadPool::run(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+void ThreadPool::execute_chunks(Job& job) {
+  const bool prev_region = t_in_parallel_region;
+  const std::size_t prev_budget = t_lane_budget;
+  t_in_parallel_region = true;
+  t_lane_budget = job.child_budget;
+  for (;;) {
+    const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.lanes) break;
+    const std::size_t begin = c * job.base + std::min(c, job.rem);
+    const std::size_t end = begin + job.base + (c < job.rem ? 1 : 0);
+    try {
+      job.fn(job.ctx, begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.mutex);
+      if (!job.error) job.error = std::current_exception();
+    }
+  }
+  t_in_parallel_region = prev_region;
+  t_lane_budget = prev_budget;
+}
+
+void ThreadPool::finish_share(Job* job) {
+  if (job->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last worker out: the caller may be asleep waiting for refs to drain.
+    std::lock_guard<std::mutex> lock(job->mutex);
+    job->done_cv.notify_one();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Job* job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || ring_count_ != 0; });
+      if (ring_count_ == 0) return;  // stop requested and queue drained
+      job = ring_[ring_head_];
+      ring_head_ = (ring_head_ + 1) % ring_.size();
+      --ring_count_;
+    }
+    execute_chunks(*job);
+    finish_share(job);
+  }
+}
+
+void ThreadPool::run_chunks(std::size_t n, std::size_t max_lanes, ChunkFn fn,
+                            void* ctx) {
   if (n == 0) return;
-  std::size_t lanes = std::min(size(), n);
-  if (t_thread_limit != 0) lanes = std::min(lanes, t_thread_limit);
-  if (lanes <= 1 || t_in_parallel_region) {
-    body(0, n);
+  // Lanes this thread may occupy: the whole pool at top level, the nesting
+  // budget inside a region, further capped by any ScopedThreadLimit.
+  std::size_t avail = t_in_parallel_region ? t_lane_budget : size();
+  if (t_thread_limit != 0) avail = std::min(avail, t_thread_limit);
+  std::size_t lanes = std::min(avail, n);
+  if (max_lanes != 0) lanes = std::min(lanes, max_lanes);
+  if (lanes <= 1) {
+    fn(ctx, 0, n);
     return;
   }
 
-  // Contiguous chunks; the first `rem` chunks take one extra index. Chunk
-  // boundaries never influence results (see the determinism contract above),
-  // so uniform splitting is safe and keeps the schedule predictable.
-  const std::size_t base = n / lanes;
-  const std::size_t rem = n % lanes;
-  auto state = std::make_shared<JobState>();
-  state->pending = lanes - 1;
+  Job job;
+  job.fn = fn;
+  job.ctx = ctx;
+  job.lanes = lanes;
+  job.base = n / lanes;
+  job.rem = n % lanes;
+  job.child_budget = std::max<std::size_t>(1, avail / lanes);
+  const std::size_t shares = lanes - 1;
+  job.refs.store(shares, std::memory_order_relaxed);
+  push_shares(&job, shares);
 
-  std::size_t begin = base + (rem > 0 ? 1 : 0);  // caller takes chunk 0
-  const std::size_t caller_end = begin;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t c = 1; c < lanes; ++c) {
-      const std::size_t len = base + (c < rem ? 1 : 0);
-      const std::size_t chunk_begin = begin;
-      const std::size_t chunk_end = begin + len;
-      begin = chunk_end;
-      queue_.emplace_back([state, &body, chunk_begin, chunk_end] {
-        t_in_parallel_region = true;
-        std::exception_ptr error;
-        try {
-          body(chunk_begin, chunk_end);
-        } catch (...) {
-          error = std::current_exception();
-        }
-        t_in_parallel_region = false;
-        state->finish_one(std::move(error));
-      });
+  // The caller claims chunks like any worker; once the cursor is exhausted it
+  // only waits on chunks other threads are actively executing, so nested
+  // calls cannot deadlock.
+  execute_chunks(job);
+
+  if (job.refs.load(std::memory_order_acquire) != 0) {
+    // Brief spin covers the common "workers are just finishing" window
+    // without a syscall; pointless on a single hardware thread.
+    if (hardware_threads() > 1) {
+      for (int i = 0; i < 2048; ++i) {
+        if (job.refs.load(std::memory_order_acquire) == 0) break;
+        cpu_relax();
+      }
     }
+    std::unique_lock<std::mutex> lock(job.mutex);
+    job.done_cv.wait(lock, [&] {
+      return job.refs.load(std::memory_order_acquire) == 0;
+    });
   }
-  cv_.notify_all();
-
-  std::exception_ptr caller_error;
-  t_in_parallel_region = true;
-  try {
-    body(0, caller_end);
-  } catch (...) {
-    caller_error = std::current_exception();
-  }
-  t_in_parallel_region = false;
-
-  {
-    std::unique_lock<std::mutex> lock(state->mutex);
-    state->done_cv.wait(lock, [&] { return state->pending == 0; });
-    if (!state->error && caller_error) state->error = std::move(caller_error);
-    if (state->error) std::rethrow_exception(state->error);
-  }
+  if (job.error) std::rethrow_exception(job.error);
 }
 
 ScopedThreadLimit::ScopedThreadLimit(std::size_t limit)
     : previous_(t_thread_limit) {
   if (limit != 0) {
-    t_thread_limit =
-        previous_ == 0 ? limit : std::min(previous_, limit);
+    t_thread_limit = previous_ == 0 ? limit : std::min(previous_, limit);
   }
 }
 
@@ -151,6 +209,11 @@ std::atomic<std::size_t> g_num_threads{1};
 
 void set_num_threads(std::size_t n) {
   if (n == 0) n = hardware_threads();
+  // A compute-bound pool gains nothing from more lanes than physical cores —
+  // it just context-switch-thrashes — so oversubscribed requests clamp. Chunk
+  // boundaries only depend on the lane count actually used and results are
+  // chunking-invariant, so the clamp cannot change any output.
+  n = std::min(n, hardware_threads());
   std::lock_guard<std::mutex> lock(g_pool_mutex);
   if (g_pool && g_pool->size() == n) return;
   g_pool.reset();  // join old workers before the count changes

@@ -1,27 +1,40 @@
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace fedpkd::exec {
 
 /// A fixed-size pool of persistent worker threads driving `parallel_for`
 /// range splits. Deliberately work-stealing-free: one parallel_for call
-/// splits [0, n) into at most `size()` contiguous chunks, the caller runs
-/// one chunk itself, and workers pull the rest from a shared queue. This is
-/// exactly enough for the library's parallelism pattern — independent
-/// clients, independent rows — where chunks are uniform and stealing buys
-/// nothing.
+/// splits [0, n) into at most `size()` contiguous chunks with boundaries
+/// fixed by (n, lanes) alone; the caller and the workers then *claim* chunks
+/// from a shared atomic cursor, so which thread runs a chunk varies but the
+/// chunk boundaries — the only thing results may depend on — never do.
+///
+/// Dispatch is allocation-free: a run() call keeps its job descriptor on the
+/// caller's stack and enqueues raw pointers to it into a pre-sized ring, so
+/// the hot path never touches the heap (no std::function, no shared_ptr).
 ///
 /// Determinism contract: a chunk body must write only state owned by its
 /// index range, so results are bitwise independent of chunk boundaries and
 /// thread count. Reductions across indices belong in the caller, after run()
 /// returns, in index order.
+///
+/// Nested parallelism is governed by a lane *budget*: an outer run() that
+/// splits into L lanes grants each lane a budget of floor(avail / L) lanes
+/// for nested parallel_for calls, so the total number of concurrently
+/// executing lanes never exceeds the pool size (no oversubscription). With
+/// the common full-width outer split the budget is 1 and nested calls run
+/// inline, exactly as before. Nested waits cannot deadlock: a nested caller
+/// claims chunks from its own job until the cursor is exhausted, so it only
+/// ever waits on chunks that another live thread is actively executing.
 class ThreadPool {
  public:
   /// `num_threads` is the total number of concurrent lanes including the
@@ -33,22 +46,50 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size() + 1; }
 
+  /// Type-erased chunk body: fn(ctx, begin, end).
+  using ChunkFn = void (*)(void*, std::size_t, std::size_t);
+
   /// Runs body(begin, end) over contiguous chunks covering [0, n) and blocks
   /// until every chunk finished. Rethrows the first exception a chunk threw
   /// (the remaining chunks still run to completion, so the pool stays
-  /// reusable). Calls from inside a running chunk execute inline — nested
-  /// parallelism never deadlocks, it serializes.
-  void run(std::size_t n,
-           const std::function<void(std::size_t, std::size_t)>& body);
+  /// reusable). `max_lanes` caps the split (0 = no extra cap); the effective
+  /// lane count is additionally clamped by n, the pool size, the calling
+  /// thread's nesting budget, and any ScopedThreadLimit.
+  template <typename Body>
+  void run(std::size_t n, Body&& body, std::size_t max_lanes = 0) {
+    using Plain = std::remove_reference_t<Body>;
+    run_chunks(
+        n, max_lanes,
+        [](void* ctx, std::size_t begin, std::size_t end) {
+          (*static_cast<Plain*>(ctx))(begin, end);
+        },
+        const_cast<void*>(static_cast<const void*>(std::addressof(body))));
+  }
+
+  /// The allocation-free core behind run(). Public so call sites that already
+  /// have a function pointer + context can skip the template shim.
+  void run_chunks(std::size_t n, std::size_t max_lanes, ChunkFn fn, void* ctx);
 
   /// True while the calling thread is executing a chunk body.
   static bool in_parallel_region();
 
+  /// Lanes a nested parallel_for on the calling thread may still fan out to.
+  /// 1 (the common case) means nested calls run inline. Meaningful only while
+  /// in_parallel_region().
+  static std::size_t lane_budget();
+
  private:
+  struct Job;
+
   void worker_loop();
+  void push_shares(Job* job, std::size_t shares);
+  static void execute_chunks(Job& job);
+  static void finish_share(Job* job);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::vector<Job*> ring_;  // circular buffer of queued job shares
+  std::size_t ring_head_ = 0;
+  std::size_t ring_count_ = 0;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
@@ -84,20 +125,47 @@ std::size_t num_threads();
 /// The process-wide pool (created on first use).
 ThreadPool& global_pool();
 
-/// Runs body(begin, end) over chunks of [0, n) on the global pool. Serial
-/// (one inline body(0, n) call) when the pool has one lane, when n <= 1,
-/// when already inside a parallel region, or under a ScopedThreadLimit of 1.
+/// Runs body(begin, end) over chunks of [0, n) on the global pool. `grain`
+/// is the minimum indices per lane: the split uses at most ceil(n / grain)
+/// lanes, so small loops stay serial instead of paying a pool hand-off that
+/// costs more than the work. Serial (one inline body(0, n) call) when the
+/// resulting lane count is 1 — because the pool has one lane, n <= grain, a
+/// ScopedThreadLimit of 1 is active, or the calling thread's nesting budget
+/// is exhausted.
 template <typename Body>
-void parallel_for(std::size_t n, Body&& body) {
+void parallel_for(std::size_t n, std::size_t grain, Body&& body) {
   if (n == 0) return;
+  std::size_t budget = ThreadPool::in_parallel_region()
+                           ? ThreadPool::lane_budget()
+                           : num_threads();
   const std::size_t cap = ScopedThreadLimit::current();
-  if (n <= 1 || num_threads() <= 1 || (cap != 0 && cap <= 1) ||
-      ThreadPool::in_parallel_region()) {
+  if (cap != 0 && cap < budget) budget = cap;
+  if (grain == 0) grain = 1;
+  const std::size_t max_chunks = (n + grain - 1) / grain;
+  const std::size_t lanes = std::min(budget, max_chunks);
+  if (lanes <= 1) {
     body(std::size_t{0}, n);
     return;
   }
-  global_pool().run(
-      n, std::function<void(std::size_t, std::size_t)>(std::forward<Body>(body)));
+  global_pool().run(n, body, lanes);
+}
+
+/// Grain-1 convenience overload: every index may be its own lane. Right for
+/// coarse loops (one client per index); give finer loops an explicit grain.
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body) {
+  parallel_for(n, std::size_t{1}, std::forward<Body>(body));
+}
+
+/// Scalar ops a lane must amortize before a fine-grained loop is worth
+/// handing to the pool; below this the wakeup + claim traffic beats the work.
+constexpr std::size_t kMinOpsPerLane = std::size_t{1} << 16;
+
+/// Grain for a loop whose body costs ~ops_per_index scalar ops per index:
+/// enough indices per lane that each chunk clears kMinOpsPerLane.
+inline std::size_t grain_for_cost(std::size_t ops_per_index) {
+  return std::max<std::size_t>(
+      1, kMinOpsPerLane / std::max<std::size_t>(1, ops_per_index));
 }
 
 }  // namespace fedpkd::exec

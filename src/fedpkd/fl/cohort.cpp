@@ -1,0 +1,143 @@
+#include "fedpkd/fl/cohort.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "fedpkd/nn/linear.hpp"
+#include "fedpkd/nn/sequential.hpp"
+#include "fedpkd/tensor/ops.hpp"
+
+namespace fedpkd::fl {
+
+namespace {
+
+/// A group is stem-fusable when every member's body is a Sequential whose
+/// first layer is a Linear with identical dimensions. Architecture names pin
+/// the structure in the model zoo, but the check is structural so handmade
+/// test models cannot be mis-fused.
+struct StemView {
+  nn::Sequential* body = nullptr;
+  nn::Linear* stem = nullptr;
+};
+
+StemView stem_view(nn::Classifier& model) {
+  StemView view;
+  auto* seq = dynamic_cast<nn::Sequential*>(&model.body());
+  if (seq == nullptr || seq->size() == 0) return view;
+  auto* stem = dynamic_cast<nn::Linear*>(&seq->layer(0));
+  if (stem == nullptr) return view;
+  view.body = seq;
+  view.stem = stem;
+  return view;
+}
+
+}  // namespace
+
+void CohortStepper::member_logits(Client& client, const tensor::Tensor& inputs,
+                                  tensor::Tensor& out) {
+  client.model.logits_into(inputs, out);
+}
+
+void CohortStepper::compute_public_logits(const std::vector<Client*>& clients,
+                                          const tensor::Tensor& inputs,
+                                          std::vector<tensor::Tensor>& out) {
+  const std::size_t n = clients.size();
+  if (out.size() != n) out.resize(n);
+  fused_groups_ = 0;
+  fused_clients_ = 0;
+
+  // Group slots by architecture, preserving slot order within each group.
+  std::unordered_map<std::string, std::vector<std::size_t>> by_arch;
+  for (std::size_t i = 0; i < n; ++i) {
+    by_arch[clients[i]->model.arch()].push_back(i);
+  }
+
+  const std::size_t rows = inputs.rows();
+  for (auto& [arch, slots] : by_arch) {
+    // Check fusability: at least two members, Linear stem, matching dims.
+    bool fusable = slots.size() >= 2;
+    std::size_t in_dim = 0, hidden = 0;
+    for (std::size_t s = 0; fusable && s < slots.size(); ++s) {
+      StemView view = stem_view(clients[slots[s]]->model);
+      if (view.stem == nullptr) {
+        fusable = false;
+        break;
+      }
+      if (s == 0) {
+        in_dim = view.stem->in_features();
+        hidden = view.stem->out_features();
+        fusable = in_dim == inputs.cols();
+      } else {
+        fusable = view.stem->in_features() == in_dim &&
+                  view.stem->out_features() == hidden;
+      }
+    }
+    if (!fusable) {
+      for (std::size_t slot : slots) {
+        member_logits(*clients[slot], inputs, out[slot]);
+      }
+      continue;
+    }
+
+    const std::size_t g_count = slots.size();
+    const std::size_t wide = g_count * hidden;
+    GroupBuffers& buf = groups_[arch];
+
+    // Column-concatenate the member stems: row kk of w_cat is the members'
+    // rows kk laid side by side. Weights move every round (local training),
+    // so the pack is per-call; it is linear in parameter size, tiny next to
+    // the GEMM it enables.
+    buf.w_cat.ensure_shape({in_dim, wide});
+    buf.b_cat.ensure_shape({wide});
+    for (std::size_t g = 0; g < g_count; ++g) {
+      nn::Linear& stem = *stem_view(clients[slots[g]]->model).stem;
+      const float* w = stem.weight().value.data();
+      const float* b = stem.bias().value.data();
+      for (std::size_t kk = 0; kk < in_dim; ++kk) {
+        std::memcpy(buf.w_cat.data() + kk * wide + g * hidden, w + kk * hidden,
+                    hidden * sizeof(float));
+      }
+      std::memcpy(buf.b_cat.data() + g * hidden, b, hidden * sizeof(float));
+    }
+
+    // One wide GEMM computes every member's stem activation. Per-element
+    // accumulation order over k does not depend on B's column count, so each
+    // column block is bitwise what the member's own stem would produce.
+    tensor::matmul_bias_into(inputs, buf.w_cat, buf.b_cat, buf.y_cat);
+
+    // Stream each member's block through its remaining layers.
+    for (std::size_t g = 0; g < g_count; ++g) {
+      const std::size_t slot = slots[g];
+      nn::Classifier& model = clients[slot]->model;
+      nn::Sequential& body = *stem_view(model).body;
+
+      buf.h0.ensure_shape({rows, hidden});
+      for (std::size_t r = 0; r < rows; ++r) {
+        std::memcpy(buf.h0.data() + r * hidden,
+                    buf.y_cat.data() + r * wide + g * hidden,
+                    hidden * sizeof(float));
+      }
+
+      // Layers 1..end via the same forward_eval_into calls that
+      // Classifier::logits_into makes, ping-ponging stepper-owned buffers.
+      const tensor::Tensor* cur = &buf.h0;
+      tensor::Tensor* hop[2] = {&buf.hop_a, &buf.hop_b};
+      std::size_t parity = 0;
+      for (std::size_t i = 1; i + 1 < body.size(); ++i) {
+        tensor::Tensor& dst = *hop[parity];
+        parity ^= 1;
+        body.layer(i).forward_eval_into(*cur, dst);
+        cur = &dst;
+      }
+      if (body.size() > 1) {
+        body.layer(body.size() - 1).forward_eval_into(*cur, buf.feats);
+        cur = &buf.feats;
+      }
+      model.head().forward_eval_into(*cur, out[slot]);
+    }
+    ++fused_groups_;
+    fused_clients_ += g_count;
+  }
+}
+
+}  // namespace fedpkd::fl

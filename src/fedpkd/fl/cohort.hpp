@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fedpkd/fl/client.hpp"
+#include "fedpkd/tensor/tensor.hpp"
+
+namespace fedpkd::fl {
+
+/// Batched cohort stepping for the public-set inference pass.
+///
+/// Every knowledge-distillation round ends with each active client running
+/// its model over the shared public set. Done naively that is one stem GEMM
+/// per client on the same input matrix — and the stem (input_dim x hidden) is
+/// the widest, most expensive layer of every zoo architecture. CohortStepper
+/// groups active clients by architecture and fuses each group's stem into one
+/// wide GEMM: the members' stem weights are column-concatenated into
+/// W_cat [in, G*h] (bias likewise), a single matmul_bias produces all G stem
+/// activations at once, and each member's column block then flows through its
+/// remaining layers via the allocation-free Module::forward_eval_into path.
+///
+/// Bitwise contract: output slot i equals `clients[i]->logits_on(inputs)`
+/// exactly. The fused GEMM preserves this because every kernel accumulates
+/// each output element over k in ascending order regardless of how B's
+/// columns are tiled, so element (row, g*h + c) of the wide product is the
+/// same float sequence as element (row, c) of member g's own stem product;
+/// all later layers are row-independent eval passes reusing the exact layer
+/// arithmetic. Groups of one and architectures whose body does not start
+/// with a Linear stem fall back to the per-client path (same math, no
+/// fusion).
+///
+/// All buffers (weight concat, wide activation, per-layer hops, output slots)
+/// are persistent and ensure_shape-reused, so rounds at a steady cohort size
+/// allocate nothing after warm-up.
+class CohortStepper {
+ public:
+  /// Fills `out[i]` with raw public-set logits of `clients[i]`. `out` is
+  /// resized to clients.size(); slot tensors are reused across calls.
+  void compute_public_logits(const std::vector<Client*>& clients,
+                             const tensor::Tensor& inputs,
+                             std::vector<tensor::Tensor>& out);
+
+  /// Number of stem-fused groups formed by the last call (introspection for
+  /// tests and logs).
+  std::size_t fused_groups() const { return fused_groups_; }
+  /// Clients whose stem ran inside a fused GEMM in the last call.
+  std::size_t fused_clients() const { return fused_clients_; }
+
+ private:
+  /// Persistent scratch per architecture group. Keyed by arch name, so a
+  /// stable cohort reuses the same tensors every round.
+  struct GroupBuffers {
+    tensor::Tensor w_cat;   // [in, G*h] column-concat of member stem weights
+    tensor::Tensor b_cat;   // [G*h]
+    tensor::Tensor y_cat;   // [rows, G*h] fused stem output
+    tensor::Tensor h0;      // [rows, h] one member's stem activation block
+    tensor::Tensor hop_a;   // ping-pong buffers through the remaining layers
+    tensor::Tensor hop_b;
+    tensor::Tensor feats;   // body output feeding the head
+  };
+
+  void member_logits(Client& client, const tensor::Tensor& inputs,
+                     tensor::Tensor& out);
+
+  std::unordered_map<std::string, GroupBuffers> groups_;
+  std::size_t fused_groups_ = 0;
+  std::size_t fused_clients_ = 0;
+};
+
+}  // namespace fedpkd::fl

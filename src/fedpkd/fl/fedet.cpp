@@ -98,7 +98,10 @@ void FedEt::server_step(RoundContext& ctx,
                        }
                      });
   tensor::Tensor teacher({public_n, num_classes});
-  exec::parallel_for(public_n, [&](std::size_t begin, std::size_t end) {
+  exec::parallel_for(
+      public_n,
+      exec::grain_for_cost(member_probs.size() * num_classes * 2),
+      [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       double weight_sum = 0.0;
       for (std::size_t c = 0; c < member_probs.size(); ++c) {

@@ -145,6 +145,7 @@ RoundOutcome RoundPipeline::run(RoundStages& stages, Federation& fed,
   std::vector<Contribution> contributions;
   {
     StageSpan span(times.upload_seconds);
+    stages.before_upload(ctx);
     std::vector<PayloadBundle> bundles(n);
     exec::parallel_for(n, [&](std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {

@@ -137,6 +137,13 @@ class RoundStages {
   virtual void local_update(RoundContext& ctx, std::size_t i,
                             Client& client) = 0;
 
+  /// Serial hook between local training and the concurrent make_upload
+  /// fan-out (runs inside the upload timing span). Use it for work that is
+  /// cheaper batched across the cohort than repeated per slot — e.g. fusing
+  /// the public-set inference of matching architectures into one wide GEMM —
+  /// with make_upload then reading the precomputed per-slot results.
+  virtual void before_upload(RoundContext& ctx) { (void)ctx; }
+
   /// Stage 2 — slot `i`'s uplink bundle (concurrent compute; the pipeline
   /// then sends all bundles serially in slot order).
   virtual PayloadBundle make_upload(RoundContext& ctx, std::size_t i,

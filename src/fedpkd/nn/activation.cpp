@@ -14,6 +14,13 @@ Tensor Relu::forward(const Tensor& x, bool train) {
   return y;
 }
 
+void Relu::forward_eval_into(const Tensor& x, Tensor& out) {
+  out.ensure_shape(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  }
+}
+
 Tensor Relu::backward(const Tensor& grad_out) {
   if (cached_input_.empty()) {
     throw std::logic_error("Relu::backward called before forward(train)");
@@ -37,6 +44,11 @@ Tensor Tanh::forward(const Tensor& x, bool train) {
   for (std::size_t i = 0; i < x.numel(); ++i) y[i] = std::tanh(x[i]);
   if (train) cached_output_ = y;
   return y;
+}
+
+void Tanh::forward_eval_into(const Tensor& x, Tensor& out) {
+  out.ensure_shape(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) out[i] = std::tanh(x[i]);
 }
 
 Tensor Tanh::backward(const Tensor& grad_out) {

@@ -10,6 +10,7 @@ class Relu final : public Module {
   Relu() = default;
 
   Tensor forward(const Tensor& x, bool train = true) override;
+  void forward_eval_into(const Tensor& x, Tensor& out) override;
   Tensor backward(const Tensor& grad_out) override;
   std::unique_ptr<Module> clone() const override;
 
@@ -23,6 +24,7 @@ class Tanh final : public Module {
   Tanh() = default;
 
   Tensor forward(const Tensor& x, bool train = true) override;
+  void forward_eval_into(const Tensor& x, Tensor& out) override;
   Tensor backward(const Tensor& grad_out) override;
   std::unique_ptr<Module> clone() const override;
 

@@ -40,6 +40,16 @@ Tensor Classifier::forward(const Tensor& x, bool train) {
   return head_->forward(last_features_, train);
 }
 
+void Classifier::logits_into(const Tensor& x, Tensor& out) {
+  if (x.rank() != 2 || x.cols() != input_dim_) {
+    throw std::invalid_argument("Classifier::features: expected [batch, " +
+                                std::to_string(input_dim_) + "], got " +
+                                x.shape_string());
+  }
+  body_->forward_eval_into(x, eval_features_);
+  head_->forward_eval_into(eval_features_, out);
+}
+
 void Classifier::backward(const Tensor& grad_logits,
                           const Tensor* grad_features_extra) {
   if (!forward_through_head_) {

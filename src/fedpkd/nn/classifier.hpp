@@ -36,6 +36,12 @@ class Classifier {
   /// Full forward to logits: [batch, num_classes]. Caches like features().
   Tensor forward(const Tensor& x, bool train = true);
 
+  /// Inference-only logits written into `out` (allocation-free after
+  /// warm-up). Bitwise equal to forward(x, /*train=*/false), but leaves
+  /// last_features_ and the backward bookkeeping untouched, so it can be
+  /// interleaved with training passes. `out` must not alias `x`.
+  void logits_into(const Tensor& x, Tensor& out);
+
   /// Features produced by the most recent forward()/features() call.
   const Tensor& last_features() const { return last_features_; }
 
@@ -66,6 +72,10 @@ class Classifier {
   /// -- Introspection ---------------------------------------------------------------
 
   const std::string& arch() const { return arch_; }
+  /// Structural access for cross-model fusion (fl::CohortStepper inspects the
+  /// body's layer list to fuse matching stems into one wide GEMM).
+  Module& body() { return *body_; }
+  Linear& head() { return *head_; }
   std::size_t input_dim() const { return input_dim_; }
   std::size_t feature_dim() const { return head_->in_features(); }
   std::size_t num_classes() const { return head_->out_features(); }
@@ -81,6 +91,7 @@ class Classifier {
   std::unique_ptr<Linear> head_;
   std::size_t input_dim_;
   Tensor last_features_;
+  Tensor eval_features_;  // logits_into scratch, separate from backward state
   bool forward_through_head_ = false;
 };
 

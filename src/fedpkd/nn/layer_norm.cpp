@@ -60,6 +60,36 @@ Tensor LayerNorm::forward(const Tensor& x, bool train) {
   return y;
 }
 
+void LayerNorm::forward_eval_into(const Tensor& x, Tensor& out) {
+  if (x.rank() != 2 || x.cols() != features_) {
+    throw std::invalid_argument("LayerNorm::forward: expected [batch, " +
+                                std::to_string(features_) + "], got " +
+                                x.shape_string());
+  }
+  const std::size_t m = x.rows(), n = features_;
+  out.ensure_shape(x.shape());
+  // Mirrors the eval branch of forward() exactly (double-precision row
+  // statistics, float normalization) so the two are bitwise interchangeable.
+  for (std::size_t r = 0; r < m; ++r) {
+    const float* px = x.data() + r * n;
+    double mu = 0.0;
+    for (std::size_t c = 0; c < n; ++c) mu += px[c];
+    mu /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      const double d = px[c] - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    const float is = static_cast<float>(1.0 / std::sqrt(var + eps_));
+    float* py = out.data() + r * n;
+    for (std::size_t c = 0; c < n; ++c) {
+      const float h = (px[c] - static_cast<float>(mu)) * is;
+      py[c] = gamma_.value[c] * h + beta_.value[c];
+    }
+  }
+}
+
 Tensor LayerNorm::backward(const Tensor& grad_out) {
   if (cached_xhat_.empty()) {
     throw std::logic_error("LayerNorm::backward called before forward(train)");

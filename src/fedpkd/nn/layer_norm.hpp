@@ -17,6 +17,7 @@ class LayerNorm final : public Module {
                      std::string name = "layer_norm");
 
   Tensor forward(const Tensor& x, bool train = true) override;
+  void forward_eval_into(const Tensor& x, Tensor& out) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
   std::unique_ptr<Module> clone() const override;

@@ -33,6 +33,15 @@ Tensor Linear::forward(const Tensor& x, bool train) {
   return tensor::matmul_bias(x, weight_.value, bias_.value);
 }
 
+void Linear::forward_eval_into(const Tensor& x, Tensor& out) {
+  if (x.rank() != 2 || x.cols() != in_) {
+    throw std::invalid_argument("Linear::forward: expected [batch, " +
+                                std::to_string(in_) + "], got " +
+                                x.shape_string());
+  }
+  tensor::matmul_bias_into(x, weight_.value, bias_.value, out);
+}
+
 Tensor Linear::backward(const Tensor& grad_out) {
   if (cached_input_.empty()) {
     throw std::logic_error("Linear::backward called before forward(train)");

@@ -14,6 +14,7 @@ class Linear final : public Module {
          std::string name = "linear");
 
   Tensor forward(const Tensor& x, bool train = true) override;
+  void forward_eval_into(const Tensor& x, Tensor& out) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
   std::unique_ptr<Module> clone() const override;

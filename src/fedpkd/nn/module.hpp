@@ -50,6 +50,15 @@ class Module {
   /// dLoss/dInput. Must be called after a forward(x, /*train=*/true).
   virtual Tensor backward(const Tensor& grad_out) = 0;
 
+  /// Inference pass that writes into a caller-provided tensor instead of
+  /// returning a fresh one, so steady-state evaluation (public-set logits
+  /// every round) reuses the same buffers and allocates nothing after
+  /// warm-up. Bitwise equal to `out = forward(x, /*train=*/false)` — layers
+  /// override it with the exact eval-mode arithmetic, never a reordered
+  /// variant. `out` must not alias `x`. Does not disturb cached backward
+  /// state.
+  virtual void forward_eval_into(const Tensor& x, Tensor& out);
+
   /// Appends non-owning pointers to this module's parameters.
   virtual void collect_parameters(std::vector<Parameter*>& out);
 

@@ -21,6 +21,18 @@ Tensor Residual::forward(const Tensor& x, bool train) {
   return fx;
 }
 
+void Residual::forward_eval_into(const Tensor& x, Tensor& out) {
+  inner_->forward_eval_into(x, eval_fx_);
+  if (!eval_fx_.same_shape(x)) {
+    throw std::invalid_argument(
+        "Residual::forward: inner module changed shape " + x.shape_string() +
+        " -> " + eval_fx_.shape_string());
+  }
+  out.ensure_shape(x.shape());
+  // Same operand order as forward()'s add_inplace(fx, x): fx + x.
+  for (std::size_t i = 0; i < x.numel(); ++i) out[i] = eval_fx_[i] + x[i];
+}
+
 Tensor Residual::backward(const Tensor& grad_out) {
   Tensor g = inner_->backward(grad_out);
   tensor::add_inplace(g, grad_out);

@@ -16,12 +16,14 @@ class Residual final : public Module {
   explicit Residual(std::unique_ptr<Module> inner);
 
   Tensor forward(const Tensor& x, bool train = true) override;
+  void forward_eval_into(const Tensor& x, Tensor& out) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
   std::unique_ptr<Module> clone() const override;
 
  private:
   std::unique_ptr<Module> inner_;
+  Tensor eval_fx_;  // persistent f(x) buffer for forward_eval_into
 };
 
 }  // namespace fedpkd::nn

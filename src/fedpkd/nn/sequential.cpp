@@ -28,6 +28,26 @@ Tensor Sequential::forward(const Tensor& x, bool train) {
   return h;
 }
 
+void Sequential::forward_eval_into(const Tensor& x, Tensor& out) {
+  if (layers_.empty()) {
+    out = x;
+    return;
+  }
+  // Intermediate hops ping-pong between two member buffers; only the last
+  // layer writes the caller's tensor. Each layer's eval math is untouched, so
+  // the chain stays bitwise equal to forward(x, /*train=*/false).
+  const Tensor* cur = &x;
+  Tensor* hop[2] = {&eval_a_, &eval_b_};
+  std::size_t parity = 0;
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    Tensor& dst = *hop[parity];
+    parity ^= 1;
+    layers_[i]->forward_eval_into(*cur, dst);
+    cur = &dst;
+  }
+  layers_.back()->forward_eval_into(*cur, out);
+}
+
 Tensor Sequential::backward(const Tensor& grad_out) {
   if (layers_.empty()) return grad_out;
   Tensor g = layers_.back()->backward(grad_out);

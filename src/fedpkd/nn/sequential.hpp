@@ -18,6 +18,7 @@ class Sequential final : public Module {
   Sequential& add(std::unique_ptr<Module> layer);
 
   Tensor forward(const Tensor& x, bool train = true) override;
+  void forward_eval_into(const Tensor& x, Tensor& out) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
   std::unique_ptr<Module> clone() const override;
@@ -27,6 +28,10 @@ class Sequential final : public Module {
 
  private:
   std::vector<std::unique_ptr<Module>> layers_;
+  // Ping-pong hop buffers for forward_eval_into; persistent so the chain is
+  // allocation-free once their capacities settle.
+  Tensor eval_a_;
+  Tensor eval_b_;
 };
 
 }  // namespace fedpkd::nn

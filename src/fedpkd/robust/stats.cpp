@@ -39,13 +39,16 @@ tensor::Tensor coordinate_median(std::span<const tensor::Tensor> inputs) {
   check_inputs(inputs, "coordinate_median");
   const std::size_t n = inputs.size();
   tensor::Tensor out(inputs.front().shape());
-  exec::parallel_for(out.numel(), [&](std::size_t begin, std::size_t end) {
-    std::vector<float> column(n);
-    for (std::size_t j = begin; j < end; ++j) {
-      for (std::size_t i = 0; i < n; ++i) column[i] = inputs[i][j];
-      out[j] = median_of(column);
-    }
-  });
+  // Each coordinate costs ~n log n ops; grain keeps lanes worth waking.
+  exec::parallel_for(
+      out.numel(), exec::grain_for_cost(n * 4),
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<float> column(n);
+        for (std::size_t j = begin; j < end; ++j) {
+          for (std::size_t i = 0; i < n; ++i) column[i] = inputs[i][j];
+          out[j] = median_of(column);
+        }
+      });
   return out;
 }
 
@@ -56,7 +59,9 @@ tensor::Tensor trimmed_mean(std::span<const tensor::Tensor> inputs,
   trim = std::min(trim, (n - 1) / 2);
   const std::size_t kept = n - 2 * trim;
   tensor::Tensor out(inputs.front().shape());
-  exec::parallel_for(out.numel(), [&](std::size_t begin, std::size_t end) {
+  exec::parallel_for(
+      out.numel(), exec::grain_for_cost(n * 4),
+      [&](std::size_t begin, std::size_t end) {
     std::vector<float> column(n);
     for (std::size_t j = begin; j < end; ++j) {
       for (std::size_t i = 0; i < n; ++i) column[i] = inputs[i][j];
@@ -112,7 +117,8 @@ KrumResult krum_select(std::span<const tensor::Tensor> inputs,
     for (std::size_t j = i + 1; j < n; ++j) pair_index.emplace_back(i, j);
   }
   const std::size_t dim = inputs.front().numel();
-  exec::parallel_for(pairs, [&](std::size_t begin, std::size_t end) {
+  exec::parallel_for(pairs, exec::grain_for_cost(dim),
+                     [&](std::size_t begin, std::size_t end) {
     for (std::size_t p = begin; p < end; ++p) {
       const auto [i, j] = pair_index[p];
       double sum = 0.0;
@@ -206,7 +212,8 @@ tensor::Tensor geometric_median(std::span<const tensor::Tensor> points,
   tensor::Tensor next(y.shape());
   for (std::size_t iter = 0; iter < options.max_iters; ++iter) {
     // Distances: each point owns its slot; the inner reduction is serial.
-    exec::parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    exec::parallel_for(n, exec::grain_for_cost(dim),
+                       [&](std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {
         double sum = 0.0;
         const float* x = points[i].data();
@@ -221,7 +228,8 @@ tensor::Tensor geometric_median(std::span<const tensor::Tensor> points,
     double denom = 0.0;
     for (std::size_t i = 0; i < n; ++i) denom += inv_dist[i];
     // New iterate: each coordinate accumulates over points in input order.
-    exec::parallel_for(dim, [&](std::size_t begin, std::size_t end) {
+    exec::parallel_for(dim, exec::grain_for_cost(n * 2),
+                       [&](std::size_t begin, std::size_t end) {
       for (std::size_t j = begin; j < end; ++j) {
         double num = 0.0;
         for (std::size_t i = 0; i < n; ++i) num += inv_dist[i] * points[i][j];

@@ -8,6 +8,8 @@
 #include <cstring>
 #include <limits>
 
+#include "fedpkd/tensor/workspace.hpp"
+
 namespace fedpkd::tensor::kernels {
 
 namespace {
@@ -140,11 +142,15 @@ inline bool cpu_has_avx() {
 /// per row. Spelled out without helpers so the target attribute applies to
 /// every intrinsic. `store` is a runtime parameter (one branch per tile, after
 /// the k loop) instead of a template one so a single symbol carries the
-/// attribute.
+/// attribute. `b_strip` points at the tile's first B row (column j0 already
+/// applied) and advances by `b_stride` per kk — n for in-place B, kNcAvx for
+/// a packed strip. The packed layout holds identical values in the identical
+/// kk order, so both strides produce bitwise-identical output.
 __attribute__((target("avx"))) void gemm_tile_full_avx(
     const float* a, std::size_t a_row_stride, std::size_t a_k_stride,
-    const float* b, const float* bias, float* c, std::size_t k, std::size_t n,
-    std::size_t i0, std::size_t j0, Store store) {
+    const float* b_strip, std::size_t b_stride, const float* bias, float* c,
+    std::size_t k, std::size_t n, std::size_t i0, std::size_t j0,
+    Store store) {
   __m256 acc00 = _mm256_setzero_ps(), acc01 = _mm256_setzero_ps();
   __m256 acc10 = _mm256_setzero_ps(), acc11 = _mm256_setzero_ps();
   __m256 acc20 = _mm256_setzero_ps(), acc21 = _mm256_setzero_ps();
@@ -157,8 +163,13 @@ __attribute__((target("avx"))) void gemm_tile_full_avx(
   const float* pa3 = a + (i0 + 3) * a_row_stride;
   const float* pa4 = a + (i0 + 4) * a_row_stride;
   const float* pa5 = a + (i0 + 5) * a_row_stride;
-  const float* brow = b + j0;
-  for (std::size_t kk = 0; kk < k; ++kk, brow += n) {
+  const float* brow = b_strip;
+  for (std::size_t kk = 0; kk < k; ++kk, brow += b_stride) {
+    // Pull the B rows a few iterations ahead into L1; with the packed strip
+    // this is one contiguous line per iteration, in-place it hides the
+    // stride-n walk. Prefetching past the strip is harmless.
+    _mm_prefetch(reinterpret_cast<const char*>(brow + 4 * b_stride),
+                 _MM_HINT_T0);
     const __m256 b0 = _mm256_loadu_ps(brow);
     const __m256 b1 = _mm256_loadu_ps(brow + 8);
     const std::size_t ka = kk * a_k_stride;
@@ -270,12 +281,82 @@ inline void gemm_tile_edge(const float* a, std::size_t a_row_stride,
   store_tile<kStore>(acc, bias, c, n, i0, mr, j0, nc);
 }
 
+#if FEDPKD_GEMM_AVX
+
+/// Copies the kNcAvx-wide B column strip at j0 into a contiguous [k x 16]
+/// panel. Pure data movement — the packed tile then replays the exact same
+/// values in the exact same kk order, so packing cannot change a bit.
+void pack_b_strip(const float* b, std::size_t n, std::size_t k,
+                  std::size_t j0, float* packed) {
+  const float* src = b + j0;
+  for (std::size_t kk = 0; kk < k; ++kk, src += n, packed += kNcAvx) {
+    _mm_prefetch(reinterpret_cast<const char*>(src + 8 * n), _MM_HINT_T0);
+    std::memcpy(packed, src, kNcAvx * sizeof(float));
+  }
+}
+
+/// Packing pays once per column strip and is reused by every full row tile in
+/// the chunk, so it needs a few row tiles to amortize; below that (or for
+/// short k) the in-place walk is already L1-resident.
+constexpr std::size_t kPackMinRowTiles = 2;
+constexpr std::size_t kPackMinK = 64;
+
+#endif  // FEDPKD_GEMM_AVX
+
 template <Store kStore>
 void gemm_rows(const float* a, std::size_t a_row_stride,
                std::size_t a_k_stride, const float* b, const float* bias,
                float* c, std::size_t k, std::size_t n, std::size_t row_begin,
                std::size_t row_end) {
   const bool avx = cpu_has_avx();
+#if FEDPKD_GEMM_AVX
+  // Cache-blocked K-packing: with enough full row tiles in this chunk, pack
+  // each 16-column B strip contiguously once and stream every row tile over
+  // it. The strip loop becomes sequential loads that the prefetches above
+  // keep one line ahead, instead of k strided touches per tile.
+  const std::size_t full_tiles = (row_end - row_begin) / kMr;
+  if (avx && full_tiles >= kPackMinRowTiles && k >= kPackMinK &&
+      n >= kNcAvx) {
+    Workspace::Scope scope(Workspace::per_thread());
+    float* packed = scope.take(k * kNcAvx).data();
+    const std::size_t row_full_end = row_begin + full_tiles * kMr;
+    std::size_t j0 = 0;
+    for (; j0 + kNcAvx <= n; j0 += kNcAvx) {
+      pack_b_strip(b, n, k, j0, packed);
+      for (std::size_t i0 = row_begin; i0 < row_full_end; i0 += kMr) {
+        gemm_tile_full_avx(a, a_row_stride, a_k_stride, packed, kNcAvx, bias,
+                           c, k, n, i0, j0, kStore);
+      }
+    }
+    // Column tail of the full row tiles: same SSE/edge tiles as the
+    // non-packed path.
+    for (std::size_t i0 = row_begin; i0 < row_full_end; i0 += kMr) {
+      std::size_t jj = j0;
+      for (; jj + kNc <= n; jj += kNc) {
+        gemm_tile_full<kStore>(a, a_row_stride, a_k_stride, b, bias, c, k, n,
+                               i0, jj);
+      }
+      if (jj < n) {
+        gemm_tile_edge<kStore>(a, a_row_stride, a_k_stride, b, bias, c, k, n,
+                               i0, kMr, jj, n - jj);
+      }
+    }
+    // Row tail (fewer than kMr rows): edge tiles across all columns.
+    if (row_full_end < row_end) {
+      const std::size_t mr = row_end - row_full_end;
+      std::size_t jj = 0;
+      for (; jj + kNc <= n; jj += kNc) {
+        gemm_tile_edge<kStore>(a, a_row_stride, a_k_stride, b, bias, c, k, n,
+                               row_full_end, mr, jj, kNc);
+      }
+      if (jj < n) {
+        gemm_tile_edge<kStore>(a, a_row_stride, a_k_stride, b, bias, c, k, n,
+                               row_full_end, mr, jj, n - jj);
+      }
+    }
+    return;
+  }
+#endif
   for (std::size_t i0 = row_begin; i0 < row_end; i0 += kMr) {
     const std::size_t mr = std::min(kMr, row_end - i0);
     std::size_t j0 = 0;
@@ -283,8 +364,8 @@ void gemm_rows(const float* a, std::size_t a_row_stride,
 #if FEDPKD_GEMM_AVX
       if (avx) {
         for (; j0 + kNcAvx <= n; j0 += kNcAvx) {
-          gemm_tile_full_avx(a, a_row_stride, a_k_stride, b, bias, c, k, n, i0,
-                             j0, kStore);
+          gemm_tile_full_avx(a, a_row_stride, a_k_stride, b + j0, n, bias, c,
+                             k, n, i0, j0, kStore);
         }
       }
 #else

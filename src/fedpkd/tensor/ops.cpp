@@ -13,10 +13,6 @@ namespace fedpkd::tensor {
 
 namespace {
 
-/// Row-parallel loops only pay off when each chunk amortizes the pool
-/// hand-off; below this many multiply-adds the serial loop wins.
-constexpr std::size_t kParallelFlopThreshold = 1 << 15;
-
 void check_same_shape(const Tensor& a, const Tensor& b, const char* what) {
   if (!a.same_shape(b)) {
     throw std::invalid_argument(std::string(what) + ": shape mismatch " +
@@ -121,17 +117,14 @@ Tensor mul_row_vector(const Tensor& a, const Tensor& v) {
 
 namespace {
 
-/// Runs `rows(row_begin, row_end)` over [0, m), parallel when the matmul is
-/// big enough to amortize the pool hand-off. Every kernel computes each
-/// output row independently with kk-ascending accumulation, so the result is
-/// bitwise identical for any chunking (see kernels.hpp).
+/// Runs `rows(row_begin, row_end)` over [0, m) with a grain of enough rows
+/// per lane (at k*n multiply-adds each) to amortize the pool hand-off, so
+/// small matmuls stay serial and medium ones use few lanes. Every kernel
+/// computes each output row independently with kk-ascending accumulation, so
+/// the result is bitwise identical for any chunking (see kernels.hpp).
 template <typename F>
 void dispatch_rows(std::size_t m, std::size_t k, std::size_t n, F&& rows) {
-  if (m * k * n >= kParallelFlopThreshold) {
-    exec::parallel_for(m, rows);
-  } else {
-    rows(0, m);
-  }
+  exec::parallel_for(m, exec::grain_for_cost(k * n), rows);
 }
 
 }  // namespace

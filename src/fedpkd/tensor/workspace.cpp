@@ -24,8 +24,10 @@ std::span<float> Workspace::take(std::size_t n) {
     }
   }
   const std::size_t last_cap = blocks_.empty() ? 0 : blocks_.back().data.size();
+  const std::size_t want = std::max({kMinBlockFloats, 2 * last_cap, n});
   Block blk;
-  blk.data.resize(std::max({kMinBlockFloats, 2 * last_cap, n}));
+  blk.data.resize((want + kBlockRoundFloats - 1) / kBlockRoundFloats *
+                  kBlockRoundFloats);
   blk.used = n;
   blocks_.push_back(std::move(blk));
   active_ = blocks_.size() - 1;

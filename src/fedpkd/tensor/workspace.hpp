@@ -1,10 +1,43 @@
 #pragma once
 
 #include <cstddef>
+#include <new>
 #include <span>
 #include <vector>
 
 namespace fedpkd::tensor {
+
+/// Allocator returning 64-byte-aligned storage. Arena blocks allocated with
+/// it start on a cache-line boundary, and with capacities rounded to line
+/// multiples two threads' blocks can never straddle the same line — so
+/// concurrently bumping per-thread arenas (nested parallel sections) never
+/// false-share.
+template <typename T>
+struct CacheAlignedAllocator {
+  using value_type = T;
+  static constexpr std::size_t kAlign = 64;
+
+  CacheAlignedAllocator() = default;
+  template <typename U>
+  CacheAlignedAllocator(const CacheAlignedAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kAlign}));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{kAlign});
+  }
+
+  template <typename U>
+  bool operator==(const CacheAlignedAllocator<U>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const CacheAlignedAllocator<U>&) const {
+    return false;
+  }
+};
 
 /// Per-thread bump-allocated scratch arena for hot-path temporaries.
 ///
@@ -62,11 +95,14 @@ class Workspace {
 
  private:
   struct Block {
-    std::vector<float> data;
+    std::vector<float, CacheAlignedAllocator<float>> data;
     std::size_t used = 0;
   };
 
   static constexpr std::size_t kMinBlockFloats = 4096;
+  /// Block capacities are rounded up to this (one cache line of floats) so a
+  /// block never shares its final line with another thread's allocation.
+  static constexpr std::size_t kBlockRoundFloats = 16;
 
   std::size_t active_used() const {
     return blocks_.empty() ? 0 : blocks_[active_].used;

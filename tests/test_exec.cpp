@@ -99,20 +99,57 @@ TEST(ThreadPool, ZeroAndOneElementRangesDoNotDeadlock) {
 }
 
 TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
-  exec::set_num_threads(4);
+  // A full-width outer split leaves each lane a nesting budget of 1, so the
+  // inner parallel_for must run inline — visible as in_parallel_region() —
+  // and still cover every index exactly once. Driven through a ThreadPool
+  // directly so the behavior is pinned regardless of the machine's core
+  // count (the global pool clamps to hardware_threads()).
+  exec::ThreadPool pool(4);
   std::vector<int> hits(32, 0);
-  exec::parallel_for(4, [&](std::size_t begin, std::size_t end) {
+  pool.run(4, [&](std::size_t begin, std::size_t end) {
     for (std::size_t outer = begin; outer < end; ++outer) {
       EXPECT_TRUE(exec::ThreadPool::in_parallel_region());
+      EXPECT_EQ(exec::ThreadPool::lane_budget(), 1u);
       exec::parallel_for(8, [&](std::size_t b, std::size_t e) {
+        EXPECT_TRUE(exec::ThreadPool::in_parallel_region());
         for (std::size_t inner = b; inner < e; ++inner) {
           ++hits[outer * 8 + inner];
         }
       });
     }
   });
-  exec::set_num_threads(1);
   for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, NestedRunWithLeftoverBudgetFansOutWithoutOversubscribing) {
+  // An outer split narrower than the pool leaves budget for nested fan-out:
+  // with 4 lanes and an outer width of 2, each outer chunk may use 2 lanes.
+  // The nested run must see that budget, split accordingly, and never exceed
+  // the pool size in concurrently live lanes.
+  exec::ThreadPool pool(4);
+  std::vector<int> hits(2 * 64, 0);
+  std::atomic<int> live{0};
+  std::atomic<int> peak{0};
+  pool.run(
+      2,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t outer = begin; outer < end; ++outer) {
+          EXPECT_EQ(exec::ThreadPool::lane_budget(), 2u);
+          pool.run(64, [&](std::size_t b, std::size_t e) {
+            const int now = ++live;
+            int seen = peak.load();
+            while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+            }
+            for (std::size_t inner = b; inner < e; ++inner) {
+              ++hits[outer * 64 + inner];
+            }
+            --live;
+          });
+        }
+      },
+      /*max_lanes=*/2);
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_LE(peak.load(), 4);
 }
 
 TEST(ThreadPool, ScopedThreadLimitForcesInline) {
