@@ -33,7 +33,15 @@
 //
 // Usage:
 //   bench_gate --check BENCH_baseline.json [--input BENCH_kernels.json]
+//              [--ratio-slack X]
 //   bench_gate --write-baseline BENCH_baseline.json [--input BENCH_kernels.json]
+//
+// --ratio-slack X adds X of extra tolerance to every ratio record (a 0.10
+// baseline tolerance with --ratio-slack 0.15 gates at 1.25x). Shared CI
+// runners use it: min-of-3 at smoke scale still leaves the N-vs-1
+// wall-clock ratio exposed to noisy neighbors on small multi-vCPU
+// machines, so CI pairs the widened threshold with rerun-on-fail while the
+// local FEDPKD_BENCH_GATE_TIMING workflow keeps the strict 1.1x contract.
 //
 // Updating the baseline (e.g. after an intentional allocation change):
 //   FEDPKD_SCALE=smoke FEDPKD_BENCH_JSON=fresh.json ./build/bench/micro_parallel
@@ -356,7 +364,7 @@ bool timing_gate_enabled() {
 }
 
 int check(const std::vector<BaselineRecord>& baseline,
-          const std::vector<Measurement>& fresh) {
+          const std::vector<Measurement>& fresh, double ratio_slack) {
   std::map<std::string, double> fresh_by_key;
   for (const Measurement& m : fresh) {
     fresh_by_key[key_of(m.op, m.shape, m.metric)] = m.value;
@@ -401,8 +409,10 @@ int check(const std::vector<BaselineRecord>& baseline,
               std::to_string(base.value);
     } else if (base.metric == "ratio") {
       // Parallel may never regress past serial-plus-tolerance, no matter how
-      // modest the baseline machine was.
-      const double limit = std::max(base.value, 1.0) * (1.0 + base.tolerance);
+      // modest the baseline machine was. --ratio-slack widens the margin for
+      // noisy shared runners without touching the committed tolerance.
+      const double limit =
+          std::max(base.value, 1.0) * (1.0 + base.tolerance + ratio_slack);
       ok = fresh_value <= limit;
       bound = "<= " + std::to_string(limit);
     } else if (base.metric == "allocs_per_iter") {
@@ -430,7 +440,8 @@ int check(const std::vector<BaselineRecord>& baseline,
 }
 
 [[noreturn]] void usage() {
-  std::cerr << "usage: bench_gate --check BASELINE.json [--input BENCH.json]\n"
+  std::cerr << "usage: bench_gate --check BASELINE.json [--input BENCH.json]"
+               " [--ratio-slack X]\n"
                "       bench_gate --write-baseline BASELINE.json "
                "[--input BENCH.json]\n";
   std::exit(2);
@@ -440,6 +451,7 @@ int check(const std::vector<BaselineRecord>& baseline,
 
 int main(int argc, char** argv) {
   std::string mode, baseline_path, input_path = "BENCH_kernels.json";
+  double ratio_slack = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if ((arg == "--check" || arg == "--write-baseline") && i + 1 < argc) {
@@ -447,6 +459,10 @@ int main(int argc, char** argv) {
       baseline_path = argv[++i];
     } else if (arg == "--input" && i + 1 < argc) {
       input_path = argv[++i];
+    } else if (arg == "--ratio-slack" && i + 1 < argc) {
+      char* end = nullptr;
+      ratio_slack = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || ratio_slack < 0.0) usage();
     } else {
       usage();
     }
@@ -468,7 +484,7 @@ int main(int argc, char** argv) {
                 << baseline_path << "\n";
       return 0;
     }
-    return check(load_baseline(baseline_path), fresh);
+    return check(load_baseline(baseline_path), fresh, ratio_slack);
   } catch (const std::exception& e) {
     std::cerr << "bench_gate: " << e.what() << "\n";
     return 2;

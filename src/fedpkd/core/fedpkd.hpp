@@ -102,9 +102,15 @@ class FedPkd : public fl::StagedAlgorithm {
   std::vector<std::uint32_t> all_ids_;  // 0..public_n-1, filled on first use
   /// Batched public-set inference: before_upload fuses matching-architecture
   /// stems into one wide GEMM and fills public_logits_ per slot; make_upload
-  /// then only reads its own slot (concurrent-safe, read-only).
+  /// then only reads its own slot (concurrent-safe, read-only). The cache is
+  /// tagged with the cohort it was computed for (upload_cohort_) and
+  /// invalidated once server_step consumes the uploads, so a direct
+  /// make_upload call outside the pipeline — or one whose (slot, client)
+  /// pair does not match the batched pass — always recomputes fresh logits
+  /// instead of serving a stale round's.
   fl::CohortStepper cohort_;
   std::vector<tensor::Tensor> public_logits_;
+  std::vector<fl::Client*> upload_cohort_;
   /// What each client actually received over the wire (Eq. 16 regularizer
   /// target), by client id; stale or absent after a dropped downlink.
   std::vector<std::optional<PrototypeSet>> received_;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <stdexcept>
 
@@ -26,7 +29,10 @@ inline void cpu_relax() {
 /// One in-flight run() call. Lives on the caller's stack for the duration of
 /// the call; workers only ever hold a raw pointer while `refs` accounts for
 /// them, so the caller can safely return (and pop the frame) once refs hits
-/// zero. alignas keeps the hot atomics off neighboring stack data's lines.
+/// zero. The safety invariant making that destruction race-free: a worker's
+/// LAST access to the Job is the refs decrement in finish_share — completion
+/// is signalled through the pool-owned done_mutex_/done_cv_, which outlive
+/// every job. alignas keeps the hot atomics off neighboring stack lines.
 struct alignas(64) ThreadPool::Job {
   ChunkFn fn = nullptr;
   void* ctx = nullptr;
@@ -36,9 +42,9 @@ struct alignas(64) ThreadPool::Job {
   std::size_t child_budget = 1;
   std::atomic<std::size_t> next{0};  // chunk claim cursor
   std::atomic<std::size_t> refs{0};  // worker shares not yet finished
-  std::mutex mutex;
-  std::condition_variable done_cv;
-  std::exception_ptr error;  // first chunk failure; guarded by mutex
+  std::mutex error_mutex;  // taken only on a chunk failure, before the
+                           // share's refs decrement — so never after refs==0
+  std::exception_ptr error;  // first chunk failure; guarded by error_mutex
 };
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -104,7 +110,7 @@ void ThreadPool::execute_chunks(Job& job) {
     try {
       job.fn(job.ctx, begin, end);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(job.mutex);
+      std::lock_guard<std::mutex> lock(job.error_mutex);
       if (!job.error) job.error = std::current_exception();
     }
   }
@@ -113,10 +119,18 @@ void ThreadPool::execute_chunks(Job& job) {
 }
 
 void ThreadPool::finish_share(Job* job) {
+  // This decrement is the worker's final access to *job: once the caller in
+  // run_chunks observes refs == 0 (spin or condvar predicate) it may pop the
+  // Job's stack frame, so nothing after the fetch_sub may dereference job.
+  // Completion is therefore signalled on the pool-owned done_mutex_/done_cv_.
   if (job->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Last worker out: the caller may be asleep waiting for refs to drain.
-    std::lock_guard<std::mutex> lock(job->mutex);
-    job->done_cv.notify_one();
+    // Locking done_mutex_ first closes the missed-wakeup window against the
+    // caller's under-lock predicate check; notify_all because concurrent
+    // (nested) jobs share the one condvar and the waiter we must wake may
+    // not be the one notify_one would pick.
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    done_cv_.notify_all();
   }
 }
 
@@ -166,6 +180,9 @@ void ThreadPool::run_chunks(std::size_t n, std::size_t max_lanes, ChunkFn fn,
   // calls cannot deadlock.
   execute_chunks(job);
 
+  // Observing refs == 0 — whether lock-free here, in the spin, or inside the
+  // wait predicate — is sufficient to return and destroy the stack Job: the
+  // decrement is each worker's last access to it (see finish_share).
   if (job.refs.load(std::memory_order_acquire) != 0) {
     // Brief spin covers the common "workers are just finishing" window
     // without a syscall; pointless on a single hardware thread.
@@ -175,8 +192,8 @@ void ThreadPool::run_chunks(std::size_t n, std::size_t max_lanes, ChunkFn fn,
         cpu_relax();
       }
     }
-    std::unique_lock<std::mutex> lock(job.mutex);
-    job.done_cv.wait(lock, [&] {
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    done_cv_.wait(lock, [&] {
       return job.refs.load(std::memory_order_acquire) == 0;
     });
   }
@@ -210,10 +227,27 @@ std::atomic<std::size_t> g_num_threads{1};
 void set_num_threads(std::size_t n) {
   if (n == 0) n = hardware_threads();
   // A compute-bound pool gains nothing from more lanes than physical cores —
-  // it just context-switch-thrashes — so oversubscribed requests clamp. Chunk
-  // boundaries only depend on the lane count actually used and results are
-  // chunking-invariant, so the clamp cannot change any output.
-  n = std::min(n, hardware_threads());
+  // it just context-switch-thrashes — so oversubscribed requests clamp, and
+  // say so on stderr (once) rather than silently: thread-sweep tests that
+  // *mean* to exercise oversubscribed scheduling on a small host can force
+  // it with FEDPKD_THREADS_OVERSUBSCRIBE=1. Chunk boundaries only depend on
+  // the lane count actually used and results are chunking-invariant, so
+  // neither the clamp nor the override can change any output.
+  if (const std::size_t hw = hardware_threads(); n > hw) {
+    const char* env = std::getenv("FEDPKD_THREADS_OVERSUBSCRIBE");
+    if (env != nullptr && std::strcmp(env, "1") == 0) {
+      // Keep the oversubscribed request.
+    } else {
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        std::fprintf(stderr,
+                     "fedpkd: clamping %zu requested lanes to %zu hardware "
+                     "threads (FEDPKD_THREADS_OVERSUBSCRIBE=1 overrides)\n",
+                     n, hw);
+      }
+      n = hw;
+    }
+  }
   std::lock_guard<std::mutex> lock(g_pool_mutex);
   if (g_pool && g_pool->size() == n) return;
   g_pool.reset();  // join old workers before the count changes

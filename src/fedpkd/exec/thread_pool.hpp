@@ -84,7 +84,7 @@ class ThreadPool {
   void worker_loop();
   void push_shares(Job* job, std::size_t shares);
   static void execute_chunks(Job& job);
-  static void finish_share(Job* job);
+  void finish_share(Job* job);
 
   std::vector<std::thread> workers_;
   std::vector<Job*> ring_;  // circular buffer of queued job shares
@@ -93,6 +93,14 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  /// Completion signalling for run_chunks' wait. Pool-owned (NOT per-Job) on
+  /// purpose: jobs live on their caller's stack, and a worker that locked a
+  /// mutex inside the Job to notify could still be touching it while the
+  /// caller — having already observed refs == 0 — pops the frame. With the
+  /// sync objects here, a worker's final access to a Job is the refs
+  /// decrement itself, so caller-side destruction can never race a notify.
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
 };
 
 /// Upper bound the current thread places on its own parallel_for fan-out

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
 
 #include "fedpkd/nn/linear.hpp"
 #include "fedpkd/nn/sequential.hpp"
@@ -31,11 +32,30 @@ StemView stem_view(nn::Classifier& model) {
   return view;
 }
 
+/// Rows per inference tile — the same batch bound fl::compute_logits uses,
+/// so peak activation memory stays proportional to a tile rather than the
+/// whole public set. Tiling is bitwise-neutral: every layer is a
+/// row-independent eval pass, and GEMM accumulation per output element does
+/// not depend on how many rows of A are present.
+constexpr std::size_t kTileRows = 256;
+
 }  // namespace
 
 void CohortStepper::member_logits(Client& client, const tensor::Tensor& inputs,
                                   tensor::Tensor& out) {
-  client.model.logits_into(inputs, out);
+  const std::size_t rows = inputs.rows();
+  const std::size_t cols = inputs.cols();
+  const std::size_t classes = client.model.num_classes();
+  out.ensure_shape({rows, classes});
+  for (std::size_t r0 = 0; r0 < rows; r0 += kTileRows) {
+    const std::size_t take = std::min(kTileRows, rows - r0);
+    x_tile_.ensure_shape({take, cols});
+    std::memcpy(x_tile_.data(), inputs.data() + r0 * cols,
+                take * cols * sizeof(float));
+    client.model.logits_into(x_tile_, tile_logits_);
+    std::memcpy(out.data() + r0 * classes, tile_logits_.data(),
+                take * classes * sizeof(float));
+  }
 }
 
 void CohortStepper::compute_public_logits(const std::vector<Client*>& clients,
@@ -50,6 +70,12 @@ void CohortStepper::compute_public_logits(const std::vector<Client*>& clients,
   std::unordered_map<std::string, std::vector<std::size_t>> by_arch;
   for (std::size_t i = 0; i < n; ++i) {
     by_arch[clients[i]->model.arch()].push_back(i);
+  }
+
+  // Architectures that left the cohort would otherwise pin their scratch for
+  // the process lifetime; drop them so resident memory tracks the cohort.
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    it = by_arch.count(it->first) != 0 ? std::next(it) : groups_.erase(it);
   }
 
   const std::size_t rows = inputs.rows();
@@ -100,40 +126,59 @@ void CohortStepper::compute_public_logits(const std::vector<Client*>& clients,
       std::memcpy(buf.b_cat.data() + g * hidden, b, hidden * sizeof(float));
     }
 
-    // One wide GEMM computes every member's stem activation. Per-element
-    // accumulation order over k does not depend on B's column count, so each
-    // column block is bitwise what the member's own stem would produce.
-    tensor::matmul_bias_into(inputs, buf.w_cat, buf.b_cat, buf.y_cat);
-
-    // Stream each member's block through its remaining layers.
+    // Pre-shape every member's output slot; the tile loop streams row
+    // ranges into it.
     for (std::size_t g = 0; g < g_count; ++g) {
-      const std::size_t slot = slots[g];
-      nn::Classifier& model = clients[slot]->model;
-      nn::Sequential& body = *stem_view(model).body;
+      out[slots[g]].ensure_shape(
+          {rows, clients[slots[g]]->model.num_classes()});
+    }
 
-      buf.h0.ensure_shape({rows, hidden});
-      for (std::size_t r = 0; r < rows; ++r) {
-        std::memcpy(buf.h0.data() + r * hidden,
-                    buf.y_cat.data() + r * wide + g * hidden,
-                    hidden * sizeof(float));
-      }
+    // Row-tiled fused stem: one wide GEMM per tile computes every member's
+    // stem activation for those rows, and each member's column block then
+    // flows through its remaining layers. Per-element accumulation order
+    // over k does not depend on B's column count (or A's row count), so
+    // each column block is bitwise what the member's own stem would
+    // produce. Tiling keeps y_cat and the hop buffers at O(kTileRows * G*h)
+    // instead of materializing the whole public set's wide activation.
+    for (std::size_t r0 = 0; r0 < rows; r0 += kTileRows) {
+      const std::size_t take = std::min(kTileRows, rows - r0);
+      x_tile_.ensure_shape({take, in_dim});
+      std::memcpy(x_tile_.data(), inputs.data() + r0 * in_dim,
+                  take * in_dim * sizeof(float));
+      tensor::matmul_bias_into(x_tile_, buf.w_cat, buf.b_cat, buf.y_cat);
 
-      // Layers 1..end via the same forward_eval_into calls that
-      // Classifier::logits_into makes, ping-ponging stepper-owned buffers.
-      const tensor::Tensor* cur = &buf.h0;
-      tensor::Tensor* hop[2] = {&buf.hop_a, &buf.hop_b};
-      std::size_t parity = 0;
-      for (std::size_t i = 1; i + 1 < body.size(); ++i) {
-        tensor::Tensor& dst = *hop[parity];
-        parity ^= 1;
-        body.layer(i).forward_eval_into(*cur, dst);
-        cur = &dst;
+      for (std::size_t g = 0; g < g_count; ++g) {
+        const std::size_t slot = slots[g];
+        nn::Classifier& model = clients[slot]->model;
+        nn::Sequential& body = *stem_view(model).body;
+
+        buf.h0.ensure_shape({take, hidden});
+        for (std::size_t r = 0; r < take; ++r) {
+          std::memcpy(buf.h0.data() + r * hidden,
+                      buf.y_cat.data() + r * wide + g * hidden,
+                      hidden * sizeof(float));
+        }
+
+        // Layers 1..end via the same forward_eval_into calls that
+        // Classifier::logits_into makes, ping-ponging stepper-owned buffers.
+        const tensor::Tensor* cur = &buf.h0;
+        tensor::Tensor* hop[2] = {&buf.hop_a, &buf.hop_b};
+        std::size_t parity = 0;
+        for (std::size_t i = 1; i + 1 < body.size(); ++i) {
+          tensor::Tensor& dst = *hop[parity];
+          parity ^= 1;
+          body.layer(i).forward_eval_into(*cur, dst);
+          cur = &dst;
+        }
+        if (body.size() > 1) {
+          body.layer(body.size() - 1).forward_eval_into(*cur, buf.feats);
+          cur = &buf.feats;
+        }
+        model.head().forward_eval_into(*cur, tile_logits_);
+        const std::size_t classes = model.num_classes();
+        std::memcpy(out[slot].data() + r0 * classes, tile_logits_.data(),
+                    take * classes * sizeof(float));
       }
-      if (body.size() > 1) {
-        body.layer(body.size() - 1).forward_eval_into(*cur, buf.feats);
-        cur = &buf.feats;
-      }
-      model.head().forward_eval_into(*cur, out[slot]);
     }
     ++fused_groups_;
     fused_clients_ += g_count;

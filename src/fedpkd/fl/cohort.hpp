@@ -32,9 +32,15 @@ namespace fedpkd::fl {
 /// with a Linear stem fall back to the per-client path (same math, no
 /// fusion).
 ///
-/// All buffers (weight concat, wide activation, per-layer hops, output slots)
-/// are persistent and ensure_shape-reused, so rounds at a steady cohort size
-/// allocate nothing after warm-up.
+/// The pass is row-tiled at the same 256-row bound fl::compute_logits uses:
+/// the wide activation and per-layer hop buffers hold one tile, never the
+/// whole public set, so peak memory is O(tile * G*h) regardless of public-set
+/// size (tiling is bitwise-neutral — every layer is row-independent and GEMM
+/// accumulation per element does not depend on A's row count). All buffers
+/// (weight concat, tile activations, per-layer hops, output slots) are
+/// persistent and ensure_shape-reused, so rounds at a steady cohort size
+/// allocate nothing after warm-up; scratch for architectures that leave the
+/// cohort is dropped rather than pinned for the process lifetime.
 class CohortStepper {
  public:
   /// Fills `out[i]` with raw public-set logits of `clients[i]`. `out` is
@@ -55,17 +61,22 @@ class CohortStepper {
   struct GroupBuffers {
     tensor::Tensor w_cat;   // [in, G*h] column-concat of member stem weights
     tensor::Tensor b_cat;   // [G*h]
-    tensor::Tensor y_cat;   // [rows, G*h] fused stem output
-    tensor::Tensor h0;      // [rows, h] one member's stem activation block
+    tensor::Tensor y_cat;   // [tile, G*h] fused stem output for one row tile
+    tensor::Tensor h0;      // [tile, h] one member's stem activation block
     tensor::Tensor hop_a;   // ping-pong buffers through the remaining layers
     tensor::Tensor hop_b;
     tensor::Tensor feats;   // body output feeding the head
   };
 
+  /// Per-client fallback (singleton groups, non-Linear stems), row-tiled at
+  /// the same bound as the fused path so it too never materializes
+  /// whole-public-set activations.
   void member_logits(Client& client, const tensor::Tensor& inputs,
                      tensor::Tensor& out);
 
   std::unordered_map<std::string, GroupBuffers> groups_;
+  tensor::Tensor x_tile_;       // [tile, in] input rows of the current tile
+  tensor::Tensor tile_logits_;  // [tile, classes] one member's tile output
   std::size_t fused_groups_ = 0;
   std::size_t fused_clients_ = 0;
 };

@@ -497,6 +497,27 @@ TEST(FedPkdAlgo, RoundProducesDualKnowledgeTraffic) {
   EXPECT_GT(algo.global_prototypes()->present_count(), 0u);
 }
 
+TEST(FedPkdAlgo, DirectMakeUploadAfterRoundRecomputesFreshLogits) {
+  auto fed = tiny_federation();
+  core::FedPkd algo(*fed, tiny_options());
+  fed->meter.begin_round(0);
+  algo.run_round(*fed, 0);
+
+  // The round's batched pass cached public logits for pre-digest weights;
+  // the downlink digest then changed every client. A direct make_upload
+  // call outside the pipeline must recompute from current weights — the
+  // invalidated cache may not serve the stale round's logits.
+  std::vector<fl::Client*> active;
+  for (fl::Client& c : fed->clients) active.push_back(&c);
+  fl::RoundContext ctx(*fed, 1, active);
+  fl::Client& client = fed->clients.front();
+  const Tensor expected = tensor::softmax_rows(
+      client.logits_on(fed->public_data.features), algo.options().temperature);
+  fl::PayloadBundle bundle = algo.make_upload(ctx, 0, client);
+  const auto& payload = std::get<comm::LogitsPayload>(bundle.parts[0]);
+  EXPECT_EQ(tensor::max_abs_difference(payload.logits, expected), 0.0f);
+}
+
 TEST(FedPkdAlgo, FilterReducesDownlinkVolume) {
   auto fed_filtered = tiny_federation();
   auto o = tiny_options();

@@ -22,6 +22,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -278,6 +279,10 @@ void expect_same_history(const fl::RunHistory& a, const fl::RunHistory& b,
 }
 
 TEST(ParallelScaling, ThreadSweepBitwiseIdenticalUnderFaultsAndAttacks) {
+  // The 8-lane leg exists to exercise oversubscribed scheduling; without the
+  // override, set_num_threads would clamp it to the core count on small CI
+  // hosts and that configuration would silently stop being tested.
+  ::setenv("FEDPKD_THREADS_OVERSUBSCRIBE", "1", 1);
   constexpr std::size_t kRounds = 2;
   for (const std::string& name : kAllAlgorithms) {
     const fl::RunHistory reference = run_hostile(name, 1, kRounds);
@@ -287,6 +292,7 @@ TEST(ParallelScaling, ThreadSweepBitwiseIdenticalUnderFaultsAndAttacks) {
                           name + " @ " + std::to_string(threads) + " threads");
     }
   }
+  ::unsetenv("FEDPKD_THREADS_OVERSUBSCRIBE");
 }
 
 }  // namespace

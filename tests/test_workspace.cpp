@@ -324,4 +324,44 @@ TEST(CohortAllocations, SteadyStateIsAllocationFreeAtAnyCohortSize) {
   }
 }
 
+/// The stepper row-tiles at 256 rows; a public set spanning several tiles
+/// (including a ragged final one) must still be bitwise identical to the
+/// per-client path — for fused groups AND the singleton fallback, which is
+/// tiled the same way.
+TEST(CohortAllocations, MultiTilePublicSetIsBitwiseIdentical) {
+  exec::set_num_threads(1);
+  Rng data_rng(43);
+  data::SyntheticVision task(data::SyntheticVisionConfig::synth10(43));
+  const data::Dataset pub = task.sample(600, data_rng);  // 256 + 256 + 88
+  const data::Dataset split = task.sample(16, data_rng);
+
+  // Two fusable pairs plus one singleton (falls back to tiled member path).
+  const std::vector<std::string> archs = {"resmlp11", "resmlp20", "resmlp11",
+                                          "resmlp20", "resmlp56"};
+  std::vector<fl::Client> clients;
+  clients.reserve(archs.size());
+  for (std::size_t i = 0; i < archs.size(); ++i) {
+    Rng model_rng(300 + i);
+    nn::Classifier model =
+        nn::make_classifier(archs[i], pub.dim(), 10, model_rng);
+    clients.emplace_back(static_cast<comm::NodeId>(i + 1),
+                         fl::ClientConfig{.arch = archs[i]}, std::move(model),
+                         split, split, Rng(400 + i));
+  }
+  std::vector<fl::Client*> active;
+  for (fl::Client& c : clients) active.push_back(&c);
+
+  fl::CohortStepper stepper;
+  std::vector<Tensor> logits;
+  stepper.compute_public_logits(active, pub.features, logits);
+  EXPECT_EQ(stepper.fused_clients(), 4u);
+
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    Tensor reference = fl::compute_logits(clients[i].model, pub.features);
+    EXPECT_EQ(tensor::max_abs_difference(logits[i], reference), 0.0f)
+        << "multi-tile cohort logits diverge for client " << i << " ("
+        << archs[i] << ")";
+  }
+}
+
 }  // namespace
