@@ -38,7 +38,8 @@ int main() {
 
     // Measure the filter's precision with the final models.
     std::vector<tensor::Tensor> probs;
-    for (fl::Client& client : fed->clients) {
+    for (std::size_t vc = 0; vc < fed->num_clients(); ++vc) {
+      fl::Client& client = fed->client(vc);
       probs.push_back(tensor::softmax_rows(
           fl::compute_logits(client.model, fed->public_data.features)));
     }

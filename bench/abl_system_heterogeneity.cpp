@@ -45,7 +45,8 @@ int main() {
     const auto history = fl::run_federation(algo, *fed, opts);
 
     std::vector<std::size_t> flops;
-    for (fl::Client& client : fed->clients) {
+    for (std::size_t vc = 0; vc < fed->num_clients(); ++vc) {
+      fl::Client& client = fed->client(vc);
       flops.push_back(fl::training_flops(client.model,
                                          client.train_data.size(),
                                          scale.epochs(10)));
@@ -81,7 +82,8 @@ int main() {
     const auto history = fl::run_federation(algo, *fed, opts);
 
     std::vector<std::size_t> flops;
-    for (fl::Client& client : fed->clients) {
+    for (std::size_t vc = 0; vc < fed->num_clients(); ++vc) {
+      fl::Client& client = fed->client(vc);
       // FedPKD clients also run inference over the public set and digest the
       // filtered subset; count all three contributions.
       const std::size_t local = fl::training_flops(

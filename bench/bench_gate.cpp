@@ -26,6 +26,12 @@
 //                        host where the clamp makes them equal, the ratio is
 //                        reported as skipped, not failed — two identical
 //                        serial runs would gate on pure noise.
+//   * peak_rss_kb      — process peak RSS at record time (the `rss_kb`
+//                        field). One-sided: fresh may not exceed baseline by
+//                        more than the tolerance plus a fixed absolute
+//                        allowance for allocator/runner variance. This is
+//                        what turns an O(population) memory regression in
+//                        the virtual-client pool into a red build.
 //   * ns_per_iter      — raw timings are only gated when
 //                        FEDPKD_BENCH_GATE_TIMING=1 (same-machine workflow:
 //                        record a local baseline, then A/B a change); on
@@ -250,6 +256,9 @@ std::vector<Measurement> extract_measurements(
     if (const auto allocs = number_field(r, "allocs_per_iter")) {
       out.push_back({op, shape, "allocs_per_iter", *allocs});
     }
+    if (const auto rss = number_field(r, "rss_kb"); rss && *rss > 0.0) {
+      out.push_back({op, shape, "peak_rss_kb", *rss});
+    }
   }
 
   for (const JsonObject& r : records) {
@@ -284,7 +293,7 @@ struct BaselineRecord {
 
 bool gated_op(const std::string& op) {
   return op.rfind("round:", 0) == 0 || op.rfind("robust:", 0) == 0 ||
-         op.rfind("fault:", 0) == 0;
+         op.rfind("fault:", 0) == 0 || op.rfind("scale:", 0) == 0;
 }
 
 /// Requested thread count parsed out of a shape string ("...,threads=N,...");
@@ -309,6 +318,12 @@ std::vector<BaselineRecord> make_baseline(
       // Raw timings gate only in the opt-in same-machine workflow; give them
       // headroom for run-to-run noise even there.
       rec.tolerance = 0.25;
+    } else if (m.metric == "peak_rss_kb") {
+      // RSS is reproducible for a deterministic workload but shifts with
+      // glibc/allocator versions and lane-count arena behavior across
+      // runners; the one-sided gate still catches order-of-magnitude
+      // (O(population)) blowups with this much headroom.
+      rec.tolerance = 0.35;
     }
     out.push_back(std::move(rec));
     // A host whose hardware clamp left "parallel" runs serial derives no
@@ -418,6 +433,13 @@ int check(const std::vector<BaselineRecord>& baseline,
     } else if (base.metric == "allocs_per_iter") {
       // +0.5 absolute slack forgives the emitter's two-decimal rounding.
       const double limit = base.value * (1.0 + base.tolerance) + 0.5;
+      ok = fresh_value <= limit;
+      bound = "<= " + std::to_string(limit);
+    } else if (base.metric == "peak_rss_kb") {
+      // One-sided memory ceiling; +8 MiB absolute slack keeps small-footprint
+      // records from gating on allocator noise while an O(population) blowup
+      // (tens to hundreds of MiB) still fails by a wide margin.
+      const double limit = base.value * (1.0 + base.tolerance) + 8192.0;
       ok = fresh_value <= limit;
       bound = "<= " + std::to_string(limit);
     } else {  // ns_per_iter

@@ -27,7 +27,7 @@ class PlainKd : public fl::Algorithm {
           std::size_t server_epochs)
       : local_epochs_(local_epochs),
         server_epochs_(server_epochs),
-        server_(fed.clients.at(0).model.clone()),
+        server_(fed.client(0).model.clone()),
         rng_(fed.rng.split(0x1d)) {}
 
   std::string name() const override { return "PlainKD"; }
@@ -38,7 +38,8 @@ class PlainKd : public fl::Algorithm {
     std::iota(ids.begin(), ids.end(), 0u);
     tensor::Tensor mean_probs({fed.public_data.size(), fed.num_classes});
     std::size_t received = 0;
-    for (fl::Client& client : fed.clients) {
+    for (std::size_t vc = 0; vc < fed.num_clients(); ++vc) {
+      fl::Client& client = fed.client(vc);
       fl::TrainOptions opts;
       opts.epochs = local_epochs_;
       fl::train_supervised(client.model, client.train_data, opts, client.rng);

@@ -28,14 +28,16 @@ int main() {
                                   config);
 
   // Local training only (the motivation experiment has no aggregation loop).
-  for (fl::Client& client : fed->clients) {
+  for (std::size_t vc = 0; vc < fed->num_clients(); ++vc) {
+    fl::Client& client = fed->client(vc);
     fl::TrainOptions opts;
     opts.epochs = scale.epochs(15);
     fl::train_supervised(client.model, client.train_data, opts, client.rng);
   }
 
   std::vector<tensor::Tensor> logits;
-  for (fl::Client& client : fed->clients) {
+  for (std::size_t vc = 0; vc < fed->num_clients(); ++vc) {
+    fl::Client& client = fed->client(vc);
     logits.push_back(
         fl::compute_logits(client.model, fed->public_data.features));
   }

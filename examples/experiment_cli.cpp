@@ -10,6 +10,7 @@
 ///   experiment_cli [--dataset synth10|synth100] [--algorithm NAME]
 ///                  [--partition iid|dirichlet|shards] [--alpha A] [--k K]
 ///                  [--clients N] [--rounds R] [--hetero] [--threads T]
+///                  [--population P] [--warm-cache W] [--edge-aggregators E]
 ///                  [--csv out.csv] [--checkpoint out.bin] [--seed S]
 ///                  [--drop P] [--corrupt P] [--latency-ms L] [--jitter-ms J]
 ///                  [--straggler ID:FACTOR]... [--crash ROUND:STAGE:ID]...
@@ -26,6 +27,15 @@
 /// --threads T runs the round engine on T lanes (0 = one per hardware
 /// thread). Results are bitwise identical for every T; only wall-clock
 /// changes. STAGE is one of broadcast|upload|download.
+///
+/// Scale: --population P > 0 switches to the virtual-client pool
+/// (build_virtual_federation): P clients exist as derivable specs,
+/// --clients N becomes the per-round cohort size, and --warm-cache W bounds
+/// the LRU of hydrated clients (0 = 4*N). --partition shards maps to
+/// classes_per_client = K in virtual mode; other partitions fall back to
+/// IID shards. --edge-aggregators E > 1 pre-combines surviving uploads into
+/// E contiguous edge groups before the server step (works in both modes).
+/// Per-round pool counters appear in the run log as pool[hit=... ...].
 ///
 /// Robustness: RULE is one of none|median|trimmed-mean|norm-clip|krum|
 /// multi-krum|geometric-median; --robust-f sets the assumed adversary count,
@@ -78,6 +88,11 @@ struct Args {
   std::size_t clients = 6;
   std::size_t rounds = 6;
   bool hetero = false;
+  // Virtual-client pool: a population > 0 switches to build_virtual_federation
+  // with `clients` as the per-round cohort size.
+  std::size_t population = 0;
+  std::size_t warm_cache = 0;       // 0 derives 4 * cohort
+  std::size_t edge_aggregators = 0; // <= 1 keeps the flat topology
   std::size_t threads = 1;
   std::string csv;
   std::string checkpoint;
@@ -125,6 +140,12 @@ Args parse(int argc, char** argv) {
     else if (a == "--clients") args.clients = std::stoul(need(i, "--clients"));
     else if (a == "--rounds") args.rounds = std::stoul(need(i, "--rounds"));
     else if (a == "--hetero") args.hetero = true;
+    else if (a == "--population")
+      args.population = std::stoul(need(i, "--population"));
+    else if (a == "--warm-cache")
+      args.warm_cache = std::stoul(need(i, "--warm-cache"));
+    else if (a == "--edge-aggregators")
+      args.edge_aggregators = std::stoul(need(i, "--edge-aggregators"));
     else if (a == "--threads") args.threads = std::stoul(need(i, "--threads"));
     else if (a == "--csv") args.csv = need(i, "--csv");
     else if (a == "--checkpoint") args.checkpoint = need(i, "--checkpoint");
@@ -285,24 +306,44 @@ int main(int argc, char** argv) try {
       args.dataset == "synth100"
           ? data::SyntheticVisionConfig::synth100(args.seed)
           : data::SyntheticVisionConfig::synth10(args.seed);
-  const data::SyntheticVision task(config);
-  const auto bundle = task.make_bundle(3000, 1500, 800);
-
-  fl::PartitionSpec spec = fl::PartitionSpec::dirichlet(args.alpha);
-  if (args.partition == "iid") spec = fl::PartitionSpec::iid();
-  if (args.partition == "shards") {
-    spec = fl::PartitionSpec::shards(args.k, 3000 / (args.clients * 20), 20);
-  }
-
-  fl::FederationConfig fed_config;
-  fed_config.num_clients = args.clients;
-  fed_config.client_archs =
+  const std::vector<std::string> archs =
       args.hetero
           ? std::vector<std::string>{"resmlp11", "resmlp20", "resmlp29"}
           : std::vector<std::string>{"resmlp20"};
-  fed_config.seed = args.seed;
-  fed_config.num_threads = args.threads;
-  auto fed = fl::build_federation(bundle, spec, fed_config);
+
+  std::unique_ptr<fl::Federation> fed;
+  if (args.population > 0) {
+    // Virtual-client pool: the population is a number, `--clients` becomes
+    // the per-round cohort, and shards are hydrated lazily on demand.
+    fl::VirtualFederationConfig vconfig;
+    vconfig.task = config;
+    vconfig.population = args.population;
+    vconfig.cohort_size = args.clients;
+    vconfig.warm_capacity = args.warm_cache;
+    vconfig.client_archs = archs;
+    if (args.partition == "shards") vconfig.classes_per_client = args.k;
+    vconfig.seed = args.seed;
+    vconfig.num_threads = args.threads;
+    vconfig.edge_aggregators = args.edge_aggregators;
+    fed = fl::build_virtual_federation(vconfig);
+  } else {
+    const data::SyntheticVision task(config);
+    const auto bundle = task.make_bundle(3000, 1500, 800);
+
+    fl::PartitionSpec spec = fl::PartitionSpec::dirichlet(args.alpha);
+    if (args.partition == "iid") spec = fl::PartitionSpec::iid();
+    if (args.partition == "shards") {
+      spec = fl::PartitionSpec::shards(args.k, 3000 / (args.clients * 20), 20);
+    }
+
+    fl::FederationConfig fed_config;
+    fed_config.num_clients = args.clients;
+    fed_config.client_archs = archs;
+    fed_config.seed = args.seed;
+    fed_config.num_threads = args.threads;
+    fed_config.edge_aggregators = args.edge_aggregators;
+    fed = fl::build_federation(bundle, spec, fed_config);
+  }
 
   // Fault plan and round policy are run *configuration*: a resumed run must
   // re-apply them identically before restoring checkpointed state.

@@ -35,7 +35,8 @@ int main() {
   // --- FedPKD -------------------------------------------------------------
   auto fed_pkd = fl::build_federation(bundle, spec, config);
   std::cout << "Device fleet:\n";
-  for (fl::Client& client : fed_pkd->clients) {
+  for (std::size_t vc = 0; vc < fed_pkd->num_clients(); ++vc) {
+    fl::Client& client = fed_pkd->client(vc);
     std::cout << "  device " << client.id << ": " << client.model.arch()
               << " (" << client.model.parameter_count() << " params, "
               << client.train_data.size() << " local samples, "

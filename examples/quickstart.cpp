@@ -29,9 +29,9 @@ int main() {
 
   std::cout << "Federation: " << fed->num_clients() << " clients, "
             << fed->num_classes << " classes\n";
-  std::cout << "Client 0 local data: " << fed->clients[0].train_data.size()
+  std::cout << "Client 0 local data: " << fed->client(0).train_data.size()
             << " samples across "
-            << fed->clients[0].train_data.present_classes().size()
+            << fed->client(0).train_data.present_classes().size()
             << " classes\n\n";
 
   // 3. FedPKD with a larger server model and all mechanisms on.

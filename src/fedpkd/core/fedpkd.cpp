@@ -31,8 +31,14 @@ FedPkd::FedPkd(fl::Federation& fed, Options options)
       options_.delta < 0.0f || options_.delta > 1.0f) {
     throw std::invalid_argument("FedPkd: gamma/delta must be in [0, 1]");
   }
-  for (const fl::Client& client : fed.clients) {
-    if (client.model.feature_dim() != server_.feature_dim()) {
+  // Probe one throwaway model per distinct architecture instead of scanning
+  // the population — a virtual federation may have a million clients but
+  // only a handful of archs.
+  for (const std::string& arch : fed.distinct_archs()) {
+    tensor::Rng probe_rng(0);
+    const nn::Classifier probe =
+        nn::make_classifier(arch, fed.input_dim, fed.num_classes, probe_rng);
+    if (probe.feature_dim() != server_.feature_dim()) {
       throw std::invalid_argument(
           "FedPkd: all models must share the prototype feature dimension");
     }
@@ -52,19 +58,21 @@ void FedPkd::on_round_start(fl::RoundContext& ctx) {
     all_ids_.resize(ctx.fed.public_data.size());
     std::iota(all_ids_.begin(), all_ids_.end(), 0u);
   }
-  if (received_.size() != ctx.fed.num_clients()) {
-    received_.resize(ctx.fed.num_clients());
+  // Insert this cohort's slots serially so the concurrent hooks below only
+  // read the map structure / assign their own mapped value.
+  for (const fl::Client* client : ctx.active) {
+    received_.try_emplace(static_cast<std::uint32_t>(client->id));
   }
 }
 
 // ---- 1. ClientPriTrain (Eq. 4 in round 0, Eq. 16 afterwards) ---------------
 void FedPkd::local_update(fl::RoundContext&, std::size_t, fl::Client& client) {
-  const auto& prototypes = received_[static_cast<std::size_t>(client.id)];
+  const auto it = received_.find(static_cast<std::uint32_t>(client.id));
   fl::TrainOptions opts;
   opts.epochs = options_.local_epochs;
-  if (options_.use_prototypes && prototypes) {
-    opts.prototype_matrix = &prototypes->matrix;
-    opts.prototype_class_present = &prototypes->present;
+  if (options_.use_prototypes && it != received_.end() && it->second) {
+    opts.prototype_matrix = &it->second->matrix;
+    opts.prototype_class_present = &it->second->present;
     opts.prototype_epsilon = options_.epsilon;
   }
   client.train_local(opts);
@@ -87,7 +95,11 @@ void FedPkd::before_upload(fl::RoundContext& ctx) {
   // across rounds for buffer reuse, so emptiness cannot signal staleness.
   cohort_.compute_public_logits(ctx.active, ctx.fed.public_data.features,
                                 public_logits_);
-  upload_cohort_ = ctx.active;
+  upload_cohort_.clear();
+  upload_cohort_.reserve(ctx.active.size());
+  for (const fl::Client* client : ctx.active) {
+    upload_cohort_.push_back(static_cast<std::uint32_t>(client->id));
+  }
 }
 
 fl::PayloadBundle FedPkd::make_upload(fl::RoundContext& ctx, std::size_t i,
@@ -99,7 +111,8 @@ fl::PayloadBundle FedPkd::make_upload(fl::RoundContext& ctx, std::size_t i,
   // invalidated the cache.
   tensor::Tensor fallback;
   const tensor::Tensor* logits = nullptr;
-  if (i < upload_cohort_.size() && upload_cohort_[i] == &client &&
+  if (i < upload_cohort_.size() &&
+      upload_cohort_[i] == static_cast<std::uint32_t>(client.id) &&
       i < public_logits_.size() && !public_logits_[i].empty()) {
     logits = &public_logits_[i];
   } else {
@@ -203,7 +216,7 @@ void FedPkd::server_step(fl::RoundContext& ctx,
   ServerDistillOptions distill_opts;
   distill_opts.epochs = options_.server_epochs;
   distill_opts.batch_size = options_.distill_batch;
-  distill_opts.lr = ctx.fed.clients.front().config.lr;
+  distill_opts.lr = ctx.fed.client_defaults.lr;
   distill_opts.delta = options_.use_prototypes ? options_.delta : 1.0f;
   distill_opts.temperature = options_.temperature;
   distill_opts.use_prototype_loss = options_.use_prototypes;
@@ -252,7 +265,7 @@ void FedPkd::apply_download(fl::RoundContext& ctx, std::size_t,
   client.digest(set, options_.gamma, digest_opts, options_.temperature);
 
   // Eq. (16)'s regularizer target for the next round comes off the wire too.
-  received_[static_cast<std::size_t>(client.id)] = from_payload(
+  received_.find(static_cast<std::uint32_t>(client.id))->second = from_payload(
       bundle.prototypes(1), ctx.fed.num_classes, client.model.feature_dim());
 }
 
@@ -303,7 +316,10 @@ void FedPkd::save_state(std::vector<std::byte>& out) {
   tensor::put_f32(last_keep_fraction_, out);
   put_prototype_set(global_prototypes_, out);
   tensor::put_u64(received_.size(), out);
-  for (const auto& set : received_) put_prototype_set(set, out);
+  for (const auto& [id, set] : received_) {
+    tensor::put_u32(id, out);
+    put_prototype_set(set, out);
+  }
 }
 
 void FedPkd::load_state(std::span<const std::byte> bytes,
@@ -314,9 +330,9 @@ void FedPkd::load_state(std::span<const std::byte> bytes,
   global_prototypes_ = get_prototype_set(bytes, offset);
   const auto clients = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
   received_.clear();
-  received_.reserve(clients);
   for (std::size_t c = 0; c < clients; ++c) {
-    received_.push_back(get_prototype_set(bytes, offset));
+    const std::uint32_t id = tensor::get_u32(bytes, offset);
+    received_[id] = get_prototype_set(bytes, offset);
   }
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -110,10 +111,18 @@ class FedPkd : public fl::StagedAlgorithm {
   /// instead of serving a stale round's.
   fl::CohortStepper cohort_;
   std::vector<tensor::Tensor> public_logits_;
-  std::vector<fl::Client*> upload_cohort_;
+  /// Client ids the batched pass ran for, by slot. Ids, not pointers: a
+  /// virtual-client pool can reuse a heap address for a different client
+  /// after evict + rehydrate, so an address is not a stable identity.
+  std::vector<std::uint32_t> upload_cohort_;
   /// What each client actually received over the wire (Eq. 16 regularizer
-  /// target), by client id; stale or absent after a dropped downlink.
-  std::vector<std::optional<PrototypeSet>> received_;
+  /// target), keyed by client id; stale or absent after a dropped downlink.
+  /// A map, not a population-sized vector: with a virtual-client pool only
+  /// clients that ever participated occupy memory (O(touched clients), not
+  /// O(population)) — and the checkpoint stays proportional to the touched
+  /// set. Cohort keys are inserted serially in on_round_start; the
+  /// concurrent apply_download hook only assigns to its own existing slot.
+  std::map<std::uint32_t, std::optional<PrototypeSet>> received_;
   /// The filtered subset server_step selected, kept for make_download.
   tensor::Tensor selected_inputs_;
   std::vector<std::uint32_t> selected_ids_;

@@ -3,8 +3,10 @@
 namespace fedpkd::core {
 
 void FedProto::on_round_start(fl::RoundContext& ctx) {
-  if (received_.size() != ctx.fed.num_clients()) {
-    received_.resize(ctx.fed.num_clients());
+  // Insert this cohort's slots serially so the concurrent hooks below only
+  // read the map structure / assign their own mapped value.
+  for (const fl::Client* client : ctx.active) {
+    received_.try_emplace(static_cast<std::uint32_t>(client->id));
   }
 }
 
@@ -12,12 +14,12 @@ void FedProto::local_update(fl::RoundContext&, std::size_t,
                             fl::Client& client) {
   // Prototype-regularized local training (Eq. 16) once this client has
   // received global prototypes; plain supervised training before that.
-  const auto& prototypes = received_[static_cast<std::size_t>(client.id)];
+  const auto it = received_.find(static_cast<std::uint32_t>(client.id));
   fl::TrainOptions opts;
   opts.epochs = options_.local_epochs;
-  if (prototypes) {
-    opts.prototype_matrix = &prototypes->matrix;
-    opts.prototype_class_present = &prototypes->present;
+  if (it != received_.end() && it->second) {
+    opts.prototype_matrix = &it->second->matrix;
+    opts.prototype_class_present = &it->second->present;
     opts.prototype_epsilon = options_.prototype_weight;
   }
   client.train_local(opts);
@@ -31,7 +33,11 @@ fl::PayloadBundle FedProto::make_upload(fl::RoundContext&, std::size_t,
 
 void FedProto::server_step(fl::RoundContext& ctx,
                            std::vector<fl::Contribution>& contributions) {
-  const std::size_t feature_dim = ctx.fed.clients.front().model.feature_dim();
+  // All models share the feature dimension (pipeline precondition: never
+  // called with an empty contribution list), so any contributor's model
+  // reports it — avoiding a population scan in a virtual federation.
+  const std::size_t feature_dim =
+      contributions.front().client->model.feature_dim();
   if (ctx.fed.robust.rule != robust::RobustAggregation::kNone) {
     // Robust prototype aggregation at the payload level: per class, the
     // configured estimator replaces the support-weighted centroid mean.
@@ -65,7 +71,7 @@ std::optional<fl::PayloadBundle> FedProto::make_download(fl::RoundContext&) {
 void FedProto::apply_download(fl::RoundContext& ctx, std::size_t,
                               fl::Client& client,
                               const fl::WireBundle& bundle) {
-  received_[static_cast<std::size_t>(client.id)] = from_payload(
+  received_.find(static_cast<std::uint32_t>(client.id))->second = from_payload(
       bundle.prototypes(), ctx.fed.num_classes, client.model.feature_dim());
 }
 

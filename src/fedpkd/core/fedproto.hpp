@@ -1,5 +1,6 @@
 #pragma once
 
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -49,9 +50,14 @@ class FedProto : public fl::StagedAlgorithm {
  private:
   Options options_;
   std::optional<PrototypeSet> global_prototypes_;
-  /// What each client actually received over the wire, by client id. A
+  /// What each client actually received over the wire, keyed by client id. A
   /// client whose downlink dropped keeps its previous prototypes (or none).
-  std::vector<std::optional<PrototypeSet>> received_;
+  /// A map, not a population-sized vector: with a virtual-client pool only
+  /// clients that ever participated occupy memory, so the footprint is
+  /// O(touched clients), not O(population). Keys for the cohort are inserted
+  /// serially in on_round_start; the concurrent apply_download hook only
+  /// assigns to its own pre-existing slot.
+  std::map<std::uint32_t, std::optional<PrototypeSet>> received_;
 };
 
 }  // namespace fedpkd::core

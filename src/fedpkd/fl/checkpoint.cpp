@@ -18,7 +18,10 @@ constexpr std::uint32_t kVersion = 1;
 constexpr std::uint32_t kRunMagic = 0x464b5052u;  // 'FPKR' (federation resume)
 // v3 adds the attack injector's replay cache, the adaptive weight-norm
 // tracker, the per-round robustness counters, and per-client anomaly records.
-constexpr std::uint32_t kRunVersion = 3;
+// v4 replaces the flat per-client section with the client pool's state: a
+// mode byte, then either every resident client (the v3 layout) or the
+// virtual pool's warm-LRU list and touched-client blob table.
+constexpr std::uint32_t kRunVersion = 4;
 
 void put_string(const std::string& s, std::vector<std::byte>& out) {
   tensor::put_u32(static_cast<std::uint32_t>(s.size()), out);
@@ -440,11 +443,8 @@ void save_federation_checkpoint(const std::filesystem::path& path,
   }
   tensor::put_u64(fed.meter.current_round(), out);
 
-  tensor::put_u64(fed.clients.size(), out);
-  for (Client& client : fed.clients) {
-    tensor::put_rng(client.rng, out);
-    tensor::encode_tensor(client.model.flat_weights(), out);
-  }
+  tensor::put_u64(fed.num_clients(), out);
+  fed.pool.save_state(out);
 
   // The algorithm blob is length-prefixed so load can bound its reads even
   // if the algorithm's own decoder is buggy.
@@ -525,15 +525,12 @@ FederationResume load_federation_checkpoint(const std::filesystem::path& path,
   fed.meter.restore(std::move(records), meter_round);
 
   const auto clients = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
-  if (clients != fed.clients.size()) {
+  if (clients != fed.num_clients()) {
     throw std::runtime_error("checkpoint: recorded " + std::to_string(clients) +
                              " clients, federation has " +
-                             std::to_string(fed.clients.size()));
+                             std::to_string(fed.num_clients()));
   }
-  for (Client& client : fed.clients) {
-    client.rng = tensor::get_rng(bytes, offset);
-    client.model.set_flat_weights(tensor::decode_tensor(bytes, offset));
-  }
+  fed.pool.load_state(bytes, offset);
 
   const auto blob_size =
       static_cast<std::size_t>(tensor::get_u64(bytes, offset));

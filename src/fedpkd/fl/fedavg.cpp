@@ -9,15 +9,12 @@
 namespace fedpkd::fl {
 
 FedAvg::FedAvg(Federation& fed, Options options)
-    : options_(options), global_(fed.clients.at(0).model.clone()) {
-  for (std::size_t c = 0; c < fed.clients.size(); ++c) {
-    Client& client = fed.clients[c];
-    if (client.model.parameter_count() != global_.parameter_count() ||
-        client.model.arch() != global_.arch()) {
-      throw std::invalid_argument(
-          "FedAvg: requires homogeneous client architectures, got " +
-          client.model.arch() + " vs " + global_.arch());
-    }
+    : options_(options), global_(fed.client(0).model.clone()) {
+  const std::vector<std::string> archs = fed.distinct_archs();
+  if (archs.size() != 1) {
+    throw std::invalid_argument(
+        "FedAvg: requires homogeneous client architectures, got " +
+        archs.front() + " vs " + archs.back());
   }
 }
 
@@ -54,7 +51,7 @@ void FedAvg::server_step(RoundContext& ctx,
     weights.reserve(contributions.size());
     for (const Contribution& c : contributions) {
       updates.push_back(c.bundle.weights().flat);
-      weights.push_back(static_cast<float>(c.client->train_data.size()));
+      weights.push_back(c.weight);
     }
     robust::CombineResult combined =
         robust::robust_combine(ctx.fed.robust, updates, weights);
@@ -68,15 +65,13 @@ void FedAvg::server_step(RoundContext& ctx,
   // the uplink, accumulated in slot order so the result is thread-count
   // independent.
   tensor::Tensor accum({global_.parameter_count()});
-  std::size_t received_weight = 0;
+  float received_weight = 0.0f;
   for (const Contribution& c : contributions) {
-    tensor::axpy_inplace(accum,
-                         static_cast<float>(c.client->train_data.size()),
-                         c.bundle.weights().flat);
-    received_weight += c.client->train_data.size();
+    tensor::axpy_inplace(accum, c.weight, c.bundle.weights().flat);
+    received_weight += c.weight;
   }
-  if (received_weight == 0) return;
-  tensor::scale_inplace(accum, 1.0f / static_cast<float>(received_weight));
+  if (received_weight == 0.0f) return;
+  tensor::scale_inplace(accum, 1.0f / received_weight);
   global_.set_flat_weights(accum);
 }
 

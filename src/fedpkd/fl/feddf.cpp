@@ -10,13 +10,11 @@ namespace fedpkd::fl {
 
 FedDf::FedDf(Federation& fed, Options options)
     : options_(options),
-      server_(fed.clients.at(0).model.clone()),
+      server_(fed.client(0).model.clone()),
       server_rng_(fed.rng.split(0xdf)) {
-  for (std::size_t c = 0; c < fed.clients.size(); ++c) {
-    if (fed.clients[c].model.arch() != server_.arch()) {
-      throw std::invalid_argument(
-          "FedDF: weight-space fusion requires homogeneous architectures");
-    }
+  if (fed.distinct_archs().size() != 1) {
+    throw std::invalid_argument(
+        "FedDF: weight-space fusion requires homogeneous architectures");
   }
 }
 
@@ -64,8 +62,7 @@ void FedDf::server_step(RoundContext& ctx,
     weights.reserve(received);
     for (std::size_t i = 0; i < received; ++i) {
       flats.push_back(uploads[i].flat);
-      weights.push_back(
-          static_cast<float>(contributions[i].client->train_data.size()));
+      weights.push_back(contributions[i].weight);
     }
     robust::CombineResult combined =
         robust::robust_combine(ctx.fed.robust, flats, weights);
@@ -76,14 +73,12 @@ void FedDf::server_step(RoundContext& ctx,
     if (!combined.selected.empty()) members = std::move(combined.selected);
   } else {
     accum = tensor::Tensor({server_.parameter_count()});
-    std::size_t received_weight = 0;
+    float received_weight = 0.0f;
     for (const Contribution& c : contributions) {
-      tensor::axpy_inplace(accum,
-                           static_cast<float>(c.client->train_data.size()),
-                           c.bundle.weights().flat);
-      received_weight += c.client->train_data.size();
+      tensor::axpy_inplace(accum, c.weight, c.bundle.weights().flat);
+      received_weight += c.weight;
     }
-    tensor::scale_inplace(accum, 1.0f / static_cast<float>(received_weight));
+    tensor::scale_inplace(accum, 1.0f / received_weight);
   }
 
   // Ensemble members evaluate concurrently, each on its own scratch clone;
@@ -125,7 +120,7 @@ void FedDf::server_step(RoundContext& ctx,
   TrainOptions opts;
   opts.epochs = options_.server_epochs;
   opts.batch_size = options_.distill_batch;
-  opts.lr = ctx.fed.clients.front().config.lr;
+  opts.lr = ctx.fed.client_defaults.lr;
   train_distill(server_, set, /*gamma=*/1.0f, opts, server_rng_,
                 options_.distill_temperature);
 }

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "fedpkd/exec/thread_pool.hpp"
 #include "fedpkd/fl/checkpoint.hpp"
@@ -127,11 +128,44 @@ void Federation::begin_round(std::size_t round) {
   sampled_once_ = true;
   begun_round_ = round;
   active_indices_.clear();
+  const std::size_t population = pool.population();
+  if (pool.virtual_mode()) {
+    std::size_t want =
+        cohort_size > 0
+            ? cohort_size
+            : std::max<std::size_t>(
+                  1, static_cast<std::size_t>(
+                         participation_fraction *
+                             static_cast<double>(population) + 0.5));
+    want = std::min(want, population);
+    if (want >= population) {
+      active_indices_.resize(population);
+      std::iota(active_indices_.begin(), active_indices_.end(), 0);
+    } else {
+      // Rejection-sample `want` distinct ids: O(cohort) work per round where
+      // the resident path's partial shuffle is O(population) — the
+      // difference between a 1M-client round costing microseconds and one
+      // costing a full shuffle plus an 8 MB allocation.
+      std::unordered_set<std::size_t> seen;
+      seen.reserve(want * 2);
+      while (active_indices_.size() < want) {
+        const auto id =
+            static_cast<std::size_t>(participation_rng_.uniform_index(population));
+        if (seen.insert(id).second) active_indices_.push_back(id);
+      }
+      std::sort(active_indices_.begin(), active_indices_.end());
+    }
+    // Hydrate and pin the cohort now (serially, in id order) so every
+    // Client* resolved from it stays valid for the whole round and eviction
+    // order is independent of the thread count.
+    pool.pin_cohort(active_indices_);
+    return;
+  }
   if (participation_fraction >= 1.0) return;  // empty = everyone
   const auto want = std::max<std::size_t>(
       1, static_cast<std::size_t>(participation_fraction *
-                                  static_cast<double>(clients.size()) + 0.5));
-  std::vector<std::size_t> order(clients.size());
+                                  static_cast<double>(population) + 0.5));
+  std::vector<std::size_t> order(population);
   std::iota(order.begin(), order.end(), 0);
   for (std::size_t i = order.size(); i > 1; --i) {
     std::swap(order[i - 1], order[participation_rng_.uniform_index(i)]);
@@ -141,17 +175,42 @@ void Federation::begin_round(std::size_t round) {
   std::sort(active_indices_.begin(), active_indices_.end());
 }
 
-std::vector<Client*> Federation::active_clients() {
-  std::vector<Client*> out;
-  // begin_round with fraction < 1 always fills active_indices_, so an empty
-  // list means full participation (requested or pre-first-round).
+std::vector<std::size_t> Federation::active_client_ids() const {
+  // begin_round with a partial cohort always fills active_indices_, so an
+  // empty list means full participation (requested or pre-first-round).
   if (!sampled_once_ || active_indices_.empty()) {
-    out.reserve(clients.size());
-    for (std::size_t i = 0; i < clients.size(); ++i) out.push_back(&clients[i]);
+    std::vector<std::size_t> all(pool.population());
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  return active_indices_;
+}
+
+std::vector<std::size_t> Federation::eval_client_ids() const {
+  if (pool.virtual_mode()) {
+    // Per-round client accuracy is reported over the current cohort — the
+    // full population would have to be hydrated client by client.
+    return sampled_once_ ? active_client_ids() : std::vector<std::size_t>{};
+  }
+  std::vector<std::size_t> all(pool.population());
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+std::vector<std::string> Federation::distinct_archs() {
+  std::vector<std::string> out;
+  auto add = [&](const std::string& arch) {
+    if (std::find(out.begin(), out.end(), arch) == out.end()) {
+      out.push_back(arch);
+    }
+  };
+  if (!client_archs.empty()) {
+    for (const std::string& arch : client_archs) add(arch);
     return out;
   }
-  out.reserve(active_indices_.size());
-  for (std::size_t i : active_indices_) out.push_back(&clients[i]);
+  // Hand-built federation without the config record: scan the materialized
+  // clients (resident pools only — virtual pools always carry client_archs).
+  for (std::size_t i = 0; i < num_clients(); ++i) add(client(i).config.arch);
   return out;
 }
 
@@ -191,8 +250,12 @@ std::unique_ptr<Federation> build_federation(
   data::validate_partition(split, bundle.train_pool.size());
 
   fed->seed_participation(fed->rng.split(0x7061727469636970ull));
+  fed->client_archs = config.client_archs;
+  fed->client_defaults = config.client_defaults;
+  fed->edge_aggregators = config.edge_aggregators;
   tensor::Rng test_rng = fed->rng.split(0x74657374);
-  fed->clients.reserve(config.num_clients);
+  std::vector<Client> clients;
+  clients.reserve(config.num_clients);
   for (std::size_t c = 0; c < config.num_clients; ++c) {
     ClientConfig cc = config.client_defaults;
     cc.arch = config.client_archs[c % config.client_archs.size()];
@@ -203,10 +266,65 @@ std::unique_ptr<Federation> build_federation(
     data::Dataset test =
         make_local_test(bundle.test_global, train.class_histogram(),
                         config.local_test_per_client, test_rng);
-    fed->clients.emplace_back(static_cast<comm::NodeId>(c), std::move(cc),
-                              std::move(model), std::move(train),
-                              std::move(test), fed->rng.split(0xc1000 + c));
+    clients.emplace_back(static_cast<comm::NodeId>(c), std::move(cc),
+                         std::move(model), std::move(train), std::move(test),
+                         fed->rng.split(0xc1000 + c));
   }
+  fed->pool.adopt_resident(std::move(clients));
+  return fed;
+}
+
+std::unique_ptr<Federation> build_virtual_federation(
+    const VirtualFederationConfig& config) {
+  if (config.population == 0) {
+    throw std::invalid_argument("build_virtual_federation: zero population");
+  }
+  if (config.cohort_size > config.population) {
+    throw std::invalid_argument(
+        "build_virtual_federation: cohort exceeds population");
+  }
+  if (config.client_archs.empty()) {
+    throw std::invalid_argument(
+        "build_virtual_federation: no client architectures");
+  }
+
+  exec::set_num_threads(config.num_threads);
+
+  auto fed = std::make_unique<Federation>();
+  auto generator = std::make_shared<data::SyntheticVision>(config.task);
+  fed->rng = tensor::Rng(config.seed);
+  fed->robust = config.robust;
+  fed->num_classes = config.task.num_classes;
+  fed->input_dim = config.task.sample_dim();
+  fed->cohort_size = config.cohort_size;
+  fed->edge_aggregators = config.edge_aggregators;
+  fed->client_archs = config.client_archs;
+  fed->client_defaults = config.client_defaults;
+
+  // Server-side datasets are sampled once from dedicated streams (same salt
+  // scheme as the resident path); client shards are never materialized here —
+  // the pool regenerates them per hydration from (seed, id).
+  tensor::Rng test_rng = fed->rng.split(0x74657374);
+  fed->test_global = generator->sample(config.test_n, test_rng);
+  tensor::Rng public_rng = fed->rng.split(0x7075626cull);
+  fed->public_data = generator->sample(config.public_n, public_rng);
+  fed->seed_participation(fed->rng.split(0x7061727469636970ull));
+
+  ClientPool::VirtualSpec spec;
+  spec.population = config.population;
+  spec.warm_capacity = config.warm_capacity > 0
+                           ? config.warm_capacity
+                           : 4 * std::max<std::size_t>(1, config.cohort_size);
+  spec.archs = config.client_archs;
+  spec.client_defaults = config.client_defaults;
+  spec.input_dim = fed->input_dim;
+  spec.num_classes = fed->num_classes;
+  spec.shard_size = config.shard_size;
+  spec.local_test = config.local_test_per_client;
+  spec.classes_per_client = config.classes_per_client;
+  spec.generator = std::move(generator);
+  spec.base_rng = fed->rng;
+  fed->pool.configure_virtual(std::move(spec));
   return fed;
 }
 
@@ -220,21 +338,26 @@ RoundMetrics evaluate_round(Algorithm& algorithm, Federation& fed,
   }
   // Clients evaluate concurrently (each touches only its own model); the
   // mean reduces serially in client-index order so it is thread-count
-  // independent.
-  metrics.client_accuracy.assign(fed.clients.size(), 0.0f);
-  exec::parallel_for(fed.clients.size(), [&](std::size_t begin,
-                                             std::size_t end) {
+  // independent. Pointers are resolved serially first: in a virtual
+  // federation that hydrates any cold client in deterministic id order
+  // before the parallel fan-out touches anything.
+  const std::vector<std::size_t> ids = fed.eval_client_ids();
+  std::vector<Client*> eval_clients;
+  eval_clients.reserve(ids.size());
+  for (std::size_t id : ids) eval_clients.push_back(&fed.client(id));
+  metrics.client_accuracy.assign(ids.size(), 0.0f);
+  exec::parallel_for(ids.size(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       metrics.client_accuracy[i] = evaluate_accuracy(
-          fed.clients[i].model, fed.clients[i].test_data, eval_batch);
+          eval_clients[i]->model, eval_clients[i]->test_data, eval_batch);
     }
   });
   double acc_sum = 0.0;
   for (const float acc : metrics.client_accuracy) acc_sum += acc;
   metrics.mean_client_accuracy =
-      fed.clients.empty()
+      ids.empty()
           ? 0.0f
-          : static_cast<float>(acc_sum / static_cast<double>(fed.clients.size()));
+          : static_cast<float>(acc_sum / static_cast<double>(ids.size()));
   metrics.cumulative_bytes = fed.meter.total();
   return metrics;
 }
@@ -258,6 +381,9 @@ RunHistory run_federation(Algorithm& algorithm, Federation& fed,
     }
     if (const std::vector<ClientAnomaly>* anomaly = algorithm.last_anomaly()) {
       metrics.anomaly = *anomaly;
+    }
+    if (const PoolRoundStats* pool = algorithm.last_pool_stats()) {
+      metrics.pool_stats = *pool;
     }
     if (options.log != nullptr) {
       *options.log << history.algorithm << " round " << t;
@@ -290,6 +416,12 @@ RunHistory run_federation(Algorithm& algorithm, Federation& fed,
                        << " clipped=" << f.clipped_contributions;
         }
         *options.log << "]";
+      }
+      if (metrics.pool_stats) {
+        const PoolRoundStats& p = *metrics.pool_stats;
+        *options.log << " pool[hit=" << p.hits << " miss=" << p.misses
+                     << " evict=" << p.evictions << " warm=" << p.warm_clients
+                     << " hyd=" << p.hydration_seconds * 1e3 << "ms]";
       }
       if (!metrics.anomaly.empty()) {
         *options.log << " robust[";

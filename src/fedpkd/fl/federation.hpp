@@ -14,6 +14,7 @@
 #include "fedpkd/data/partition.hpp"
 #include "fedpkd/data/synthetic_vision.hpp"
 #include "fedpkd/fl/client.hpp"
+#include "fedpkd/fl/client_pool.hpp"
 #include "fedpkd/fl/metrics.hpp"
 #include "fedpkd/robust/aggregate.hpp"
 #include "fedpkd/robust/attack.hpp"
@@ -77,15 +78,60 @@ struct FederationConfig {
   /// Byzantine-robust aggregation rule and anomaly-filter knobs, applied by
   /// every driver's server step and the pipeline's upload stage.
   robust::RobustPolicy robust;
+  /// Hierarchical aggregation: with a value > 1 the pipeline pre-combines
+  /// the surviving contributions into this many contiguous slot-order edge
+  /// groups (robust::tiered kernels) before the server step. <= 1 keeps the
+  /// flat single-tier topology, bitwise unchanged.
+  std::size_t edge_aggregators = 0;
 };
 
-/// The shared world of one federated run: datasets, clients, and the metered
-/// star network. Non-copyable and non-movable (Channel aliases Meter);
-/// construct with build_federation.
+/// Construction parameters of a *virtual* federation: the population is a
+/// number, not a vector of materialized clients. Full Client state exists
+/// only for the warm set of the ClientPool; each client's dataset shard is
+/// regenerated on hydration from the deterministic SyntheticVision sampler.
+/// This is what lets one box simulate 100k-1M clients (ROADMAP item 1).
+struct VirtualFederationConfig {
+  /// The synthetic task; also the source of every client's lazy shard.
+  data::SyntheticVisionConfig task = data::SyntheticVisionConfig::synth10();
+  std::size_t population = 100000;
+  /// Participants sampled per round (distinct ids, rejection-sampled in
+  /// O(cohort) — the resident path's O(population) shuffle would dominate at
+  /// 1M clients).
+  std::size_t cohort_size = 8;
+  /// Warm-LRU bound of the client pool; 0 derives 4 * cohort_size.
+  std::size_t warm_capacity = 0;
+  std::vector<std::string> client_archs = {"resmlp20"};
+  ClientConfig client_defaults;
+  std::size_t shard_size = 64;             // per-client train samples
+  std::size_t local_test_per_client = 32;  // per-client test samples
+  /// 0 = IID shards; k > 0 restricts each client to k id-chosen classes
+  /// (the virtual-mode analogue of the shards partition).
+  std::size_t classes_per_client = 0;
+  std::size_t test_n = 1000;   // server-side global test set
+  std::size_t public_n = 400;  // shared public set
+  std::uint64_t seed = 7;
+  std::size_t num_threads = 1;
+  robust::RobustPolicy robust;
+  std::size_t edge_aggregators = 0;
+};
+
+/// The shared world of one federated run: datasets, the client pool, and the
+/// metered star network. Non-copyable and non-movable (Channel aliases
+/// Meter); construct with build_federation (resident pool, every client
+/// materialized) or build_virtual_federation (virtual pool, clients hydrated
+/// on demand for the sampled cohort only).
 struct Federation {
   data::Dataset public_data;  // treated as unlabeled by all algorithms
   data::Dataset test_global;
-  std::vector<Client> clients;
+  /// All client state lives here. Resident federations keep every client
+  /// permanently warm (bitwise the pre-pool behavior); virtual federations
+  /// hydrate the sampled cohort through the bounded LRU.
+  ClientPool pool;
+  /// The architecture cycle and shared hyperparameters clients are built
+  /// from (what drivers consult instead of scanning materialized clients —
+  /// a virtual federation may have a million of them).
+  std::vector<std::string> client_archs;
+  ClientConfig client_defaults;
   comm::Meter meter;
   comm::Channel channel{meter};
   tensor::Rng rng{0};
@@ -96,6 +142,14 @@ struct Federation {
   /// 1.0 = full participation. At least one client always participates.
   /// Set before run_federation; resampled by begin_round every round.
   double participation_fraction = 1.0;
+
+  /// Virtual federations sample exactly this many distinct participants per
+  /// round (0 falls back to participation_fraction * population). Ignored by
+  /// resident federations, which keep the fraction semantics.
+  std::size_t cohort_size = 0;
+
+  /// Hierarchical aggregation tier count (see FederationConfig). <= 1 = flat.
+  std::size_t edge_aggregators = 0;
 
   /// Deadline / quorum / inbound-validation discipline enforced by the
   /// staged pipeline. Defaults are fully permissive (pre-fault behavior).
@@ -120,18 +174,37 @@ struct Federation {
   Federation(const Federation&) = delete;
   Federation& operator=(const Federation&) = delete;
 
-  std::size_t num_clients() const { return clients.size(); }
+  std::size_t num_clients() const { return pool.population(); }
+
+  /// The client with this id, hydrating it first in a virtual federation.
+  /// The reference is stable while the client is warm; the round pipeline
+  /// pins the sampled cohort so its pointers stay valid for the whole round.
+  Client& client(std::size_t id) { return pool.acquire(id); }
+
+  /// Distinct client architectures in first-appearance order (from
+  /// client_archs when set; falls back to scanning the materialized clients
+  /// for hand-built federations).
+  std::vector<std::string> distinct_archs();
 
   /// Stamps the traffic meter with the round number and samples this round's
   /// participants. Idempotent per round number: the RoundPipeline calls it
   /// at the top of every round, and a caller stepping rounds manually (or
   /// run_federation) may have called it already — the second call for the
   /// same round keeps the sampled participant set instead of resampling.
+  /// Virtual federations additionally hydrate and pin the sampled cohort.
   void begin_round(std::size_t round);
 
-  /// The clients participating in the current round. All clients until
-  /// begin_round is first called or while participation_fraction == 1.
-  std::vector<Client*> active_clients();
+  /// Ids of the clients participating in the current round, ascending. All
+  /// clients until begin_round is first called or while every client
+  /// participates. Ids stay valid across hydration/eviction — unlike the
+  /// raw Client* list this replaces, which dangled once the pool could
+  /// retire client state.
+  std::vector<std::size_t> active_client_ids() const;
+
+  /// Ids evaluated by evaluate_round: every client in a resident
+  /// federation; the current cohort in a virtual one (evaluating a million
+  /// cold clients would hydrate all of them), empty before the first round.
+  std::vector<std::size_t> eval_client_ids() const;
 
   /// Reseeds the participation sampler (build_federation derives it from the
   /// federation seed so runs stay reproducible).
@@ -173,6 +246,12 @@ std::unique_ptr<Federation> build_federation(
     const data::FederatedDataBundle& bundle, const PartitionSpec& partition,
     const FederationConfig& config);
 
+/// Builds a virtual federation: server-side datasets are sampled once, the
+/// population exists only as derivable specs in the client pool, and each
+/// round's cohort is hydrated on demand (see VirtualFederationConfig).
+std::unique_ptr<Federation> build_virtual_federation(
+    const VirtualFederationConfig& config);
+
 /// A federated learning algorithm driven round-by-round.
 class Algorithm {
  public:
@@ -193,6 +272,10 @@ class Algorithm {
   virtual const std::vector<ClientAnomaly>* last_anomaly() const {
     return nullptr;
   }
+  /// Client-pool hydration counters of the most recent round, when the
+  /// algorithm runs on the staged pipeline against a virtual federation
+  /// (nullptr otherwise).
+  virtual const PoolRoundStats* last_pool_stats() const { return nullptr; }
 
   /// -- Crash-resume hooks ---------------------------------------------------
   /// Algorithms opting into federation checkpoints serialize their full

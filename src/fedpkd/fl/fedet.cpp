@@ -74,7 +74,7 @@ void FedEt::server_step(RoundContext& ctx,
     TrainOptions server_opts;
     server_opts.epochs = options_.server_epochs;
     server_opts.batch_size = options_.distill_batch;
-    server_opts.lr = ctx.fed.clients.front().config.lr;
+    server_opts.lr = ctx.fed.client_defaults.lr;
     train_distill(server_, server_set, /*gamma=*/1.0f, server_opts,
                   server_rng_);
     return;
@@ -127,7 +127,7 @@ void FedEt::server_step(RoundContext& ctx,
   TrainOptions server_opts;
   server_opts.epochs = options_.server_epochs;
   server_opts.batch_size = options_.distill_batch;
-  server_opts.lr = ctx.fed.clients.front().config.lr;
+  server_opts.lr = ctx.fed.client_defaults.lr;
   train_distill(server_, server_set, /*gamma=*/1.0f, server_opts, server_rng_);
 }
 

@@ -66,6 +66,32 @@ struct ClientAnomaly {
   std::string reason;     // human-readable exclusion reason; empty when kept
 };
 
+/// Virtual-client pool counters of one round (staged pipeline on a virtual
+/// federation only; absent otherwise). Like the wall-clock stage spans these
+/// are observability data and are never serialized with the history: the
+/// hit/miss pattern depends on the warm-cache size, a tuning knob that must
+/// not perturb resume comparisons or golden traces.
+struct PoolRoundStats {
+  std::size_t hits = 0;          // cohort members served warm
+  std::size_t misses = 0;        // cohort members hydrated on demand
+  std::size_t hydrations = 0;    // clients rebuilt (fresh or from a blob)
+  std::size_t dehydrations = 0;  // clients serialized out on eviction
+  std::size_t evictions = 0;     // warm clients retired by the LRU bound
+  std::size_t warm_clients = 0;  // warm-set size after the round
+  double hydration_seconds = 0.0;
+
+  PoolRoundStats& operator+=(const PoolRoundStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    hydrations += o.hydrations;
+    dehydrations += o.dehydrations;
+    evictions += o.evictions;
+    warm_clients = o.warm_clients;  // latest snapshot, not a sum
+    hydration_seconds += o.hydration_seconds;
+    return *this;
+  }
+};
+
 /// Metrics captured after each communication round.
 struct RoundMetrics {
   std::size_t round = 0;
@@ -88,6 +114,9 @@ struct RoundMetrics {
   /// Per-client anomaly scores and exclusion decisions, when the anomaly
   /// filter ran this round (checkpoint v3).
   std::vector<ClientAnomaly> anomaly;
+  /// Client-pool hydration counters of this round (virtual federations on
+  /// the staged pipeline only). Not serialized — see PoolRoundStats.
+  std::optional<PoolRoundStats> pool_stats;
 };
 
 /// Full trajectory of one federated run.

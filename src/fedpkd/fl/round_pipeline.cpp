@@ -3,8 +3,10 @@
 #include <cmath>
 #include <cstdio>
 
+#include "fedpkd/comm/payload.hpp"
 #include "fedpkd/comm/validate.hpp"
 #include "fedpkd/exec/thread_pool.hpp"
+#include "fedpkd/robust/aggregate.hpp"
 #include "fedpkd/robust/anomaly.hpp"
 
 namespace fedpkd::fl {
@@ -79,16 +81,156 @@ std::string format_score(double value) {
   return buffer;
 }
 
-}  // namespace
+/// Hierarchical (edge) aggregation: splits the surviving contributions into
+/// `fed.edge_aggregators` contiguous slot-order sub-cohorts, combines each
+/// sub-cohort per payload kind under the federation's robust policy, and
+/// returns one synthetic contribution per edge (weight = summed member
+/// weights, slot/client = first member's). The server step then aggregates
+/// the pre-combined tier exactly as it would direct uploads. Groups whose
+/// bundles disagree structurally (part count, kinds, logit sample ids,
+/// weight shapes) pass their members through uncombined — a heterogeneous
+/// sub-cohort degrades to flat aggregation rather than failing the round.
+std::vector<Contribution> edge_aggregate(Federation& fed,
+                                         std::vector<Contribution>& inputs,
+                                         RoundFaultStats& faults) {
+  const auto groups =
+      robust::edge_partition(inputs.size(), fed.edge_aggregators);
+  std::vector<Contribution> tier;
+  tier.reserve(groups.size());
+  for (const auto& [begin, end] : groups) {
+    const std::size_t members = end - begin;
+    if (members == 1) {
+      tier.push_back(std::move(inputs[begin]));
+      continue;
+    }
+    // Structural conformance check against the group's first bundle.
+    const std::vector<std::vector<std::byte>>& head = inputs[begin].bundle.parts;
+    bool conforming = true;
+    for (std::size_t m = begin + 1; m < end && conforming; ++m) {
+      const auto& parts = inputs[m].bundle.parts;
+      if (parts.size() != head.size()) {
+        conforming = false;
+        break;
+      }
+      for (std::size_t p = 0; p < parts.size(); ++p) {
+        if (comm::peek_kind(parts[p]) != comm::peek_kind(head[p])) {
+          conforming = false;
+          break;
+        }
+      }
+    }
+    if (!conforming || head.empty()) {
+      for (std::size_t m = begin; m < end; ++m) {
+        tier.push_back(std::move(inputs[m]));
+      }
+      continue;
+    }
+    Contribution combined;
+    combined.slot = inputs[begin].slot;
+    combined.client = inputs[begin].client;
+    std::vector<float> member_weights;
+    member_weights.reserve(members);
+    for (std::size_t m = begin; m < end; ++m) {
+      combined.weight += inputs[m].weight;
+      member_weights.push_back(inputs[m].weight);
+    }
+    bool combinable = true;
+    std::vector<std::vector<std::byte>> out_parts;
+    out_parts.reserve(head.size());
+    for (std::size_t p = 0; p < head.size() && combinable; ++p) {
+      switch (comm::peek_kind(head[p])) {
+        case comm::PayloadKind::kWeights: {
+          std::vector<tensor::Tensor> flats;
+          flats.reserve(members);
+          for (std::size_t m = begin; m < end; ++m) {
+            flats.push_back(inputs[m].bundle.weights(p).flat);
+          }
+          for (std::size_t i = 1; i < flats.size(); ++i) {
+            if (!flats[i].same_shape(flats.front())) combinable = false;
+          }
+          if (!combinable) break;
+          // kNone honors the member weights (the |D_c| mean an edge would
+          // compute); the order-statistic rules stay weight-blind per tier.
+          robust::CombineResult r =
+              robust::robust_combine(fed.robust, flats, member_weights);
+          faults.clipped_contributions += r.clipped;
+          out_parts.push_back(
+              comm::encode(comm::WeightsPayload{std::move(r.value)}));
+          break;
+        }
+        case comm::PayloadKind::kLogits: {
+          std::vector<comm::LogitsPayload> uploads;
+          uploads.reserve(members);
+          for (std::size_t m = begin; m < end; ++m) {
+            uploads.push_back(inputs[m].bundle.logits(p));
+          }
+          std::vector<tensor::Tensor> logits;
+          logits.reserve(members);
+          for (comm::LogitsPayload& u : uploads) {
+            if (u.sample_ids != uploads.front().sample_ids ||
+                !u.logits.same_shape(uploads.front().logits)) {
+              combinable = false;
+              break;
+            }
+            logits.push_back(std::move(u.logits));
+          }
+          if (!combinable) break;
+          // Uniform within the edge: logit consumers (FedMD/DS-FL/FedDF's
+          // distillation targets) average per-sample opinions, not per-shard
+          // sample counts.
+          robust::CombineResult r =
+              robust::robust_combine(fed.robust, logits, {});
+          faults.clipped_contributions += r.clipped;
+          comm::LogitsPayload out;
+          out.sample_ids = std::move(uploads.front().sample_ids);
+          out.logits = std::move(r.value);
+          out_parts.push_back(comm::encode(out));
+          break;
+        }
+        case comm::PayloadKind::kPrototypes: {
+          std::vector<comm::PrototypesPayload> uploads;
+          uploads.reserve(members);
+          for (std::size_t m = begin; m < end; ++m) {
+            uploads.push_back(inputs[m].bundle.prototypes(p));
+          }
+          robust::PrototypeAggregateResult r =
+              robust::robust_aggregate_prototypes(fed.robust, uploads);
+          faults.clipped_contributions += r.clipped;
+          out_parts.push_back(comm::encode(r.payload));
+          break;
+        }
+      }
+    }
+    if (!combinable) {
+      for (std::size_t m = begin; m < end; ++m) {
+        tier.push_back(std::move(inputs[m]));
+      }
+      continue;
+    }
+    combined.bundle.parts = std::move(out_parts);
+    tier.push_back(std::move(combined));
+  }
+  return tier;
+}
 
-RoundOutcome RoundPipeline::run(RoundStages& stages, Federation& fed,
-                                std::size_t round) {
+/// The staged body of one round; RoundPipeline::run wraps it with the
+/// client-pool accounting so every exit path reports the hydration delta.
+RoundOutcome run_staged(RoundStages& stages, Federation& fed,
+                        std::size_t round) {
   RoundOutcome outcome;
   StageTimes& times = outcome.times;
   RoundFaultStats& faults = outcome.faults;
   comm::FaultInjector& injector = fed.channel.faults();
   fed.begin_round(round);  // idempotent: keeps a caller-sampled participant set
-  RoundContext ctx(fed, round, fed.active_clients());
+  // Resolve the participant ids to live clients serially in id order; in a
+  // virtual federation begin_round's pin already hydrated them, so these are
+  // warm-set lookups and the references stay valid all round (pins outlive
+  // the round).
+  const std::vector<std::size_t> active_ids = fed.active_client_ids();
+  std::vector<Client*> participants;
+  participants.reserve(active_ids.size());
+  for (std::size_t id : active_ids) participants.push_back(&fed.client(id));
+  RoundContext ctx(fed, round, std::move(participants));
   ctx.faults = &faults;
   const std::size_t n = ctx.num_active();
   stages.on_round_start(ctx);
@@ -173,7 +315,13 @@ RoundOutcome RoundPipeline::run(RoundStages& stages, Federation& fed,
         ++faults.stragglers_excluded;
         continue;
       }
-      candidates.push_back(Contribution{i, ctx.active[i], std::move(*sent.wire)});
+      Contribution candidate;
+      candidate.slot = i;
+      candidate.client = ctx.active[i];
+      candidate.weight =
+          static_cast<float>(ctx.active[i]->train_data.size());
+      candidate.bundle = std::move(*sent.wire);
+      candidates.push_back(std::move(candidate));
       candidate_latency.push_back(sent.latency_ms);
     }
     // Inbound validation, serial in slot order. The first accepted bundle is
@@ -272,9 +420,19 @@ RoundOutcome RoundPipeline::run(RoundStages& stages, Federation& fed,
   // remaining stages and leave all state untouched.
   if (contributions.empty()) return outcome;
 
+  // Hierarchical aggregation tier: edge aggregators pre-combine contiguous
+  // slot-order sub-cohorts before the server step (runs inside the server
+  // span — it is server-side reduction work). Off by default
+  // (edge_aggregators == 0), so the flat path stays bitwise untouched;
+  // quorum and the anomaly filter already ran, keeping their per-client
+  // semantics.
   // Stage 3: server aggregation/distillation over surviving contributions.
   {
     StageSpan span(times.server_step_seconds);
+    if (fed.edge_aggregators > 1 &&
+        contributions.size() > fed.edge_aggregators) {
+      contributions = edge_aggregate(fed, contributions, faults);
+    }
     stages.server_step(ctx, contributions);
   }
 
@@ -310,11 +468,40 @@ RoundOutcome RoundPipeline::run(RoundStages& stages, Federation& fed,
   return outcome;
 }
 
+}  // namespace
+
+RoundOutcome RoundPipeline::run(RoundStages& stages, Federation& fed,
+                                std::size_t round) {
+  // Diff against the previous round's end-of-round snapshot (zero before the
+  // first round) so hydration work done on this round's behalf *before* this
+  // call — run_federation pins the cohort via begin_round first, and the
+  // algorithm constructor warms its reference client — is charged to the
+  // round it served rather than vanishing between snapshots.
+  const PoolStats before = pool_snapshot_;
+  RoundOutcome outcome = run_staged(stages, fed, round);
+  if (fed.pool.virtual_mode()) {
+    const PoolStats after = fed.pool.stats();
+    pool_snapshot_ = after;
+    PoolRoundStats delta;
+    delta.hits = after.hits - before.hits;
+    delta.misses = after.misses - before.misses;
+    delta.hydrations = after.hydrations - before.hydrations;
+    delta.dehydrations = after.dehydrations - before.dehydrations;
+    delta.evictions = after.evictions - before.evictions;
+    delta.warm_clients = fed.pool.warm_count();
+    delta.hydration_seconds =
+        after.hydration_seconds - before.hydration_seconds;
+    outcome.pool = delta;
+  }
+  return outcome;
+}
+
 void StagedAlgorithm::run_round(Federation& fed, std::size_t round) {
   RoundOutcome outcome = pipeline_.run(*this, fed, round);
   times_.push_back(outcome.times);
   faults_.push_back(outcome.faults);
   anomaly_.push_back(std::move(outcome.anomaly));
+  pool_stats_.push_back(outcome.pool);
 }
 
 StageTimes StagedAlgorithm::total_stage_times() const {

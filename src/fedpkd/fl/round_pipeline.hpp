@@ -107,7 +107,11 @@ struct RoundContext {
 /// One surviving uplink contribution, as the server sees it.
 struct Contribution {
   std::size_t slot = 0;        // index into RoundContext::active
-  Client* client = nullptr;    // sender (for |D_c| weighting etc.)
+  Client* client = nullptr;    // sender (for feature dims etc.)
+  /// Aggregation weight (|D_c| for a direct upload; the summed member weight
+  /// for an edge-combined contribution). Algorithms weight by this, never by
+  /// client->train_data.size(), so hierarchical aggregation stays exact.
+  float weight = 0.0f;
   WireBundle bundle;           // delivered wire bytes, ready to decode
 };
 
@@ -183,6 +187,10 @@ struct RoundOutcome {
   /// ran this round; empty otherwise. Deterministic, serialized with the
   /// history (checkpoint v3).
   std::vector<ClientAnomaly> anomaly;
+  /// Client-pool hydration counters of this round (virtual federations only;
+  /// the delta of Federation::pool.stats() across the round). Observability
+  /// data, never serialized.
+  std::optional<PoolRoundStats> pool;
 };
 
 /// The staged round executor. Stateless today; it exists as an object so the
@@ -194,6 +202,13 @@ class RoundPipeline {
   /// sampling participants, if the caller has not already) and returns the
   /// per-stage wall-clock spans plus this round's fault counters.
   RoundOutcome run(RoundStages& stages, Federation& fed, std::size_t round);
+
+ private:
+  /// Pool counters at the end of the previous round. Deltas are taken
+  /// against this (not a snapshot at entry) so work that precedes run() —
+  /// run_federation's begin_round pins and hydrates the cohort before
+  /// calling the algorithm — is still charged to the round it served.
+  PoolStats pool_snapshot_;
 };
 
 /// Base for algorithms expressed as RoundStages: run_round delegates to the
@@ -227,11 +242,18 @@ class StagedAlgorithm : public Algorithm, public RoundStages {
     return anomaly_;
   }
 
+  const PoolRoundStats* last_pool_stats() const override {
+    return pool_stats_.empty() || !pool_stats_.back().has_value()
+               ? nullptr
+               : &*pool_stats_.back();
+  }
+
  private:
   RoundPipeline pipeline_;
   std::vector<StageTimes> times_;
   std::vector<RoundFaultStats> faults_;
   std::vector<std::vector<ClientAnomaly>> anomaly_;
+  std::vector<std::optional<PoolRoundStats>> pool_stats_;
 };
 
 }  // namespace fedpkd::fl

@@ -282,4 +282,21 @@ PrototypeAggregateResult robust_aggregate_prototypes(
   return result;
 }
 
+std::vector<std::pair<std::size_t, std::size_t>> edge_partition(
+    std::size_t n, std::size_t groups) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  if (n == 0) return ranges;
+  groups = std::clamp<std::size_t>(groups, 1, n);
+  const std::size_t base = n / groups;
+  const std::size_t extra = n % groups;
+  ranges.reserve(groups);
+  std::size_t begin = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t len = base + (g < extra ? 1 : 0);
+    ranges.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return ranges;
+}
+
 }  // namespace fedpkd::robust

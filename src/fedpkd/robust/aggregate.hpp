@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <span>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "fedpkd/comm/payload.hpp"
@@ -97,5 +98,13 @@ struct PrototypeAggregateResult {
 PrototypeAggregateResult robust_aggregate_prototypes(
     const RobustPolicy& policy,
     std::span<const comm::PrototypesPayload> uploads);
+
+/// Partitions `n` contributions into `groups` contiguous index ranges of
+/// near-equal size for hierarchical (edge) aggregation: the first n % groups
+/// ranges get one extra member. `groups` is clamped to [1, n]; n == 0 yields
+/// no ranges. Contiguity in slot order keeps the tiered reduction
+/// deterministic and independent of thread count.
+std::vector<std::pair<std::size_t, std::size_t>> edge_partition(
+    std::size_t n, std::size_t groups);
 
 }  // namespace fedpkd::robust

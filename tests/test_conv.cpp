@@ -277,7 +277,8 @@ TEST(ImageMode, ImageFederationRunsOneRound) {
   config.local_test_per_client = 30;
   config.seed = 23;
   auto fed = fl::build_federation(bundle, fl::PartitionSpec::iid(), config);
-  for (fl::Client& client : fed->clients) {
+  for (std::size_t vc = 0; vc < fed->num_clients(); ++vc) {
+    fl::Client& client = fed->client(vc);
     Rng mr(100 + static_cast<std::uint64_t>(client.id));
     client.model = make_rescnn("rescnn8", 3, 8, 10, mr);
   }

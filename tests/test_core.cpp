@@ -508,9 +508,11 @@ TEST(FedPkdAlgo, DirectMakeUploadAfterRoundRecomputesFreshLogits) {
   // call outside the pipeline must recompute from current weights — the
   // invalidated cache may not serve the stale round's logits.
   std::vector<fl::Client*> active;
-  for (fl::Client& c : fed->clients) active.push_back(&c);
+  for (std::size_t c = 0; c < fed->num_clients(); ++c) {
+    active.push_back(&fed->client(c));
+  }
   fl::RoundContext ctx(*fed, 1, active);
-  fl::Client& client = fed->clients.front();
+  fl::Client& client = fed->client(0);
   const Tensor expected = tensor::softmax_rows(
       client.logits_on(fed->public_data.features), algo.options().temperature);
   fl::PayloadBundle bundle = algo.make_upload(ctx, 0, client);

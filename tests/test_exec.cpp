@@ -220,7 +220,8 @@ RunResult run_with_threads(std::size_t threads, const fl::PartitionSpec& spec,
 
   RunResult result;
   result.history = fl::run_federation(*algo, *fed, options);
-  for (fl::Client& client : fed->clients) {
+  for (std::size_t vc = 0; vc < fed->num_clients(); ++vc) {
+    fl::Client& client = fed->client(vc);
     result.client_weights.push_back(client.model.flat_weights());
   }
   if (nn::Classifier* server = algo->server_model()) {

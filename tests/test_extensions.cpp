@@ -434,19 +434,21 @@ TEST(FedProtoAlgo, LightestTrafficOfAllBaselines) {
 TEST(Participation, DefaultIsEveryone) {
   auto fed = proto_federation();
   fed->begin_round(0);
-  EXPECT_EQ(fed->active_clients().size(), fed->num_clients());
+  EXPECT_EQ(fed->active_client_ids().size(), fed->num_clients());
 }
 
 TEST(Participation, FractionSamplesSubset) {
   auto fed = proto_federation(0.5);
   fed->begin_round(0);
-  EXPECT_EQ(fed->active_clients().size(), 2u);
+  EXPECT_EQ(fed->active_client_ids().size(), 2u);
   // Resampling across rounds eventually changes the subset.
   std::set<std::vector<comm::NodeId>> seen;
   for (std::size_t t = 0; t < 16; ++t) {
     fed->begin_round(t);
     std::vector<comm::NodeId> ids;
-    for (fl::Client* c : fed->active_clients()) ids.push_back(c->id);
+    for (std::size_t id : fed->active_client_ids()) {
+      ids.push_back(static_cast<comm::NodeId>(id));
+    }
     seen.insert(ids);
   }
   EXPECT_GT(seen.size(), 1u);
@@ -455,7 +457,7 @@ TEST(Participation, FractionSamplesSubset) {
 TEST(Participation, AtLeastOneClient) {
   auto fed = proto_federation(0.01);
   fed->begin_round(0);
-  EXPECT_EQ(fed->active_clients().size(), 1u);
+  EXPECT_EQ(fed->active_client_ids().size(), 1u);
 }
 
 TEST(Participation, InvalidFractionThrows) {

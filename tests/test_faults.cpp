@@ -412,10 +412,10 @@ void expect_bitwise_resume(const std::string& name) {
                                  resumed->server_model()->flat_weights()),
       0.0f)
       << name;
-  for (std::size_t c = 0; c < straight_fed->clients.size(); ++c) {
+  for (std::size_t c = 0; c < straight_fed->num_clients(); ++c) {
     EXPECT_EQ(tensor::max_abs_difference(
-                  straight_fed->clients[c].model.flat_weights(),
-                  resumed_fed->clients[c].model.flat_weights()),
+                  straight_fed->client(c).model.flat_weights(),
+                  resumed_fed->client(c).model.flat_weights()),
               0.0f)
         << name << " client " << c;
   }

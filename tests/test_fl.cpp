@@ -227,7 +227,8 @@ TEST(Federation, ClientsGetDisjointDataAndMatchingTests) {
   auto fed = small_federation(PartitionSpec::dirichlet(0.3), 4);
   ASSERT_EQ(fed->num_clients(), 4u);
   std::size_t total = 0;
-  for (const Client& client : fed->clients) {
+  for (std::size_t c = 0; c < fed->num_clients(); ++c) {
+    const Client& client = fed->client(c);
     EXPECT_FALSE(client.train_data.empty());
     EXPECT_FALSE(client.test_data.empty());
     total += client.train_data.size();
@@ -244,19 +245,19 @@ TEST(Federation, ClientsGetDisjointDataAndMatchingTests) {
 TEST(Federation, HeterogeneousArchsCycle) {
   auto fed = small_federation(PartitionSpec::iid(), 5,
                               {"resmlp11", "resmlp20", "resmlp29"});
-  EXPECT_EQ(fed->clients[0].model.arch(), "resmlp11");
-  EXPECT_EQ(fed->clients[1].model.arch(), "resmlp20");
-  EXPECT_EQ(fed->clients[2].model.arch(), "resmlp29");
-  EXPECT_EQ(fed->clients[3].model.arch(), "resmlp11");
+  EXPECT_EQ(fed->client(0).model.arch(), "resmlp11");
+  EXPECT_EQ(fed->client(1).model.arch(), "resmlp20");
+  EXPECT_EQ(fed->client(2).model.arch(), "resmlp29");
+  EXPECT_EQ(fed->client(3).model.arch(), "resmlp11");
 }
 
 TEST(Federation, SeedsAreReproducible) {
   auto a = small_federation();
   auto b = small_federation();
-  EXPECT_EQ(tensor::max_abs_difference(a->clients[0].model.flat_weights(),
-                                       b->clients[0].model.flat_weights()),
+  EXPECT_EQ(tensor::max_abs_difference(a->client(0).model.flat_weights(),
+                                       b->client(0).model.flat_weights()),
             0.0f);
-  EXPECT_EQ(a->clients[1].train_data.labels, b->clients[1].train_data.labels);
+  EXPECT_EQ(a->client(1).train_data.labels, b->client(1).train_data.labels);
 }
 
 TEST(Federation, PartitionSpecLabels) {
@@ -283,7 +284,8 @@ TEST(FedAvgTest, RoundSynchronizesNothingButAggregates) {
   // models (clients hold their locally-trained weights at this point).
   Tensor expected({algo.server_model()->parameter_count()});
   std::size_t total = 0;
-  for (Client& client : fed->clients) {
+  for (std::size_t c = 0; c < fed->num_clients(); ++c) {
+    Client& client = fed->client(c);
     tensor::axpy_inplace(expected,
                          static_cast<float>(client.train_data.size()),
                          client.model.flat_weights());
@@ -359,7 +361,7 @@ TEST(FedEtTest, LargerServerModel) {
                     .distill_batch = 32});
   EXPECT_EQ(algo.server_model()->arch(), "resmlp56");
   EXPECT_GT(algo.server_model()->parameter_count(),
-            fed->clients[2].model.parameter_count());
+            fed->client(2).model.parameter_count());
   fed->meter.begin_round(0);
   EXPECT_NO_THROW(algo.run_round(*fed, 0));
   EXPECT_GT(fed->meter.total_for_kind(comm::PayloadKind::kLogits), 0u);
@@ -458,7 +460,8 @@ TEST(RunFederation, TotalDropBlackoutKeepsModelsFinite) {
     opts.rounds = 1;
     const RunHistory history = run_federation(*algo, *fed, opts);
     EXPECT_EQ(history.final_round().cumulative_bytes, 0u) << name;
-    for (Client& client : fed->clients) {
+    for (std::size_t c = 0; c < fed->num_clients(); ++c) {
+    Client& client = fed->client(c);
       EXPECT_FALSE(tensor::has_non_finite(client.model.flat_weights()))
           << name << " client " << client.id;
     }

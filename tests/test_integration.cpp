@@ -144,13 +144,15 @@ TEST(Integration, VarianceWeightsTrackClientSpecialization) {
   // classes, so Eq. (7) weights steer each public sample toward the client
   // that actually owns its class.
   auto fed = make_fed(fl::PartitionSpec::class_split(), {"resmlp11"}, 2);
-  for (fl::Client& client : fed->clients) {
+  for (std::size_t vc = 0; vc < fed->num_clients(); ++vc) {
+    fl::Client& client = fed->client(vc);
     fl::TrainOptions opts;
     opts.epochs = 8;
     fl::train_supervised(client.model, client.train_data, opts, client.rng);
   }
   std::vector<tensor::Tensor> logits;
-  for (fl::Client& client : fed->clients) {
+  for (std::size_t vc = 0; vc < fed->num_clients(); ++vc) {
+    fl::Client& client = fed->client(vc);
     logits.push_back(
         fl::compute_logits(client.model, fed->public_data.features));
   }

@@ -458,7 +458,8 @@ TEST(DropResilience, SingleClientBlackoutSurvivesEveryAlgorithm) {
     // The dead client exchanged nothing and everyone stayed finite.
     EXPECT_EQ(fed->meter.total_for_client(1), 0u) << name;
     EXPECT_GT(fed->meter.total(), 0u) << name;
-    for (fl::Client& client : fed->clients) {
+    for (std::size_t vc = 0; vc < fed->num_clients(); ++vc) {
+      fl::Client& client = fed->client(vc);
       EXPECT_FALSE(tensor::has_non_finite(client.model.flat_weights()))
           << name << " client " << client.id;
     }
@@ -528,7 +529,8 @@ TEST(DegradedParticipation, AllAlgorithmsSurviveLossyParallelRounds) {
     opts.rounds = 2;
     ASSERT_NO_THROW(fl::run_federation(*algo, *fed, opts)) << name;
     exec::set_num_threads(1);
-    for (fl::Client& client : fed->clients) {
+    for (std::size_t vc = 0; vc < fed->num_clients(); ++vc) {
+      fl::Client& client = fed->client(vc);
       EXPECT_FALSE(tensor::has_non_finite(client.model.flat_weights()))
           << name << " client " << client.id;
     }

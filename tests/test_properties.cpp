@@ -165,7 +165,7 @@ TEST(Properties, SingleClientFedAvgEqualsLocalTraining) {
   fed->begin_round(0);
   algo.run_round(*fed, 0);
   EXPECT_LT(tensor::max_abs_difference(algo.server_model()->flat_weights(),
-                                       fed->clients[0].model.flat_weights()),
+                                       fed->client(0).model.flat_weights()),
             1e-6f);
 }
 
