@@ -15,6 +15,8 @@
 ///                  [--drop P] [--corrupt P] [--latency-ms L] [--jitter-ms J]
 ///                  [--straggler ID:FACTOR]... [--crash ROUND:STAGE:ID]...
 ///                  [--retries N] [--deadline-ms D] [--quorum F]
+///                  [--round-mode sync|semisync|async] [--buffer-k K]
+///                  [--staleness-beta B] [--wake-interval-ms W]
 ///                  [--max-weight-norm X] [--fault-seed S]
 ///                  [--save-state run.ckpt] [--state-every N]
 ///                  [--resume run.ckpt]
@@ -27,6 +29,15 @@
 /// --threads T runs the round engine on T lanes (0 = one per hardware
 /// thread). Results are bitwise identical for every T; only wall-clock
 /// changes. STAGE is one of broadcast|upload|download.
+///
+/// Round modes: sync (default) is the barrier round everyone knows;
+/// semisync aggregates whatever arrived by --deadline-ms (required);
+/// async buffers uploads and aggregates every K arrivals (--buffer-k,
+/// 0 derives half the cohort) with staleness discount 1/(1+tau)^beta
+/// (--staleness-beta, default 0.5) and wakes idle clients every
+/// --wake-interval-ms of simulated time. --deadline-ms and --quorum are
+/// sync/semisync concepts and are rejected in async mode; --buffer-k,
+/// --staleness-beta and --wake-interval-ms are async-only.
 ///
 /// Scale: --population P > 0 switches to the virtual-client pool
 /// (build_virtual_federation): P clients exist as derivable specs,
@@ -54,11 +65,15 @@
 ///   ./build/examples/experiment_cli --algorithm FedPKD --rounds 8
 ///       --drop 0.2 --corrupt 0.05 --straggler 0:8 --crash 3:upload:2
 ///       --deadline-ms 500 --quorum 0.5
+///   ./build/examples/experiment_cli --algorithm FedAvg --rounds 12
+///       --round-mode async --buffer-k 3 --staleness-beta 0.5
+///       --straggler 0:6 --straggler 1:9 --csv async.csv
 ///   ./build/examples/experiment_cli --algorithm FedAvg --rounds 10
 ///       --save-state run.ckpt --state-every 5   # then, after a crash:
 ///   ./build/examples/experiment_cli --algorithm FedAvg --rounds 10
 ///       --resume run.ckpt
 
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -102,6 +117,14 @@ struct Args {
   bool have_faults = false;
   double deadline_ms = 0.0;  // 0 = no deadline
   double quorum = 0.0;
+  bool have_quorum = false;
+  // Event-driven round engine. Negative/zero sentinels mean "not given";
+  // parse-time validation rejects async-only knobs outside async mode.
+  fl::RoundMode round_mode = fl::RoundMode::kSync;
+  std::size_t buffer_k = 0;
+  bool have_buffer_k = false;
+  double staleness_beta = -1.0;   // < 0 = not given
+  double wake_interval_ms = 0.0;  // 0 = not given
   double max_weight_norm = 0.0;
   // Crash-resume.
   std::string save_state;
@@ -194,6 +217,22 @@ Args parse(int argc, char** argv) {
       args.deadline_ms = std::stod(need(i, "--deadline-ms"));
     } else if (a == "--quorum") {
       args.quorum = std::stod(need(i, "--quorum"));
+      args.have_quorum = true;
+    } else if (a == "--round-mode") {
+      args.round_mode = fl::parse_round_mode(need(i, "--round-mode"));
+    } else if (a == "--buffer-k") {
+      args.buffer_k = std::stoul(need(i, "--buffer-k"));
+      args.have_buffer_k = true;
+    } else if (a == "--staleness-beta") {
+      args.staleness_beta = std::stod(need(i, "--staleness-beta"));
+      if (args.staleness_beta < 0.0) {
+        throw std::invalid_argument("--staleness-beta must be >= 0");
+      }
+    } else if (a == "--wake-interval-ms") {
+      args.wake_interval_ms = std::stod(need(i, "--wake-interval-ms"));
+      if (args.wake_interval_ms <= 0.0) {
+        throw std::invalid_argument("--wake-interval-ms must be > 0");
+      }
     } else if (a == "--max-weight-norm") {
       args.max_weight_norm = std::stod(need(i, "--max-weight-norm"));
     } else if (a == "--robust") {
@@ -245,6 +284,40 @@ Args parse(int argc, char** argv) {
     } else {
       throw std::invalid_argument("unknown flag " + a);
     }
+  }
+  // Cross-flag validation: reject combinations that would silently do
+  // nothing (async knobs outside async, barrier knobs inside async).
+  const bool is_async = args.round_mode == fl::RoundMode::kAsync;
+  if (!is_async) {
+    if (args.have_buffer_k) {
+      throw std::invalid_argument(
+          "--buffer-k only applies to --round-mode async");
+    }
+    if (args.staleness_beta >= 0.0) {
+      throw std::invalid_argument(
+          "--staleness-beta only applies to --round-mode async");
+    }
+    if (args.wake_interval_ms > 0.0) {
+      throw std::invalid_argument(
+          "--wake-interval-ms only applies to --round-mode async");
+    }
+  } else {
+    if (args.deadline_ms > 0.0) {
+      throw std::invalid_argument(
+          "--deadline-ms is a sync/semisync deadline; async rounds flush on "
+          "--buffer-k arrivals instead");
+    }
+    if (args.have_quorum) {
+      throw std::invalid_argument(
+          "--quorum has no meaning in async mode (no barrier to miss)");
+    }
+    if (args.have_buffer_k && args.buffer_k == 0) {
+      throw std::invalid_argument("--buffer-k must be >= 1");
+    }
+  }
+  if (args.round_mode == fl::RoundMode::kSemiSync && args.deadline_ms <= 0.0) {
+    throw std::invalid_argument(
+        "--round-mode semisync needs a finite --deadline-ms to aggregate at");
   }
   return args;
 }
@@ -350,6 +423,14 @@ int main(int argc, char** argv) try {
   if (args.have_faults) fed->channel.set_fault_plan(args.faults);
   if (args.deadline_ms > 0.0) fed->policy.upload_deadline_ms = args.deadline_ms;
   fed->policy.quorum_fraction = args.quorum;
+  fed->policy.mode = args.round_mode;
+  if (args.have_buffer_k) fed->policy.buffer_k = args.buffer_k;
+  if (args.staleness_beta >= 0.0) {
+    fed->policy.staleness_beta = args.staleness_beta;
+  }
+  if (args.wake_interval_ms > 0.0) {
+    fed->policy.wake_interval_ms = args.wake_interval_ms;
+  }
   fed->policy.validation.max_weights_norm = args.max_weight_norm;
   fed->policy.validation.adaptive_weights_norm = args.adaptive_norm;
   fed->robust = args.robust;
@@ -416,6 +497,20 @@ int main(int argc, char** argv) try {
                 << " anomaly_excluded=" << faults.anomaly_excluded
                 << " clipped=" << faults.clipped_contributions << "\n";
     }
+  }
+
+  if (!history.rounds.empty() && history.rounds.back().engine_stats) {
+    std::size_t flushes = 0, aggregated = 0, max_stale = 0;
+    for (const fl::RoundMetrics& r : history.rounds) {
+      if (!r.engine_stats) continue;
+      flushes += r.engine_stats->buffer_flushes;
+      aggregated += r.engine_stats->aggregated_uploads;
+      max_stale = std::max(max_stale, r.engine_stats->max_staleness);
+    }
+    std::cout << "simulated: makespan="
+              << history.rounds.back().engine_stats->round_end_ms
+              << "ms flushes=" << flushes << " aggregated=" << aggregated
+              << " max_staleness=" << max_stale << "\n";
   }
 
   if (!args.csv.empty()) {

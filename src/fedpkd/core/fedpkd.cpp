@@ -237,6 +237,15 @@ void FedPkd::server_step(fl::RoundContext& ctx,
 // where FedPKD's communication savings come from; the global prototypes ride
 // in the same all-or-nothing bundle.
 std::optional<fl::PayloadBundle> FedPkd::make_download(fl::RoundContext& ctx) {
+  // The event-driven engine pulls the download at a client's next wake —
+  // possibly rounds after the server step that chose the subset, or right
+  // after a resume — so regather the filtered inputs from the checkpointed
+  // ids when the cached tensor does not match the selection.
+  if (selected_inputs_.shape().empty() ||
+      selected_inputs_.shape()[0] != selected_ids_.size()) {
+    std::vector<std::size_t> rows(selected_ids_.begin(), selected_ids_.end());
+    selected_inputs_ = ctx.fed.public_data.features.gather_rows(rows);
+  }
   tensor::Tensor server_probs = tensor::softmax_rows(
       fl::compute_logits(server_, selected_inputs_), options_.temperature);
   fl::PayloadBundle bundle;
@@ -320,6 +329,10 @@ void FedPkd::save_state(std::vector<std::byte>& out) {
     tensor::put_u32(id, out);
     put_prototype_set(set, out);
   }
+  // The filtered-subset selection: the async engine serves make_download
+  // from it across rounds, so a resumed run must rebuild the same download.
+  tensor::put_u64(selected_ids_.size(), out);
+  for (const std::uint32_t id : selected_ids_) tensor::put_u32(id, out);
 }
 
 void FedPkd::load_state(std::span<const std::byte> bytes,
@@ -334,6 +347,12 @@ void FedPkd::load_state(std::span<const std::byte> bytes,
     const std::uint32_t id = tensor::get_u32(bytes, offset);
     received_[id] = get_prototype_set(bytes, offset);
   }
+  const auto selected = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+  selected_ids_.assign(selected, 0);
+  for (std::size_t s = 0; s < selected; ++s) {
+    selected_ids_[s] = tensor::get_u32(bytes, offset);
+  }
+  selected_inputs_ = tensor::Tensor();  // regathered on the next download
 }
 
 }  // namespace fedpkd::core

@@ -21,7 +21,11 @@ constexpr std::uint32_t kRunMagic = 0x464b5052u;  // 'FPKR' (federation resume)
 // v4 replaces the flat per-client section with the client pool's state: a
 // mode byte, then either every resident client (the v3 layout) or the
 // virtual pool's warm-LRU list and touched-client blob table.
-constexpr std::uint32_t kRunVersion = 4;
+// v5 adds the event engine's state (simulated clock, global version,
+// in-flight uploads, aggregation buffer, staleness cursors) after the pool
+// section, and per-round engine counters in the history — a buffered-async
+// run resumes bitwise mid-buffer.
+constexpr std::uint32_t kRunVersion = 5;
 
 void put_string(const std::string& s, std::vector<std::byte>& out) {
   tensor::put_u32(static_cast<std::uint32_t>(s.size()), out);
@@ -116,7 +120,7 @@ void export_history_csv(const RunHistory& history,
                              path.string());
   }
   out << "round,server_accuracy,mean_client_accuracy,cumulative_bytes,"
-         "anomaly_excluded,anomaly\n";
+         "anomaly_excluded,anomaly,sim_ms,flushes,agg_uploads,stale_max\n";
   for (const RoundMetrics& m : history.rounds) {
     out << m.round << ',';
     if (m.server_accuracy) out << *m.server_accuracy;
@@ -128,6 +132,17 @@ void export_history_csv(const RunHistory& history,
       const ClientAnomaly& a = m.anomaly[i];
       out << a.node << ':' << a.score << ':'
           << (a.excluded ? "excluded" : "kept");
+    }
+    // Event-engine columns: simulated clock at round end, buffer flushes,
+    // aggregated uploads, max staleness. Empty when the round ran outside
+    // the staged pipeline (no engine stats).
+    out << ',';
+    if (m.engine_stats) {
+      const RoundEngineStats& e = *m.engine_stats;
+      out << e.round_end_ms << ',' << e.buffer_flushes << ','
+          << e.aggregated_uploads << ',' << e.max_staleness;
+    } else {
+      out << ",,,";
     }
     out << '\n';
   }
@@ -223,13 +238,17 @@ RunHistory import_history_csv(const std::filesystem::path& path,
   std::string line;
   constexpr const char* kLegacyHeader =
       "round,server_accuracy,mean_client_accuracy,cumulative_bytes";
-  constexpr const char* kHeader =
+  constexpr const char* kAnomalyHeader =
       "round,server_accuracy,mean_client_accuracy,cumulative_bytes,"
       "anomaly_excluded,anomaly";
+  constexpr const char* kHeader =
+      "round,server_accuracy,mean_client_accuracy,cumulative_bytes,"
+      "anomaly_excluded,anomaly,sim_ms,flushes,agg_uploads,stale_max";
   if (!std::getline(in, line)) {
     throw std::runtime_error("import_history_csv: bad header");
   }
-  const bool has_anomaly_columns = line == kHeader;
+  const bool has_engine_columns = line == kHeader;
+  const bool has_anomaly_columns = has_engine_columns || line == kAnomalyHeader;
   if (!has_anomaly_columns && line != kLegacyHeader) {
     throw std::runtime_error("import_history_csv: bad header");
   }
@@ -266,10 +285,34 @@ RunHistory import_history_csv(const std::filesystem::path& path,
         f.anomaly_excluded = excluded;
         m.fault_stats = f;
       }
-      // The anomaly cell is the last column and may legitimately be empty,
-      // in which case getline fails at end-of-line.
+      // The anomaly cell may legitimately be empty; without the engine
+      // columns it is also the last cell, so getline fails at end-of-line.
       if (std::getline(row, field, ',') && !field.empty()) {
         m.anomaly = parse_anomaly_cell(field);
+      }
+    }
+    if (has_engine_columns) {
+      // sim_ms is empty when the round carried no engine stats; then the
+      // remaining three cells are empty too.
+      if (!std::getline(row, field, ',')) {
+        throw std::runtime_error("import_history_csv: missing sim_ms");
+      }
+      if (!field.empty()) {
+        RoundEngineStats e;
+        e.round_end_ms = static_cast<double>(parse_accuracy(field, "sim_ms"));
+        if (!std::getline(row, field, ',')) {
+          throw std::runtime_error("import_history_csv: missing flushes");
+        }
+        e.buffer_flushes = parse_count(field, "flushes");
+        if (!std::getline(row, field, ',')) {
+          throw std::runtime_error("import_history_csv: missing agg_uploads");
+        }
+        e.aggregated_uploads = parse_count(field, "agg_uploads");
+        if (!std::getline(row, field, ',')) {
+          throw std::runtime_error("import_history_csv: missing stale_max");
+        }
+        e.max_staleness = parse_count(field, "stale_max");
+        m.engine_stats = e;
       }
     }
     history.rounds.push_back(m);
@@ -316,6 +359,23 @@ void put_history(const RunHistory& history, std::vector<std::byte>& out) {
       tensor::put_f32(a.score, out);
       out.push_back(static_cast<std::byte>(a.excluded ? 1 : 0));
       put_string(a.reason, out);
+    }
+    // Engine counters are deterministic on the simulated clock (unlike the
+    // wall-clock spans), so checkpoint v5 carries them.
+    out.push_back(static_cast<std::byte>(m.engine_stats ? 1 : 0));
+    if (m.engine_stats) {
+      const RoundEngineStats& e = *m.engine_stats;
+      tensor::put_f64(e.round_start_ms, out);
+      tensor::put_f64(e.round_end_ms, out);
+      tensor::put_u64(e.buffer_flushes, out);
+      tensor::put_u64(e.aggregated_uploads, out);
+      tensor::put_u64(e.buffered_uploads, out);
+      tensor::put_u64(e.inflight_uploads, out);
+      tensor::put_u64(e.busy_skips, out);
+      for (std::size_t bucket : e.staleness_hist) {
+        tensor::put_u64(bucket, out);
+      }
+      tensor::put_u64(e.max_staleness, out);
     }
   }
 }
@@ -390,6 +450,28 @@ RunHistory get_history(std::span<const std::byte> bytes, std::size_t& offset,
       a.reason = get_string(bytes, offset);
       m.anomaly.push_back(std::move(a));
     }
+    if (offset >= bytes.size()) {
+      throw std::runtime_error("checkpoint: truncated history");
+    }
+    const bool has_engine = bytes[offset++] != std::byte{0};
+    if (has_engine) {
+      RoundEngineStats e;
+      e.round_start_ms = tensor::get_f64(bytes, offset);
+      e.round_end_ms = tensor::get_f64(bytes, offset);
+      e.buffer_flushes = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+      e.aggregated_uploads =
+          static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+      e.buffered_uploads =
+          static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+      e.inflight_uploads =
+          static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+      e.busy_skips = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+      for (std::size_t& bucket : e.staleness_hist) {
+        bucket = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+      }
+      e.max_staleness = static_cast<std::size_t>(tensor::get_u64(bytes, offset));
+      m.engine_stats = e;
+    }
     history.rounds.push_back(std::move(m));
   }
   return history;
@@ -445,6 +527,7 @@ void save_federation_checkpoint(const std::filesystem::path& path,
 
   tensor::put_u64(fed.num_clients(), out);
   fed.pool.save_state(out);
+  fed.engine.save_state(out);
 
   // The algorithm blob is length-prefixed so load can bound its reads even
   // if the algorithm's own decoder is buggy.
@@ -531,6 +614,7 @@ FederationResume load_federation_checkpoint(const std::filesystem::path& path,
                              std::to_string(fed.num_clients()));
   }
   fed.pool.load_state(bytes, offset);
+  fed.engine.load_state(bytes, offset);
 
   const auto blob_size =
       static_cast<std::size_t>(tensor::get_u64(bytes, offset));

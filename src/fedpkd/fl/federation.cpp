@@ -14,6 +14,27 @@
 
 namespace fedpkd::fl {
 
+const char* to_string(RoundMode mode) {
+  switch (mode) {
+    case RoundMode::kSync:
+      return "sync";
+    case RoundMode::kSemiSync:
+      return "semisync";
+    case RoundMode::kAsync:
+      return "async";
+  }
+  throw std::logic_error("to_string: unknown RoundMode");
+}
+
+RoundMode parse_round_mode(const std::string& name) {
+  if (name == "sync") return RoundMode::kSync;
+  if (name == "semisync") return RoundMode::kSemiSync;
+  if (name == "async") return RoundMode::kAsync;
+  throw std::invalid_argument(
+      "parse_round_mode: '" + name +
+      "' is not one of sync, semisync, async");
+}
+
 PartitionSpec PartitionSpec::iid() {
   PartitionSpec s;
   s.method = PartitionMethod::kIid;
@@ -385,6 +406,9 @@ RunHistory run_federation(Algorithm& algorithm, Federation& fed,
     if (const PoolRoundStats* pool = algorithm.last_pool_stats()) {
       metrics.pool_stats = *pool;
     }
+    if (const RoundEngineStats* engine = algorithm.last_engine_stats()) {
+      metrics.engine_stats = *engine;
+    }
     if (options.log != nullptr) {
       *options.log << history.algorithm << " round " << t;
       if (metrics.server_accuracy) {
@@ -414,6 +438,22 @@ RunHistory run_federation(Algorithm& algorithm, Federation& fed,
           *options.log << " attacks=" << f.attacks_injected
                        << " anomaly_excl=" << f.anomaly_excluded
                        << " clipped=" << f.clipped_contributions;
+        }
+        *options.log << "]";
+      }
+      if (metrics.engine_stats) {
+        const RoundEngineStats& e = *metrics.engine_stats;
+        *options.log << " sim[t=" << e.round_end_ms << "ms"
+                     << " flushes=" << e.buffer_flushes
+                     << " agg=" << e.aggregated_uploads;
+        if (e.buffered_uploads > 0 || e.inflight_uploads > 0 ||
+            e.busy_skips > 0) {
+          *options.log << " buf=" << e.buffered_uploads
+                       << " inflight=" << e.inflight_uploads
+                       << " busy=" << e.busy_skips;
+        }
+        if (e.max_staleness > 0) {
+          *options.log << " stale_max=" << e.max_staleness;
         }
         *options.log << "]";
       }

@@ -15,11 +15,34 @@
 #include "fedpkd/data/synthetic_vision.hpp"
 #include "fedpkd/fl/client.hpp"
 #include "fedpkd/fl/client_pool.hpp"
+#include "fedpkd/fl/engine_state.hpp"
 #include "fedpkd/fl/metrics.hpp"
 #include "fedpkd/robust/aggregate.hpp"
 #include "fedpkd/robust/attack.hpp"
 
 namespace fedpkd::fl {
+
+/// How a round executes on the simulated clock (fl::RoundPipeline picks the
+/// engine).
+///
+///  * kSync — today's barrier: broadcast, train everyone, wait for every
+///    upload (minus deadline stragglers), aggregate once. Bitwise identical
+///    to the pre-engine pipeline.
+///  * kSemiSync — the server aggregates at the upload deadline with whatever
+///    arrived; later uploads are stragglers. Requires a finite
+///    upload_deadline_ms.
+///  * kAsync — FedBuff-style buffered asynchrony: every round is one wake
+///    slice of wake_interval_ms; the server aggregates whenever buffer_k
+///    uploads have arrived, discounting each by its staleness
+///    w(τ) = 1/(1+τ)^β, and clients pull the newest global state on their
+///    next wake. Uploads and the aggregation buffer persist across rounds
+///    (and checkpoints).
+enum class RoundMode : std::uint8_t { kSync = 0, kSemiSync = 1, kAsync = 2 };
+
+/// "sync" / "semisync" / "async".
+const char* to_string(RoundMode mode);
+/// Inverse of to_string; throws std::invalid_argument on anything else.
+RoundMode parse_round_mode(const std::string& name);
 
 /// Server-side round discipline under faults: how long the server waits for
 /// uploads, how many surviving contributions make a round worth aggregating,
@@ -28,14 +51,27 @@ struct RoundPolicy {
   /// Uploads whose simulated arrival time exceeds this deadline are excluded
   /// as stragglers (their bytes were still charged — the frames did cross
   /// the wire, the server just stopped waiting). infinity = wait forever.
+  /// In semisync mode this is also the aggregation tick and must be finite;
+  /// async mode ignores it (a late upload is stale, never dropped).
   double upload_deadline_ms = std::numeric_limits<double>::infinity();
   /// Minimum fraction of this round's participants that must survive
   /// transport, deadline, and validation for the server step to run; below
   /// it the round is skipped gracefully (quorum_misses counts it). 0 = any
-  /// non-empty set aggregates, the pre-policy behavior.
+  /// non-empty set aggregates, the pre-policy behavior. Sync and semisync
+  /// only — async has no per-round cohort to take a quorum of.
   double quorum_fraction = 0.0;
   /// Poisoned-update defense applied to every surviving contribution.
   comm::ValidationPolicy validation;
+  /// Round execution engine; kSync preserves the barrier semantics bitwise.
+  RoundMode mode = RoundMode::kSync;
+  /// Async: the server flushes its buffer after this many validated uploads.
+  /// 0 derives ceil(participants / 2) from the first round's wake set.
+  std::size_t buffer_k = 0;
+  /// Async: staleness discount exponent β in w(τ) = 1/(1+τ)^β. 0 disables
+  /// the discount (pure FedBuff counting).
+  double staleness_beta = 0.5;
+  /// Async: simulated length of one wake slice (one run_round call) in ms.
+  double wake_interval_ms = 100.0;
 };
 
 /// How the train pool is split across clients (paper Section V-A).
@@ -165,6 +201,10 @@ struct Federation {
   /// History of accepted weights-upload norms feeding the adaptive
   /// validation bound (policy.validation.adaptive_weights_norm).
   comm::WeightNormTracker norm_tracker;
+  /// The event engine's persistent state: simulated clock, global version,
+  /// in-flight uploads, aggregation buffer, staleness cursors. Serialized in
+  /// checkpoint v5 so async runs resume bitwise mid-buffer.
+  EngineState engine;
 
   void set_attack_plan(robust::AttackPlan plan) {
     attacks.set_plan(std::move(plan));
@@ -276,6 +316,10 @@ class Algorithm {
   /// algorithm runs on the staged pipeline against a virtual federation
   /// (nullptr otherwise).
   virtual const PoolRoundStats* last_pool_stats() const { return nullptr; }
+  /// Event-engine counters of the most recent round (simulated makespan,
+  /// buffer flushes, staleness histogram), when the algorithm runs on the
+  /// staged pipeline (nullptr otherwise).
+  virtual const RoundEngineStats* last_engine_stats() const { return nullptr; }
 
   /// -- Crash-resume hooks ---------------------------------------------------
   /// Algorithms opting into federation checkpoints serialize their full

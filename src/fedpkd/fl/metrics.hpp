@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -8,6 +9,31 @@
 #include "fedpkd/fl/timing.hpp"
 
 namespace fedpkd::fl {
+
+/// Buckets of the per-round staleness histogram: τ = 0..6 plus a ≥7 tail.
+inline constexpr std::size_t kStalenessBuckets = 8;
+
+/// Event-engine counters of one round on the simulated-ms clock. Unlike the
+/// wall-clock stage spans these are deterministic under the fault plan's seed
+/// (the scheduler orders events by (arrival_ms, client id, sequence number)),
+/// so they are serialized with the history (checkpoint v5) and pinned by the
+/// async golden traces. Sync rounds fill only the makespan and the τ=0
+/// aggregation counters.
+struct RoundEngineStats {
+  double round_start_ms = 0.0;  // simulated clock when the round began
+  double round_end_ms = 0.0;    // simulated clock when the round ended
+  std::size_t buffer_flushes = 0;     // server aggregations this round
+  std::size_t aggregated_uploads = 0; // uploads consumed by those flushes
+  std::size_t buffered_uploads = 0;   // still buffered (< K) at round end
+  std::size_t inflight_uploads = 0;   // sent but not yet arrived at round end
+  std::size_t busy_skips = 0;  // async wakes skipped: upload still in flight
+  /// Histogram over τ = global_version - trained_version of every aggregated
+  /// upload (bucket 7 = τ >= 7), plus the round's maximum.
+  std::array<std::size_t, kStalenessBuckets> staleness_hist{};
+  std::size_t max_staleness = 0;
+
+  double duration_ms() const { return round_end_ms - round_start_ms; }
+};
 
 /// Robustness counters of one pipeline round. All of them are deterministic
 /// under the fault plan's seed (transfers run serially in slot order), so a
@@ -117,6 +143,9 @@ struct RoundMetrics {
   /// Client-pool hydration counters of this round (virtual federations on
   /// the staged pipeline only). Not serialized — see PoolRoundStats.
   std::optional<PoolRoundStats> pool_stats;
+  /// Event-engine counters of this round (staged pipeline only).
+  /// Deterministic, serialized with the history (checkpoint v5).
+  std::optional<RoundEngineStats> engine_stats;
 };
 
 /// Full trajectory of one federated run.

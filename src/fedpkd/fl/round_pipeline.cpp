@@ -1,11 +1,13 @@
 #include "fedpkd/fl/round_pipeline.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
 #include "fedpkd/comm/payload.hpp"
 #include "fedpkd/comm/validate.hpp"
 #include "fedpkd/exec/thread_pool.hpp"
+#include "fedpkd/fl/event_engine.hpp"
 #include "fedpkd/robust/aggregate.hpp"
 #include "fedpkd/robust/anomaly.hpp"
 
@@ -23,7 +25,7 @@ comm::PrototypesPayload WireBundle::prototypes(std::size_t part) const {
   return comm::decode_prototypes(parts.at(part));
 }
 
-namespace {
+namespace detail {
 
 /// Transmits every part of `bundle` from `from` to `to` over the reliable
 /// transport, folding each part's SendReport into `stats`. All parts are
@@ -33,11 +35,6 @@ namespace {
 /// network. Returns the verified wire bytes only if every part made it
 /// (all-or-nothing), plus the bundle's total simulated latency (parts travel
 /// sequentially over one link).
-struct BundleResult {
-  std::optional<WireBundle> wire;
-  double latency_ms = 0.0;
-};
-
 BundleResult send_bundle_reliable(comm::Channel& channel, comm::NodeId from,
                                   comm::NodeId to, const PayloadBundle& bundle,
                                   RoundFaultStats& stats) {
@@ -128,6 +125,7 @@ std::vector<Contribution> edge_aggregate(Federation& fed,
     Contribution combined;
     combined.slot = inputs[begin].slot;
     combined.client = inputs[begin].client;
+    combined.node = inputs[begin].node;
     std::vector<float> member_weights;
     member_weights.reserve(members);
     for (std::size_t m = begin; m < end; ++m) {
@@ -213,6 +211,60 @@ std::vector<Contribution> edge_aggregate(Federation& fed,
   return tier;
 }
 
+/// Prototype-distance anomaly filter (Algorithm 1 generalized from samples
+/// to clients): score the surviving contributions against the cohort's
+/// robust center, exclude median+MAD outliers before the server step. In the
+/// sync pipeline it runs before quorum so excluded adversaries count toward
+/// the quorum shortfall like any other non-contributor; the async engine
+/// applies it per buffer flush.
+void apply_anomaly_filter(Federation& fed,
+                          std::vector<Contribution>& contributions,
+                          RoundOutcome& outcome, RoundFaultStats& faults) {
+  if (!fed.robust.anomaly_filter || contributions.size() < 3) return;
+  std::vector<std::vector<robust::Payload>> decoded(contributions.size());
+  for (std::size_t c = 0; c < contributions.size(); ++c) {
+    if (auto parts = robust::decode_parts(contributions[c].bundle.parts)) {
+      decoded[c] = std::move(*parts);
+    }  // undecodable stays empty -> kMalformedScore
+  }
+  const std::vector<float> scores = robust::anomaly_scores(decoded);
+  robust::AnomalyOptions anomaly_options;
+  anomaly_options.theta = fed.robust.anomaly_theta;
+  anomaly_options.max_exclude_fraction =
+      fed.robust.anomaly_max_exclude_fraction;
+  const robust::ExclusionDecision decision =
+      robust::decide_exclusions(scores, anomaly_options);
+  outcome.anomaly.reserve(outcome.anomaly.size() + contributions.size());
+  for (std::size_t c = 0; c < contributions.size(); ++c) {
+    ClientAnomaly record;
+    record.node = contributions[c].node;
+    record.score = scores[c];
+    record.excluded = decision.excluded[c] != 0;
+    if (record.excluded) {
+      record.reason =
+          scores[c] >= robust::kMalformedScore
+              ? "malformed or non-conforming bundle"
+              : "score " + format_score(scores[c]) + " > threshold " +
+                    format_score(decision.threshold);
+    }
+    outcome.anomaly.push_back(std::move(record));
+  }
+  for (std::size_t c = contributions.size(); c-- > 0;) {
+    if (decision.excluded[c]) {
+      contributions.erase(contributions.begin() +
+                          static_cast<std::ptrdiff_t>(c));
+      ++faults.anomaly_excluded;
+    }
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::BundleResult;
+using detail::send_bundle_reliable;
+
 /// The staged body of one round; RoundPipeline::run wraps it with the
 /// client-pool accounting so every exit path reports the hydration delta.
 RoundOutcome run_staged(RoundStages& stages, Federation& fed,
@@ -234,6 +286,23 @@ RoundOutcome run_staged(RoundStages& stages, Federation& fed,
   ctx.faults = &faults;
   const std::size_t n = ctx.num_active();
   stages.on_round_start(ctx);
+
+  // Simulated-makespan tally for the sync barrier: the round takes as long
+  // as its slowest broadcast, plus its slowest kept upload (a straggler past
+  // the deadline only costs the deadline — the server stopped waiting), plus
+  // its slowest download. Observability only: it consumes no fault dice and
+  // perturbs no golden trace.
+  RoundEngineStats engine_stats;
+  engine_stats.round_start_ms = fed.engine.now_ms;
+  double broadcast_ms_max = 0.0;
+  double upload_ms_max = 0.0;
+  double download_ms_max = 0.0;
+  const auto finish_clock = [&]() {
+    fed.engine.now_ms +=
+        broadcast_ms_max + upload_ms_max + download_ms_max;
+    engine_stats.round_end_ms = fed.engine.now_ms;
+    outcome.engine = engine_stats;
+  };
 
   // Label-flip adversaries train on involution-flipped labels this round.
   // Flipped in place before local_update and restored (the flip is its own
@@ -262,6 +331,7 @@ RoundOutcome run_staged(RoundStages& stages, Federation& fed,
       for (std::size_t i = 0; i < n; ++i) {
         BundleResult sent = send_bundle_reliable(
             fed.channel, comm::kServerId, ctx.active[i]->id, *bundle, faults);
+        broadcast_ms_max = std::max(broadcast_ms_max, sent.latency_ms);
         ctx.broadcast_rx[i] = std::move(sent.wire);
       }
     }
@@ -311,6 +381,9 @@ RoundOutcome run_staged(RoundStages& stages, Federation& fed,
       BundleResult sent = send_bundle_reliable(
           fed.channel, ctx.active[i]->id, comm::kServerId, bundles[i], faults);
       if (!sent.wire) continue;
+      upload_ms_max = std::max(
+          upload_ms_max,
+          std::min(sent.latency_ms, fed.policy.upload_deadline_ms));
       if (sent.latency_ms > fed.policy.upload_deadline_ms) {
         ++faults.stragglers_excluded;
         continue;
@@ -318,6 +391,7 @@ RoundOutcome run_staged(RoundStages& stages, Federation& fed,
       Contribution candidate;
       candidate.slot = i;
       candidate.client = ctx.active[i];
+      candidate.node = ctx.active[i]->id;
       candidate.weight =
           static_cast<float>(ctx.active[i]->train_data.size());
       candidate.bundle = std::move(*sent.wire);
@@ -359,48 +433,9 @@ RoundOutcome run_staged(RoundStages& stages, Federation& fed,
       contributions.push_back(std::move(candidates[c]));
     }
 
-    // Prototype-distance anomaly filter (Algorithm 1 generalized from
-    // samples to clients): score the surviving contributions against the
-    // cohort's robust center, exclude median+MAD outliers before the server
-    // step. Runs before quorum so excluded adversaries count toward the
-    // quorum shortfall like any other non-contributor.
-    if (fed.robust.anomaly_filter && contributions.size() >= 3) {
-      std::vector<std::vector<robust::Payload>> decoded(contributions.size());
-      for (std::size_t c = 0; c < contributions.size(); ++c) {
-        if (auto parts = robust::decode_parts(contributions[c].bundle.parts)) {
-          decoded[c] = std::move(*parts);
-        }  // undecodable stays empty -> kMalformedScore
-      }
-      const std::vector<float> scores = robust::anomaly_scores(decoded);
-      robust::AnomalyOptions anomaly_options;
-      anomaly_options.theta = fed.robust.anomaly_theta;
-      anomaly_options.max_exclude_fraction =
-          fed.robust.anomaly_max_exclude_fraction;
-      const robust::ExclusionDecision decision =
-          robust::decide_exclusions(scores, anomaly_options);
-      outcome.anomaly.reserve(contributions.size());
-      for (std::size_t c = 0; c < contributions.size(); ++c) {
-        ClientAnomaly record;
-        record.node = contributions[c].client->id;
-        record.score = scores[c];
-        record.excluded = decision.excluded[c] != 0;
-        if (record.excluded) {
-          record.reason =
-              scores[c] >= robust::kMalformedScore
-                  ? "malformed or non-conforming bundle"
-                  : "score " + format_score(scores[c]) + " > threshold " +
-                        format_score(decision.threshold);
-        }
-        outcome.anomaly.push_back(std::move(record));
-      }
-      for (std::size_t c = contributions.size(); c-- > 0;) {
-        if (decision.excluded[c]) {
-          contributions.erase(contributions.begin() +
-                              static_cast<std::ptrdiff_t>(c));
-          ++faults.anomaly_excluded;
-        }
-      }
-    }
+    // Anomaly filter runs before quorum so excluded adversaries count toward
+    // the quorum shortfall like any other non-contributor.
+    detail::apply_anomaly_filter(fed, contributions, outcome, faults);
   }
 
   // Quorum: with a configured fraction, fewer survivors than
@@ -411,6 +446,7 @@ RoundOutcome run_staged(RoundStages& stages, Federation& fed,
                std::ceil(fed.policy.quorum_fraction * static_cast<double>(n))));
     if (contributions.size() < need) {
       faults.quorum_misses = 1;
+      finish_clock();
       return outcome;
     }
   }
@@ -418,7 +454,10 @@ RoundOutcome run_staged(RoundStages& stages, Federation& fed,
   // Graceful degradation, one rule for every algorithm: no surviving
   // contribution means the server learns nothing this round — skip the
   // remaining stages and leave all state untouched.
-  if (contributions.empty()) return outcome;
+  if (contributions.empty()) {
+    finish_clock();
+    return outcome;
+  }
 
   // Hierarchical aggregation tier: edge aggregators pre-combine contiguous
   // slot-order sub-cohorts before the server step (runs inside the server
@@ -429,9 +468,12 @@ RoundOutcome run_staged(RoundStages& stages, Federation& fed,
   // Stage 3: server aggregation/distillation over surviving contributions.
   {
     StageSpan span(times.server_step_seconds);
+    engine_stats.buffer_flushes = 1;
+    engine_stats.aggregated_uploads = contributions.size();
+    engine_stats.staleness_hist[0] = contributions.size();
     if (fed.edge_aggregators > 1 &&
         contributions.size() > fed.edge_aggregators) {
-      contributions = edge_aggregate(fed, contributions, faults);
+      contributions = detail::edge_aggregate(fed, contributions, faults);
     }
     stages.server_step(ctx, contributions);
   }
@@ -448,6 +490,7 @@ RoundOutcome run_staged(RoundStages& stages, Federation& fed,
       for (std::size_t i = 0; i < n; ++i) {
         BundleResult sent = send_bundle_reliable(
             fed.channel, comm::kServerId, ctx.active[i]->id, *bundle, faults);
+        download_ms_max = std::max(download_ms_max, sent.latency_ms);
         downlink[i] = std::move(sent.wire);
       }
     }
@@ -465,6 +508,7 @@ RoundOutcome run_staged(RoundStages& stages, Federation& fed,
       }
     });
   }
+  finish_clock();
   return outcome;
 }
 
@@ -478,7 +522,9 @@ RoundOutcome RoundPipeline::run(RoundStages& stages, Federation& fed,
   // algorithm constructor warms its reference client — is charged to the
   // round it served rather than vanishing between snapshots.
   const PoolStats before = pool_snapshot_;
-  RoundOutcome outcome = run_staged(stages, fed, round);
+  RoundOutcome outcome = fed.policy.mode == RoundMode::kSync
+                             ? run_staged(stages, fed, round)
+                             : run_event_driven(stages, fed, round);
   if (fed.pool.virtual_mode()) {
     const PoolStats after = fed.pool.stats();
     pool_snapshot_ = after;
@@ -502,6 +548,7 @@ void StagedAlgorithm::run_round(Federation& fed, std::size_t round) {
   faults_.push_back(outcome.faults);
   anomaly_.push_back(std::move(outcome.anomaly));
   pool_stats_.push_back(outcome.pool);
+  engine_stats_.push_back(outcome.engine);
 }
 
 StageTimes StagedAlgorithm::total_stage_times() const {

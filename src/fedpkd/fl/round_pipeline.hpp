@@ -108,9 +108,14 @@ struct RoundContext {
 struct Contribution {
   std::size_t slot = 0;        // index into RoundContext::active
   Client* client = nullptr;    // sender (for feature dims etc.)
+  /// The sender's node id. In async mode an upload can outlive its slot (it
+  /// aggregates rounds after it was sent), so server-side records key on
+  /// this, not on `slot` or the client pointer.
+  comm::NodeId node = 0;
   /// Aggregation weight (|D_c| for a direct upload; the summed member weight
-  /// for an edge-combined contribution). Algorithms weight by this, never by
-  /// client->train_data.size(), so hierarchical aggregation stays exact.
+  /// for an edge-combined contribution; staleness-discounted in async mode).
+  /// Algorithms weight by this, never by client->train_data.size(), so
+  /// hierarchical aggregation stays exact.
   float weight = 0.0f;
   WireBundle bundle;           // delivered wire bytes, ready to decode
 };
@@ -191,11 +196,15 @@ struct RoundOutcome {
   /// the delta of Federation::pool.stats() across the round). Observability
   /// data, never serialized.
   std::optional<PoolRoundStats> pool;
+  /// Event-engine counters of this round: simulated makespan, flushes,
+  /// staleness histogram. Deterministic, serialized with the history
+  /// (checkpoint v5).
+  std::optional<RoundEngineStats> engine;
 };
 
-/// The staged round executor. Stateless today; it exists as an object so the
-/// planned async/straggler execution modes can be configured per run without
-/// touching the stage contract.
+/// The staged round executor. Dispatches on fed.policy.mode: kSync runs the
+/// original barrier body (bitwise-preserved), kSemiSync and kAsync run the
+/// event-driven engine (fl/event_engine.hpp) on the same stage hooks.
 class RoundPipeline {
  public:
   /// Executes one full round of `stages` against `fed` (begins the round,
@@ -248,12 +257,19 @@ class StagedAlgorithm : public Algorithm, public RoundStages {
                : &*pool_stats_.back();
   }
 
+  const RoundEngineStats* last_engine_stats() const override {
+    return engine_stats_.empty() || !engine_stats_.back().has_value()
+               ? nullptr
+               : &*engine_stats_.back();
+  }
+
  private:
   RoundPipeline pipeline_;
   std::vector<StageTimes> times_;
   std::vector<RoundFaultStats> faults_;
   std::vector<std::vector<ClientAnomaly>> anomaly_;
   std::vector<std::optional<PoolRoundStats>> pool_stats_;
+  std::vector<std::optional<RoundEngineStats>> engine_stats_;
 };
 
 }  // namespace fedpkd::fl

@@ -94,4 +94,38 @@ RoundTimeReport estimate_round_time(
   return report;
 }
 
+comm::FaultPlan fault_plan_from_profiles(
+    std::span<const DeviceProfile> profiles, std::size_t payload_bytes,
+    comm::FaultPlan base) {
+  if (profiles.empty()) {
+    throw std::invalid_argument("fault_plan_from_profiles: no profiles");
+  }
+  if (payload_bytes == 0) {
+    throw std::invalid_argument("fault_plan_from_profiles: zero payload");
+  }
+  std::vector<double> cost_seconds;
+  cost_seconds.reserve(profiles.size());
+  for (const DeviceProfile& p : profiles) {
+    if (p.uplink_bytes_per_second <= 0.0 ||
+        p.downlink_bytes_per_second <= 0.0 || p.latency_seconds < 0.0) {
+      throw std::invalid_argument("fault_plan_from_profiles: bad profile");
+    }
+    const double bytes = static_cast<double>(payload_bytes);
+    cost_seconds.push_back(p.latency_seconds +
+                           bytes / p.uplink_bytes_per_second +
+                           bytes / p.downlink_bytes_per_second);
+  }
+  const double fastest =
+      *std::min_element(cost_seconds.begin(), cost_seconds.end());
+  base.latency_ms = fastest * 1000.0;
+  base.stragglers.clear();
+  for (std::size_t c = 0; c < cost_seconds.size(); ++c) {
+    const double factor = cost_seconds[c] / fastest;
+    if (factor > 1.0 + 1e-9) {
+      base.stragglers.emplace_back(static_cast<comm::NodeId>(c), factor);
+    }
+  }
+  return base;
+}
+
 }  // namespace fedpkd::fl

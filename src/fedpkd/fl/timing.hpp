@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "fedpkd/comm/fault.hpp"
 #include "fedpkd/comm/meter.hpp"
 #include "fedpkd/nn/classifier.hpp"
 
@@ -115,5 +116,19 @@ RoundTimeReport estimate_round_time(const comm::Meter& meter,
                                     std::size_t round,
                                     std::span<const DeviceProfile> profiles,
                                     std::span<const std::size_t> compute_flops);
+
+/// Bridges the analytic device model into the fault injector: derives a
+/// comm::FaultPlan whose latency and straggler factors reproduce the
+/// per-device message cost of `profiles` for a `payload_bytes`-sized
+/// transfer. Client c's cost is latency + bytes/uplink + bytes/downlink; the
+/// fastest device sets the plan's base latency_ms and every slower device
+/// becomes a straggler with factor cost_c / cost_fastest. profiles[c] maps
+/// to comm::NodeId c. Everything else in `base` (seed, drop/corruption
+/// probabilities, crash script) passes through untouched, so a heavy-tail
+/// population for the async bench is one call on a list of presets instead
+/// of hand-tuned factors.
+comm::FaultPlan fault_plan_from_profiles(
+    std::span<const DeviceProfile> profiles, std::size_t payload_bytes,
+    comm::FaultPlan base = {});
 
 }  // namespace fedpkd::fl
