@@ -294,7 +294,7 @@ struct BaselineRecord {
 bool gated_op(const std::string& op) {
   return op.rfind("round:", 0) == 0 || op.rfind("robust:", 0) == 0 ||
          op.rfind("fault:", 0) == 0 || op.rfind("scale:", 0) == 0 ||
-         op.rfind("async:", 0) == 0;
+         op.rfind("async:", 0) == 0 || op.rfind("recovery:", 0) == 0;
 }
 
 /// Requested thread count parsed out of a shape string ("...,threads=N,...");

@@ -1,0 +1,263 @@
+// recovery — cost of durability and speed of coming back from the dead.
+//
+// Runs FedAvg with a generation-chained checkpoint after every round, then
+// measures the three numbers an operator budgets around (DESIGN.md §15):
+// what one sealed checkpoint costs to commit (write + fsync + rename +
+// manifest flip), how long loading the last-good generation takes, and how
+// long the deep-fallback path takes when the two newest generations are
+// corrupt. A crash-and-recover leg (round:after_aggregate, throw mode) then
+// proves the recovered final state is bitwise identical to the uninterrupted
+// run — the binary exits nonzero if it is not, so the bench doubles as a
+// smoke check.
+//
+// Emits `recovery:*` records into FEDPKD_BENCH_JSON. The counter records
+// (checkpoint_bytes, generations_kept, fallbacks, recovered_bitwise) are
+// fully deterministic and gate two-sided in bench_gate; the timings are
+// recorded for trend-watching but, like all raw ns_per_iter, only gated
+// under FEDPKD_BENCH_GATE_TIMING.
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "fedpkd/fl/checkpoint.hpp"
+#include "fedpkd/fl/durable_io.hpp"
+
+namespace {
+
+using namespace fedpkd;
+namespace durable = fl::durable;
+
+double ns_since(std::chrono::steady_clock::time_point start) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+std::string fmt_us(double ns) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << ns / 1e3 << "us";
+  return os.str();
+}
+
+struct Run {
+  std::unique_ptr<fl::Federation> fed;
+  std::unique_ptr<fl::Algorithm> algo;
+};
+
+Run make_run(const data::FederatedDataBundle& bundle,
+             const bench::Scale& scale) {
+  Run run;
+  run.fed = bench::make_federation(bundle, fl::PartitionSpec::dirichlet(0.3),
+                                   scale);
+  run.algo = bench::make_algorithm("FedAvg", *run.fed, scale);
+  return run;
+}
+
+}  // namespace
+
+int main() try {
+  const bench::Scale scale = bench::current_scale();
+  bench::print_banner("Durable state — checkpoint cost and time-to-recover",
+                      scale);
+
+  const data::FederatedDataBundle bundle = bench::make_bundle("synth10", scale);
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "fedpkd_bench_recovery";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // Uninterrupted reference run, checkpointing through the chain every
+  // round; per-commit write cost is the whole-run delta over a no-checkpoint
+  // run of the identical seed.
+  durable::GenerationChain chain(dir / "run.ckpt", 3);
+  fl::RunOptions opts;
+  opts.rounds = scale.rounds;
+  opts.checkpoint_every = 1;
+  opts.checkpoint_chain = &chain;
+  Run ref = make_run(bundle, scale);
+  const fl::RunHistory history = fl::run_federation(*ref.algo, *ref.fed, opts);
+  const std::vector<std::byte> final_state = fl::encode_federation_checkpoint(
+      *ref.algo, *ref.fed, scale.rounds, history);
+
+  const std::size_t generation = chain.latest_on_disk();
+  const std::size_t checkpoint_bytes =
+      std::filesystem::file_size(chain.generation_path(generation));
+  std::size_t generations_kept = 0;
+  for (std::size_t g = 1; g <= generation; ++g) {
+    if (std::filesystem::exists(chain.generation_path(g))) ++generations_kept;
+  }
+
+  // Commit cost: re-commit the final payload (identical bytes, fresh
+  // generations) and take the minimum over a few reps.
+  double commit_ns = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    std::vector<std::byte> payload = fl::encode_federation_checkpoint(
+        *ref.algo, *ref.fed, scale.rounds, history);
+    const auto start = std::chrono::steady_clock::now();
+    chain.commit(std::move(payload));
+    const double ns = ns_since(start);
+    commit_ns = rep == 0 ? ns : std::min(commit_ns, ns);
+  }
+
+  // Load cost: last-good generation -> verified payload -> decoded into a
+  // freshly built federation (the supervisor's resume path minus the rerun).
+  double load_ns = 0.0;
+  std::size_t loaded_generation = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    Run resume = make_run(bundle, scale);
+    const auto start = std::chrono::steady_clock::now();
+    const auto loaded =
+        fl::load_federation_checkpoint(chain, *resume.algo, *resume.fed);
+    const double ns = ns_since(start);
+    if (!loaded) {
+      std::cerr << "recovery: chain unexpectedly empty\n";
+      return 1;
+    }
+    loaded_generation = loaded->generation;
+    load_ns = rep == 0 ? ns : std::min(load_ns, ns);
+  }
+
+  // Deep fallback: corrupt the two newest generations (flip + truncate) and
+  // time the walk back to last-good-minus-two.
+  {
+    auto newest = durable::read_file_bytes(
+        chain.generation_path(chain.latest_on_disk()));
+    newest[newest.size() / 2] ^= std::byte{0x01};
+    std::ofstream out(chain.generation_path(chain.latest_on_disk()),
+                      std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(newest.data()),
+              static_cast<std::streamsize>(newest.size()));
+  }
+  std::filesystem::resize_file(
+      chain.generation_path(chain.latest_on_disk() - 1),
+      std::filesystem::file_size(
+          chain.generation_path(chain.latest_on_disk() - 1)) /
+          2);
+  double fallback_ns = 0.0;
+  std::size_t fallbacks = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    Run resume = make_run(bundle, scale);
+    const auto start = std::chrono::steady_clock::now();
+    const auto loaded =
+        fl::load_federation_checkpoint(chain, *resume.algo, *resume.fed);
+    const double ns = ns_since(start);
+    if (!loaded || loaded->fallbacks != 2) {
+      std::cerr << "recovery: deep fallback did not skip exactly the two "
+                   "corrupted generations\n";
+      return 1;
+    }
+    fallbacks = loaded->fallbacks;
+    fallback_ns = rep == 0 ? ns : std::min(fallback_ns, ns);
+  }
+
+  // Crash-and-recover leg: kill at round:after_aggregate on the second hit,
+  // resume from the chain, and require the bitwise-identical final state.
+  const std::filesystem::path crash_dir = dir / "crash";
+  std::filesystem::create_directories(crash_dir);
+  durable::GenerationChain crash_chain(crash_dir / "run.ckpt", 3);
+  fl::RunOptions crash_opts = opts;
+  crash_opts.checkpoint_chain = &crash_chain;
+  bool fired = false;
+  {
+    Run doomed = make_run(bundle, scale);
+    durable::arm_crash_point("round:after_aggregate@2",
+                             durable::CrashAction::kThrow);
+    try {
+      fl::run_federation(*doomed.algo, *doomed.fed, crash_opts);
+      durable::disarm_crash_points();
+    } catch (const durable::CrashPointError&) {
+      fired = true;
+    }
+  }
+  double recover_ns = 0.0;
+  std::vector<std::byte> recovered_state;
+  {
+    Run revived = make_run(bundle, scale);
+    const auto start = std::chrono::steady_clock::now();
+    fl::RunHistory prior;
+    fl::RunOptions tail = crash_opts;
+    if (const auto loaded = fl::load_federation_checkpoint(
+            crash_chain, *revived.algo, *revived.fed)) {
+      tail.start_round = loaded->resume.next_round;
+      prior = loaded->resume.history;
+    }
+    fl::RunHistory stitched =
+        fl::run_federation(*revived.algo, *revived.fed, tail);
+    stitched.rounds.insert(stitched.rounds.begin(), prior.rounds.begin(),
+                           prior.rounds.end());
+    recover_ns = ns_since(start);
+    recovered_state = fl::encode_federation_checkpoint(
+        *revived.algo, *revived.fed, scale.rounds, stitched);
+  }
+  const bool bitwise = recovered_state == final_state;
+
+  bench::Table table({"metric", "value"});
+  table.add_row({"checkpoint bytes", std::to_string(checkpoint_bytes)});
+  table.add_row({"generations kept", std::to_string(generations_kept)});
+  table.add_row({"commit (min of 5)", fmt_us(commit_ns)});
+  table.add_row({"load last-good (min of 5)", fmt_us(load_ns)});
+  table.add_row({"load past 2 corrupt (min of 5)", fmt_us(fallback_ns)});
+  table.add_row({"crash->finish rerun", fmt_us(recover_ns)});
+  table.add_row({"crash point fired", fired ? "yes" : "no"});
+  table.add_row({"recovered bitwise", bitwise ? "yes" : "no"});
+  table.print();
+
+  const std::string shape = "algo=FedAvg,clients=" +
+                            std::to_string(scale.clients) +
+                            ",rounds=" + std::to_string(scale.rounds) +
+                            ",keep=3,scale=" + scale.name;
+  std::vector<bench::JsonBenchRecord> records;
+  const auto counter = [&](const std::string& op, double value,
+                           const std::string& unit) {
+    bench::JsonBenchRecord r;
+    r.op = op;
+    r.shape = shape;
+    r.value = value;
+    r.unit = unit;
+    records.push_back(std::move(r));
+  };
+  const auto timing = [&](const std::string& op, double ns) {
+    bench::JsonBenchRecord r;
+    r.op = op;
+    r.shape = shape;
+    r.ns_per_iter = ns;
+    records.push_back(std::move(r));
+  };
+  counter("recovery:checkpoint_bytes", static_cast<double>(checkpoint_bytes),
+          "bytes");
+  counter("recovery:generations_kept", static_cast<double>(generations_kept),
+          "count");
+  counter("recovery:fallbacks", static_cast<double>(fallbacks), "count");
+  counter("recovery:recovered_bitwise", bitwise ? 1.0 : 0.0, "bool");
+  timing("recovery:commit", commit_ns);
+  timing("recovery:load_last_good", load_ns);
+  timing("recovery:load_past_corrupt", fallback_ns);
+  timing("recovery:crash_to_finish", recover_ns);
+  bench::append_bench_records(records);
+
+  std::filesystem::remove_all(dir);
+  if (!fired) {
+    std::cerr << "FAIL: round:after_aggregate@2 never fired — the crash "
+                 "sweep's probe points moved\n";
+    return 1;
+  }
+  if (!bitwise) {
+    std::cerr << "FAIL: crashed-and-recovered final state differs from the "
+                 "uninterrupted run\n";
+    return 1;
+  }
+  std::cout << "\ncrash at round:after_aggregate recovered bitwise ("
+            << checkpoint_bytes << "B per checkpoint, last-good load "
+            << fmt_us(load_ns) << " at generation " << loaded_generation
+            << ")\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

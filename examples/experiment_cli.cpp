@@ -20,6 +20,11 @@
 ///                  [--max-weight-norm X] [--fault-seed S]
 ///                  [--save-state run.ckpt] [--state-every N]
 ///                  [--resume run.ckpt]
+///                  [--state-chain STEM] [--state-generations K]
+///                  [--resume-last-good] [--supervise] [--max-restarts N]
+///                  [--restart-backoff-ms B] [--final-state out.bin]
+///                  [--verify-chain] [--list-crash-points]
+///                  [--io-enospc-after BYTES]
 ///                  [--robust RULE] [--robust-f N] [--robust-m M]
 ///                  [--robust-clip X] [--anomaly-theta T]
 ///                  [--anomaly-max-exclude F] [--adaptive-norm]
@@ -59,6 +64,20 @@
 ///
 /// Algorithms: FedAvg FedProx FedMD DS-FL FedDF FedET FedProto FedPKD
 ///
+/// Durability (see DESIGN.md §15): --state-chain STEM checkpoints into a
+/// generation chain (STEM.1, STEM.2, … + STEM.manifest, atomic writes,
+/// CRC32 footers, --state-generations kept). --resume-last-good loads the
+/// newest generation that verifies, falling back past torn/corrupt files.
+/// --supervise runs the experiment in a child process and on nonzero exit
+/// auto-resumes it from last-good, up to --max-restarts times with
+/// exponential --restart-backoff-ms backoff. FEDPKD_CRASH_AT=<point>[@K]
+/// (see --list-crash-points) aborts the process at the K-th hit of a named
+/// crash point — the crash-at-every-point sweep supervises one such run per
+/// point and compares --final-state (the sealed end-of-run federation state,
+/// full stitched history) bitwise against an uninterrupted run.
+/// --io-enospc-after simulates a disk filling up after BYTES checkpoint
+/// bytes; the run fails cleanly and the chain keeps its last good state.
+///
 /// Examples:
 ///   ./build/examples/experiment_cli --algorithm FedPKD --partition dirichlet
 ///       --alpha 0.1 --rounds 8 --csv fedpkd.csv --checkpoint server.bin
@@ -72,16 +91,27 @@
 ///       --save-state run.ckpt --state-every 5   # then, after a crash:
 ///   ./build/examples/experiment_cli --algorithm FedAvg --rounds 10
 ///       --resume run.ckpt
+///   FEDPKD_CRASH_AT=round:after_aggregate ./build/examples/experiment_cli
+///       --algorithm FedAvg --rounds 10 --supervise --state-chain run.ckpt
+///       --state-every 1 --final-state final.bin
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "fedpkd/core/fedpkd.hpp"
 #include "fedpkd/core/fedproto.hpp"
 #include "fedpkd/fl/checkpoint.hpp"
+#include "fedpkd/fl/supervisor.hpp"
 #include "fedpkd/fl/dsfl.hpp"
 #include "fedpkd/fl/fedavg.hpp"
 #include "fedpkd/fl/feddf.hpp"
@@ -130,6 +160,16 @@ struct Args {
   std::string save_state;
   std::size_t state_every = 1;
   std::string resume;
+  // Durable state: generation-chained checkpoints + self-healing supervisor.
+  std::string state_chain;
+  std::size_t state_generations = 3;
+  bool resume_last_good = false;
+  bool supervise_run = false;
+  std::size_t max_restarts = 5;
+  std::uint64_t restart_backoff_ms = 100;
+  std::string final_state;
+  bool verify_chain = false;
+  std::size_t io_enospc_after = 0;
   // Byzantine-robust aggregation and the adversarial-client harness.
   robust::RobustPolicy robust;
   bool adaptive_norm = false;
@@ -278,6 +318,32 @@ Args parse(int argc, char** argv) {
       args.state_every = std::stoul(need(i, "--state-every"));
     } else if (a == "--resume") {
       args.resume = need(i, "--resume");
+    } else if (a == "--state-chain") {
+      args.state_chain = need(i, "--state-chain");
+    } else if (a == "--state-generations") {
+      args.state_generations = std::stoul(need(i, "--state-generations"));
+      if (args.state_generations == 0) {
+        throw std::invalid_argument("--state-generations must be >= 1");
+      }
+    } else if (a == "--resume-last-good") {
+      args.resume_last_good = true;
+    } else if (a == "--supervise") {
+      args.supervise_run = true;
+    } else if (a == "--max-restarts") {
+      args.max_restarts = std::stoul(need(i, "--max-restarts"));
+    } else if (a == "--restart-backoff-ms") {
+      args.restart_backoff_ms = std::stoull(need(i, "--restart-backoff-ms"));
+    } else if (a == "--final-state") {
+      args.final_state = need(i, "--final-state");
+    } else if (a == "--verify-chain") {
+      args.verify_chain = true;
+    } else if (a == "--io-enospc-after") {
+      args.io_enospc_after = std::stoul(need(i, "--io-enospc-after"));
+    } else if (a == "--list-crash-points") {
+      for (const std::string& name : fl::durable::crash_point_names()) {
+        std::cout << name << "\n";
+      }
+      std::exit(0);
     } else if (a == "--help" || a == "-h") {
       std::cout << "see the header comment of examples/experiment_cli.cpp\n";
       std::exit(0);
@@ -318,6 +384,27 @@ Args parse(int argc, char** argv) {
   if (args.round_mode == fl::RoundMode::kSemiSync && args.deadline_ms <= 0.0) {
     throw std::invalid_argument(
         "--round-mode semisync needs a finite --deadline-ms to aggregate at");
+  }
+  if (args.state_chain.empty()) {
+    if (args.resume_last_good) {
+      throw std::invalid_argument("--resume-last-good needs --state-chain");
+    }
+    if (args.supervise_run) {
+      throw std::invalid_argument(
+          "--supervise needs --state-chain (restarts resume from the chain's "
+          "last good generation)");
+    }
+    if (args.verify_chain) {
+      throw std::invalid_argument("--verify-chain needs --state-chain");
+    }
+  } else if (!args.save_state.empty()) {
+    throw std::invalid_argument(
+        "--state-chain and --save-state are alternative checkpoint "
+        "destinations; pick one");
+  }
+  if (!args.resume.empty() && args.resume_last_good) {
+    throw std::invalid_argument(
+        "--resume and --resume-last-good are mutually exclusive");
   }
   return args;
 }
@@ -370,10 +457,15 @@ std::unique_ptr<fl::Algorithm> make_algo(const std::string& name,
   throw std::invalid_argument("unknown algorithm " + name);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) try {
-  const Args args = parse(argc, argv);
+/// One full experiment run (the body of a non-supervised invocation, and the
+/// child of a supervised one). Builds the federation, resumes from a single
+/// checkpoint file or the generation chain when asked, runs, and writes the
+/// CSV / model checkpoint / sealed final state.
+int run_once(const Args& args) {
+  // Honor FEDPKD_CRASH_AT in every run path (supervised children inherit it
+  // through the environment; the supervisor unsets it after the first exit
+  // so injected faults are one-shot).
+  fl::durable::arm_crash_points_from_env();
 
   const data::SyntheticVisionConfig config =
       args.dataset == "synth100"
@@ -440,25 +532,64 @@ int main(int argc, char** argv) try {
   fl::RunOptions run;
   run.rounds = args.rounds;
   run.log = &std::cout;
-  if (!args.save_state.empty()) {
+
+  fl::durable::IoFaultInjector io;
+  fl::durable::GenerationChain chain(args.state_chain, args.state_generations,
+                                     args.io_enospc_after > 0 ? &io : nullptr);
+  if (args.io_enospc_after > 0) {
+    fl::durable::IoFaultPlan plan;
+    plan.enospc_after_bytes = args.io_enospc_after;
+    io.set_plan(plan);
+  }
+  if (!args.state_chain.empty()) {
+    run.checkpoint_chain = &chain;
+    run.checkpoint_every = args.state_every;
+  } else if (!args.save_state.empty()) {
     run.checkpoint_path = args.save_state;
     run.checkpoint_every = args.state_every;
   }
 
-  fl::RunHistory history;
+  fl::RunHistory prior;
+  bool resumed_any = false;
   if (!args.resume.empty()) {
     const fl::FederationResume resumed =
         fl::load_federation_checkpoint(args.resume, *algo, *fed);
     run.start_round = resumed.next_round;
+    prior = resumed.history;
+    resumed_any = true;
     std::cout << "resumed " << args.resume << " at round "
               << resumed.next_round << "\n";
-    history = fl::run_federation(*algo, *fed, run);
-    // Stitch the interrupted run's rounds in front for the CSV/summary.
-    history.rounds.insert(history.rounds.begin(),
-                          resumed.history.rounds.begin(),
-                          resumed.history.rounds.end());
-  } else {
-    history = fl::run_federation(*algo, *fed, run);
+  } else if (args.resume_last_good) {
+    // An empty chain is not an error: the first supervised attempt starts
+    // fresh, every later one resumes from whatever the crash left behind.
+    if (const auto resumed =
+            fl::load_federation_checkpoint(chain, *algo, *fed)) {
+      run.start_round = resumed->resume.next_round;
+      prior = resumed->resume.history;
+      resumed_any = true;
+      std::cout << "resumed " << args.state_chain << " generation "
+                << resumed->generation << " at round "
+                << resumed->resume.next_round;
+      if (resumed->fallbacks > 0) {
+        std::cout << " (fell back past " << resumed->fallbacks
+                  << " corrupt generation(s))";
+      }
+      if (resumed->manifest_recovered) {
+        std::cout << " (manifest recovered by directory scan)";
+      }
+      std::cout << "\n";
+    }
+  }
+
+  fl::RunHistory history = fl::run_federation(*algo, *fed, run);
+  if (resumed_any) {
+    // Stitch the interrupted run's rounds in front: the CSV, summary, and
+    // sealed final state all describe the whole run.
+    history.rounds.insert(history.rounds.begin(), prior.rounds.begin(),
+                          prior.rounds.end());
+  }
+  if (const char* restarts = std::getenv("FEDPKD_RESTART_COUNT")) {
+    history.recoveries = std::strtoull(restarts, nullptr, 10);
   }
 
   std::cout << "\nbest: ";
@@ -525,7 +656,108 @@ int main(int argc, char** argv) try {
       std::cout << "wrote " << args.checkpoint << "\n";
     }
   }
+  if (!args.final_state.empty()) {
+    // Sealed end-of-run federation state with the full stitched history:
+    // byte-identical across an uninterrupted run and a crashed-and-
+    // supervised one, which is exactly what the crash sweep compares.
+    std::vector<std::byte> state = fl::encode_federation_checkpoint(
+        *algo, *fed, args.rounds, history);
+    fl::durable::append_footer(state);
+    fl::durable::atomic_write_file(args.final_state, state);
+    std::cout << "wrote " << args.final_state << "\n";
+  }
+  if (history.recoveries > 0) {
+    std::cout << "recoveries: " << history.recoveries << "\n";
+  }
   return 0;
+}
+
+/// One supervised attempt: fork, run the experiment in the child, reap it.
+/// Children after the first resume from the chain's last good generation.
+int supervised_attempt(const Args& args, std::size_t attempt) {
+  std::cout.flush();
+  std::cerr.flush();
+  ::setenv("FEDPKD_RESTART_COUNT", std::to_string(attempt).c_str(), 1);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::cerr << "supervisor: fork failed: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  if (pid == 0) {
+    int rc = 1;
+    try {
+      Args child = args;
+      child.supervise_run = false;
+      child.resume_last_good = true;
+      rc = run_once(child);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      rc = 1;
+    }
+    std::cout.flush();
+    std::cerr.flush();
+    std::_Exit(rc);
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) < 0) {
+    std::cerr << "supervisor: waitpid failed: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  // Injected crash points are one-shot: the first child consumed the fault,
+  // restarted children must not inherit it.
+  ::unsetenv("FEDPKD_CRASH_AT");
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const Args args = parse(argc, argv);
+
+  if (args.verify_chain) {
+    // Footer-level chain audit, no federation needed: exit 0 when a
+    // generation verifies, 3 when nothing on disk is loadable.
+    const fl::durable::GenerationChain chain(args.state_chain,
+                                             args.state_generations);
+    const auto loaded = chain.load();
+    if (!loaded) {
+      std::cerr << "chain " << args.state_chain
+                << ": no loadable generation\n";
+      return 3;
+    }
+    std::cout << "chain " << args.state_chain << ": generation "
+              << loaded->generation << " verified (" << loaded->payload.size()
+              << " bytes, fallbacks=" << loaded->fallbacks
+              << (loaded->manifest_recovered ? ", manifest recovered" : "")
+              << ")\n";
+    return 0;
+  }
+
+  if (args.supervise_run) {
+    fl::durable::SuperviseOptions options;
+    options.max_restarts = args.max_restarts;
+    options.backoff_ms = args.restart_backoff_ms;
+    options.sleep_ms = [](std::uint64_t ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    };
+    options.log = [](const std::string& line) {
+      std::cerr << line << "\n";
+    };
+    const fl::durable::SuperviseResult result = fl::durable::supervise(
+        [&](std::size_t attempt) { return supervised_attempt(args, attempt); },
+        options);
+    if (result.restarts > 0 || result.budget_exhausted) {
+      std::cerr << "supervisor: " << (result.budget_exhausted
+                                          ? "gave up after "
+                                          : "recovered after ")
+                << result.restarts << " restart(s)\n";
+    }
+    return result.exit_status;
+  }
+
+  return run_once(args);
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << "\n";
   return 1;

@@ -20,7 +20,10 @@ namespace fedpkd::comm {
 
 inline constexpr std::size_t kFrameOverhead = 8;
 
-/// CRC32 (IEEE 802.3, reflected) over `bytes`.
+/// CRC32 (IEEE 802.3, reflected) over `bytes`. Shared beyond the wire: the
+/// durable-state layer (fl/durable_io) seals every checkpoint file with this
+/// same CRC in its whole-file footer, so on-wire and on-disk corruption are
+/// detected by one implementation.
 std::uint32_t crc32(std::span<const std::byte> bytes);
 
 /// Wraps `payload` in an integrity frame.

@@ -13,7 +13,10 @@ namespace fedpkd::fl {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x464b5043u;  // 'FPKC' (single model)
-constexpr std::uint32_t kVersion = 1;
+// v2 seals the file with durable's CRC32 footer so truncation and bit flips
+// are detected at load; v1 (unsealed) files still load.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kLegacyVersion = 1;
 
 constexpr std::uint32_t kRunMagic = 0x464b5052u;  // 'FPKR' (federation resume)
 // v3 adds the attack injector's replay cache, the adaptive weight-norm
@@ -25,7 +28,9 @@ constexpr std::uint32_t kRunMagic = 0x464b5052u;  // 'FPKR' (federation resume)
 // in-flight uploads, aggregation buffer, staleness cursors) after the pool
 // section, and per-round engine counters in the history — a buffered-async
 // run resumes bitwise mid-buffer.
-constexpr std::uint32_t kRunVersion = 5;
+// v6 keeps the v5 payload but the file is sealed with durable's CRC32
+// footer and written atomically (tmp + fsync + rename).
+constexpr std::uint32_t kRunVersion = 6;
 
 void put_string(const std::string& s, std::vector<std::byte>& out) {
   tensor::put_u32(static_cast<std::uint32_t>(s.size()), out);
@@ -58,19 +63,6 @@ std::vector<std::byte> read_file(const std::filesystem::path& path) {
   return bytes;
 }
 
-void write_file(const std::filesystem::path& path,
-                std::span<const std::byte> bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("checkpoint: cannot write " + path.string());
-  }
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) {
-    throw std::runtime_error("checkpoint: short write to " + path.string());
-  }
-}
-
 }  // namespace
 
 void save_checkpoint(nn::Classifier& model,
@@ -82,16 +74,25 @@ void save_checkpoint(nn::Classifier& model,
   tensor::put_u64(model.input_dim(), out);
   tensor::put_u64(model.num_classes(), out);
   tensor::encode_tensor(model.flat_weights(), out);
-  write_file(path, out);
+  durable::append_footer(out);
+  durable::atomic_write_file(path, out);
 }
 
 nn::Classifier load_checkpoint(const std::filesystem::path& path) {
   const auto bytes = read_file(path);
   std::size_t offset = 0;
-  if (tensor::get_u32(bytes, offset) != kMagic) {
+  if (bytes.size() < 8 || tensor::get_u32(bytes, offset) != kMagic) {
     throw std::runtime_error("checkpoint: bad magic in " + path.string());
   }
-  if (tensor::get_u32(bytes, offset) != kVersion) {
+  const std::uint32_t version = tensor::get_u32(bytes, offset);
+  std::size_t end = bytes.size();
+  if (version == kVersion) {
+    // Sealed format: verify the CRC32 footer before trusting a single
+    // payload byte — a truncated or bit-flipped file fails here instead of
+    // decoding into silently-wrong weights.
+    end = durable::verified_payload_size(bytes,
+                                         "checkpoint " + path.string());
+  } else if (version != kLegacyVersion) {
     throw std::runtime_error("checkpoint: unsupported version in " +
                              path.string());
   }
@@ -101,7 +102,7 @@ nn::Classifier load_checkpoint(const std::filesystem::path& path) {
   const auto num_classes =
       static_cast<std::size_t>(tensor::get_u64(bytes, offset));
   const tensor::Tensor weights = tensor::decode_tensor(bytes, offset);
-  if (offset != bytes.size()) {
+  if (offset != end) {
     throw std::runtime_error("checkpoint: trailing bytes in " + path.string());
   }
   // Seed is irrelevant: every weight is overwritten below.
@@ -114,11 +115,9 @@ nn::Classifier load_checkpoint(const std::filesystem::path& path) {
 
 void export_history_csv(const RunHistory& history,
                         const std::filesystem::path& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("export_history_csv: cannot write " +
-                             path.string());
-  }
+  // Built in memory and replaced atomically: a crash mid-export leaves the
+  // previous CSV intact instead of a torn file under the same name.
+  std::ostringstream out;
   out << "round,server_accuracy,mean_client_accuracy,cumulative_bytes,"
          "anomaly_excluded,anomaly,sim_ms,flushes,agg_uploads,stale_max\n";
   for (const RoundMetrics& m : history.rounds) {
@@ -146,9 +145,9 @@ void export_history_csv(const RunHistory& history,
     }
     out << '\n';
   }
-  if (!out) {
-    throw std::runtime_error("export_history_csv: short write");
-  }
+  const std::string csv = out.str();
+  durable::atomic_write_file(
+      path, std::as_bytes(std::span<const char>(csv.data(), csv.size())));
 }
 
 namespace {
@@ -479,10 +478,10 @@ RunHistory get_history(std::span<const std::byte> bytes, std::size_t& offset,
 
 }  // namespace
 
-void save_federation_checkpoint(const std::filesystem::path& path,
-                                Algorithm& algorithm, Federation& fed,
-                                std::size_t next_round,
-                                const RunHistory& history) {
+std::vector<std::byte> encode_federation_checkpoint(Algorithm& algorithm,
+                                                    Federation& fed,
+                                                    std::size_t next_round,
+                                                    const RunHistory& history) {
   if (!algorithm.supports_resume()) {
     throw std::invalid_argument("save_federation_checkpoint: " +
                                 algorithm.name() +
@@ -537,20 +536,19 @@ void save_federation_checkpoint(const std::filesystem::path& path,
   out.insert(out.end(), algo_blob.begin(), algo_blob.end());
 
   put_history(history, out);
-  write_file(path, out);
+  return out;
 }
 
-FederationResume load_federation_checkpoint(const std::filesystem::path& path,
-                                            Algorithm& algorithm,
-                                            Federation& fed) {
-  const auto bytes = read_file(path);
+FederationResume decode_federation_checkpoint(std::span<const std::byte> bytes,
+                                              Algorithm& algorithm,
+                                              Federation& fed,
+                                              const std::string& origin) {
   std::size_t offset = 0;
-  if (tensor::get_u32(bytes, offset) != kRunMagic) {
-    throw std::runtime_error("checkpoint: bad magic in " + path.string());
+  if (bytes.size() < 8 || tensor::get_u32(bytes, offset) != kRunMagic) {
+    throw std::runtime_error("checkpoint: bad magic in " + origin);
   }
   if (tensor::get_u32(bytes, offset) != kRunVersion) {
-    throw std::runtime_error("checkpoint: unsupported version in " +
-                             path.string());
+    throw std::runtime_error("checkpoint: unsupported version in " + origin);
   }
   const std::string name = get_string(bytes, offset);
   if (name != algorithm.name()) {
@@ -632,9 +630,53 @@ FederationResume load_federation_checkpoint(const std::filesystem::path& path,
 
   resume.history = get_history(bytes, offset, name);
   if (offset != bytes.size()) {
-    throw std::runtime_error("checkpoint: trailing bytes in " + path.string());
+    throw std::runtime_error("checkpoint: trailing bytes in " + origin);
   }
   return resume;
+}
+
+void save_federation_checkpoint(const std::filesystem::path& path,
+                                Algorithm& algorithm, Federation& fed,
+                                std::size_t next_round,
+                                const RunHistory& history) {
+  std::vector<std::byte> out =
+      encode_federation_checkpoint(algorithm, fed, next_round, history);
+  durable::append_footer(out);
+  durable::atomic_write_file(path, out);
+}
+
+FederationResume load_federation_checkpoint(const std::filesystem::path& path,
+                                            Algorithm& algorithm,
+                                            Federation& fed) {
+  const auto sealed = read_file(path);
+  const std::size_t payload =
+      durable::verified_payload_size(sealed, "checkpoint " + path.string());
+  return decode_federation_checkpoint(
+      std::span<const std::byte>(sealed.data(), payload), algorithm, fed,
+      path.string());
+}
+
+std::size_t save_federation_checkpoint(durable::GenerationChain& chain,
+                                       Algorithm& algorithm, Federation& fed,
+                                       std::size_t next_round,
+                                       const RunHistory& history) {
+  return chain.commit(
+      encode_federation_checkpoint(algorithm, fed, next_round, history));
+}
+
+std::optional<ChainResume> load_federation_checkpoint(
+    const durable::GenerationChain& chain, Algorithm& algorithm,
+    Federation& fed) {
+  const auto loaded = chain.load();
+  if (!loaded) return std::nullopt;
+  ChainResume out;
+  out.generation = loaded->generation;
+  out.fallbacks = loaded->fallbacks;
+  out.manifest_recovered = loaded->manifest_recovered;
+  out.resume = decode_federation_checkpoint(
+      loaded->payload, algorithm, fed,
+      chain.generation_path(loaded->generation).string());
+  return out;
 }
 
 }  // namespace fedpkd::fl

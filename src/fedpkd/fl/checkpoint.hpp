@@ -1,8 +1,13 @@
 #pragma once
 
+#include <cstddef>
 #include <filesystem>
+#include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
+#include "fedpkd/fl/durable_io.hpp"
 #include "fedpkd/fl/federation.hpp"
 #include "fedpkd/fl/metrics.hpp"
 #include "fedpkd/nn/classifier.hpp"
@@ -18,6 +23,13 @@ namespace fedpkd::fl {
 ///
 ///   u32 magic 'FPKC' | u32 version | arch string | u64 input_dim |
 ///   u64 num_classes | tensor(flat weights)
+///
+/// All files written here go through durable::atomic_write_file (tmp + fsync
+/// + rename — a crash mid-save never replaces the old good file with a torn
+/// one) and, for the binary formats, carry durable's CRC32 whole-file footer
+/// so truncation and bit corruption are detected at load instead of decoded
+/// into garbage weights. Model checkpoint v2 adds the footer; v1 (legacy,
+/// unsealed) files still load.
 ///
 /// History export writes the per-round metrics as CSV for plotting.
 
@@ -69,7 +81,28 @@ struct FederationResume {
   RunHistory history;
 };
 
-/// Writes a federation checkpoint. Throws std::invalid_argument when the
+/// Serializes the full federation checkpoint payload (unsealed — no footer).
+/// This is the canonical byte image of a run's state: two runs whose encoded
+/// checkpoints are byte-identical are in bitwise-identical states, which is
+/// what the crash-at-every-point sweep compares. Throws std::invalid_argument
+/// when the algorithm does not support resume.
+std::vector<std::byte> encode_federation_checkpoint(Algorithm& algorithm,
+                                                    Federation& fed,
+                                                    std::size_t next_round,
+                                                    const RunHistory& history);
+
+/// Restores a checkpoint payload produced by encode_federation_checkpoint
+/// into an identically-configured federation + algorithm pair. `origin`
+/// names the source in error messages. Throws std::runtime_error on
+/// malformed payloads or a checkpoint recorded for a different algorithm /
+/// client count.
+FederationResume decode_federation_checkpoint(std::span<const std::byte> payload,
+                                              Algorithm& algorithm,
+                                              Federation& fed,
+                                              const std::string& origin);
+
+/// Writes a federation checkpoint: encoded payload, sealed with the CRC32
+/// footer, replaced atomically. Throws std::invalid_argument when the
 /// algorithm does not support resume, std::runtime_error on I/O failure.
 void save_federation_checkpoint(const std::filesystem::path& path,
                                 Algorithm& algorithm, Federation& fed,
@@ -77,10 +110,36 @@ void save_federation_checkpoint(const std::filesystem::path& path,
                                 const RunHistory& history);
 
 /// Restores a federation checkpoint into an identically-configured
-/// federation + algorithm pair. Throws std::runtime_error on malformed files
-/// or a checkpoint recorded for a different algorithm / client count.
+/// federation + algorithm pair. Throws std::runtime_error on malformed,
+/// torn, or bit-corrupted files (footer verification) or a checkpoint
+/// recorded for a different algorithm / client count.
 FederationResume load_federation_checkpoint(const std::filesystem::path& path,
                                             Algorithm& algorithm,
                                             Federation& fed);
+
+/// Commits a federation checkpoint as the next generation of `chain`
+/// (see durable::GenerationChain: atomic data write, then manifest flip,
+/// then prune). Returns the committed generation number.
+std::size_t save_federation_checkpoint(durable::GenerationChain& chain,
+                                       Algorithm& algorithm, Federation& fed,
+                                       std::size_t next_round,
+                                       const RunHistory& history);
+
+/// A chain load: the resume state plus where in the chain it came from.
+struct ChainResume {
+  FederationResume resume;
+  std::size_t generation = 0;      // stem.N the state was loaded from
+  std::size_t fallbacks = 0;       // corrupt/torn generations skipped
+  bool manifest_recovered = false; // manifest was torn; recovered by scan
+};
+
+/// Loads the newest generation of `chain` that passes footer verification,
+/// falling back generation-by-generation past torn or bit-flipped files.
+/// Returns nullopt when the chain holds no loadable generation. A generation
+/// that verifies but decodes to a mismatched configuration still throws —
+/// that is a config error, not storage corruption.
+std::optional<ChainResume> load_federation_checkpoint(
+    const durable::GenerationChain& chain, Algorithm& algorithm,
+    Federation& fed);
 
 }  // namespace fedpkd::fl

@@ -8,6 +8,7 @@
 #include "fedpkd/comm/payload.hpp"
 #include "fedpkd/comm/validate.hpp"
 #include "fedpkd/exec/thread_pool.hpp"
+#include "fedpkd/fl/durable_io.hpp"
 #include "fedpkd/robust/attack.hpp"
 
 namespace fedpkd::fl {
@@ -105,6 +106,11 @@ bool flush_uploads(RoundStages& stages, Federation& fed, RoundContext& ctx,
   stages.server_step(ctx, contributions);
   ++fed.engine.global_version;
   ++stats.buffer_flushes;
+  // The nastiest crash window in the async engine: the server model already
+  // advanced, the flushed buffer is gone from memory, and the round that
+  // would checkpoint it has not finished. Resume must re-derive the whole
+  // slice from the previous checkpoint.
+  durable::crash_point("engine:after_flush");
   return true;
 }
 

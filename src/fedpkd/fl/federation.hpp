@@ -20,6 +20,10 @@
 #include "fedpkd/robust/aggregate.hpp"
 #include "fedpkd/robust/attack.hpp"
 
+namespace fedpkd::fl::durable {
+class GenerationChain;  // fedpkd/fl/durable_io.hpp
+}
+
 namespace fedpkd::fl {
 
 /// How a round executes on the simulated clock (fl::RoundPipeline picks the
@@ -341,10 +345,17 @@ struct RunOptions {
   std::size_t eval_batch = 256;
   /// First round index to execute (resume path: checkpoint's next_round).
   std::size_t start_round = 0;
-  /// When > 0 and checkpoint_path is set, a federation checkpoint is written
-  /// after every checkpoint_every-th round (requires supports_resume()).
+  /// When > 0 and a checkpoint destination is set, a federation checkpoint
+  /// is written after every checkpoint_every-th round (requires
+  /// supports_resume()).
   std::size_t checkpoint_every = 0;
+  /// Single-file destination: each checkpoint atomically replaces this path.
   std::filesystem::path checkpoint_path;
+  /// Generation-chain destination (preferred for crash safety): each
+  /// checkpoint commits a new sealed generation; a torn newest generation
+  /// falls back to the previous one on load. Takes precedence over
+  /// checkpoint_path when both are set. Not owned.
+  durable::GenerationChain* checkpoint_chain = nullptr;
 };
 
 /// Runs `algorithm` for the configured number of rounds, evaluating server

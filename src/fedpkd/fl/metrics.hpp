@@ -152,6 +152,11 @@ struct RoundMetrics {
 struct RunHistory {
   std::string algorithm;
   std::vector<RoundMetrics> rounds;
+  /// Process restarts the supervisor performed to finish this run (0 for an
+  /// uninterrupted run). Operational telemetry only — deliberately NOT
+  /// serialized into checkpoints, so a crashed-and-recovered run's durable
+  /// state stays bitwise identical to an uninterrupted one.
+  std::size_t recoveries = 0;
 
   bool empty() const { return rounds.empty(); }
   const RoundMetrics& final_round() const;

@@ -7,6 +7,7 @@
 #include "fedpkd/comm/payload.hpp"
 #include "fedpkd/comm/validate.hpp"
 #include "fedpkd/exec/thread_pool.hpp"
+#include "fedpkd/fl/durable_io.hpp"
 #include "fedpkd/fl/event_engine.hpp"
 #include "fedpkd/robust/aggregate.hpp"
 #include "fedpkd/robust/anomaly.hpp"
@@ -347,6 +348,10 @@ RoundOutcome run_staged(RoundStages& stages, Federation& fed,
       }
     });
   }
+  // Crash points sit on the serial control path between stages: a process
+  // death here loses the whole round's in-memory work, which resume must
+  // re-derive bitwise from the last checkpoint.
+  durable::crash_point("round:after_train");
 
   // Stage 2: upload. Payload construction fans out per client; the sends run
   // serially in slot order. A client whose bundle is lost (any part) simply
@@ -437,6 +442,7 @@ RoundOutcome run_staged(RoundStages& stages, Federation& fed,
     // the quorum shortfall like any other non-contributor.
     detail::apply_anomaly_filter(fed, contributions, outcome, faults);
   }
+  durable::crash_point("round:after_upload");
 
   // Quorum: with a configured fraction, fewer survivors than
   // ceil(fraction * participants) abort the round before the server step.
@@ -477,6 +483,7 @@ RoundOutcome run_staged(RoundStages& stages, Federation& fed,
     }
     stages.server_step(ctx, contributions);
   }
+  durable::crash_point("round:after_aggregate");
 
   // Downlink slot 2: post-server download (distillation family).
   faults.clients_crashed +=
@@ -508,6 +515,7 @@ RoundOutcome run_staged(RoundStages& stages, Federation& fed,
       }
     });
   }
+  durable::crash_point("round:after_download");
   finish_clock();
   return outcome;
 }

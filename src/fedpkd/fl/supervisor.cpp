@@ -1,0 +1,49 @@
+#include "fedpkd/fl/supervisor.hpp"
+
+#include <limits>
+
+namespace fedpkd::fl::durable {
+
+std::uint64_t restart_backoff_ms(const SuperviseOptions& options,
+                                 std::size_t restart) {
+  if (restart == 0 || options.backoff_ms == 0) return 0;
+  std::uint64_t ms = options.backoff_ms;
+  for (std::size_t k = 1; k < restart; ++k) {
+    if (ms > std::numeric_limits<std::uint64_t>::max() / 2) return ms;
+    ms *= 2;
+  }
+  return ms;
+}
+
+SuperviseResult supervise(const std::function<int(std::size_t)>& attempt,
+                          const SuperviseOptions& options) {
+  SuperviseResult result;
+  for (std::size_t k = 0;; ++k) {
+    result.exit_status = attempt(k);
+    if (result.exit_status == 0) return result;
+    if (k >= options.max_restarts) {
+      result.budget_exhausted = true;
+      if (options.log) {
+        options.log("supervisor: attempt " + std::to_string(k + 1) +
+                    " exited with status " +
+                    std::to_string(result.exit_status) +
+                    "; retry budget (" + std::to_string(options.max_restarts) +
+                    " restarts) exhausted, giving up");
+      }
+      return result;
+    }
+    const std::uint64_t wait = restart_backoff_ms(options, k + 1);
+    if (options.log) {
+      options.log("supervisor: attempt " + std::to_string(k + 1) +
+                  " exited with status " + std::to_string(result.exit_status) +
+                  "; restarting in " + std::to_string(wait) + " ms (restart " +
+                  std::to_string(k + 1) + "/" +
+                  std::to_string(options.max_restarts) + ")");
+    }
+    result.total_backoff_ms += wait;
+    ++result.restarts;
+    if (wait > 0 && options.sleep_ms) options.sleep_ms(wait);
+  }
+}
+
+}  // namespace fedpkd::fl::durable

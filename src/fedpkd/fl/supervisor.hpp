@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+/// Self-healing run supervision (DESIGN.md §15). The policy lives here as a
+/// plain library — `supervise` drives any attempt function with a retry
+/// budget and deterministic backoff — so the tests exercise exhaustion and
+/// recovery without forking; `experiment_cli --supervise` plugs in a
+/// fork/exec attempt that re-launches the run with `--resume-last-good`.
+
+namespace fedpkd::fl::durable {
+
+struct SuperviseOptions {
+  /// Restarts allowed after the first attempt; exceeding it gives up.
+  std::size_t max_restarts = 5;
+  /// Base backoff; restart k (1-based) waits backoff_ms * 2^(k-1).
+  std::uint64_t backoff_ms = 100;
+  /// Injectable sleep so tests assert the schedule without waiting it out.
+  std::function<void(std::uint64_t)> sleep_ms;
+  /// Progress log ("attempt 2 exited with status 42; restarting in 200 ms").
+  std::function<void(const std::string&)> log;
+};
+
+struct SuperviseResult {
+  /// Exit status of the final attempt (0 on success).
+  int exit_status = 0;
+  /// Restarts actually performed (0 = first attempt succeeded).
+  std::size_t restarts = 0;
+  /// Total milliseconds of backoff requested across restarts.
+  std::uint64_t total_backoff_ms = 0;
+  /// True when the retry budget ran out with the run still failing.
+  bool budget_exhausted = false;
+};
+
+/// Deterministic backoff before restart k (1-based): backoff_ms * 2^(k-1),
+/// saturating instead of overflowing.
+std::uint64_t restart_backoff_ms(const SuperviseOptions& options,
+                                 std::size_t restart);
+
+/// Runs `attempt(attempt_index)` (0-based) until it returns 0 or the restart
+/// budget is exhausted, backing off deterministically between attempts.
+SuperviseResult supervise(const std::function<int(std::size_t)>& attempt,
+                          const SuperviseOptions& options);
+
+}  // namespace fedpkd::fl::durable

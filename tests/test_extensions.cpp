@@ -140,11 +140,16 @@ TEST(Checkpoint, LoadRejectsUnknownArchitecture) {
   nn::Classifier model = nn::make_classifier("resmlp11", 8, 3, rng);
   TempFile file("ckpt_arch.bin");
   fl::save_checkpoint(model, file.path);
-  // The arch string's first character follows magic+version+length (12 bytes).
-  std::fstream f(file.path, std::ios::in | std::ios::out | std::ios::binary);
-  f.seekp(12);
-  f.put('x');  // "xesmlp11" is not in the model zoo
-  f.close();
+  // Patch the arch string's first character (follows magic+version+length,
+  // 12 bytes in) and RE-SEAL: a plain byte patch would be rejected by the
+  // CRC32 footer before the model-zoo lookup ever ran.
+  auto bytes = fl::durable::read_file_bytes(file.path);
+  bytes.resize(bytes.size() - fl::durable::kFooterSize);
+  bytes[12] = std::byte{'x'};  // "xesmlp11" is not in the model zoo
+  fl::durable::append_footer(bytes);
+  std::ofstream(file.path, std::ios::binary | std::ios::trunc)
+      .write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
   EXPECT_THROW(fl::load_checkpoint(file.path), std::invalid_argument);
 }
 
